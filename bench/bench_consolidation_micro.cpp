@@ -1,0 +1,83 @@
+// Experiment E8 — algorithm runtime scaling (google-benchmark).
+//
+// Feeds the "energy spent into the computation" term of E1: how expensive is
+// each placement algorithm as the instance grows? FFD/BFD are near-free,
+// ACO costs milliseconds (amortized over a consolidation interval), and the
+// exact solver is only viable at CPLEX-comparison sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "consolidation/aco.hpp"
+#include "consolidation/exact.hpp"
+#include "consolidation/greedy.hpp"
+
+using namespace snooze;
+using namespace snooze::consolidation;
+
+namespace {
+
+void BM_FirstFit(benchmark::State& state) {
+  const auto inst = bench::make_instance(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(first_fit(inst));
+  }
+}
+BENCHMARK(BM_FirstFit)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_FirstFitDecreasing(benchmark::State& state) {
+  const auto inst = bench::make_instance(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(first_fit_decreasing(inst, SortKey::kCpu));
+  }
+}
+BENCHMARK(BM_FirstFitDecreasing)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_BestFitDecreasing(benchmark::State& state) {
+  const auto inst = bench::make_instance(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(best_fit_decreasing(inst));
+  }
+}
+BENCHMARK(BM_BestFitDecreasing)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_Aco(benchmark::State& state) {
+  const auto inst = bench::make_instance(static_cast<std::size_t>(state.range(0)), 1);
+  AcoParams params;
+  params.ants = 8;
+  params.cycles = 8;
+  params.seed = 1;
+  const AcoConsolidation aco(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aco.solve(inst));
+  }
+}
+BENCHMARK(BM_Aco)->Arg(50)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void BM_AcoCycles(benchmark::State& state) {
+  const auto inst = bench::make_instance(100, 1);
+  AcoParams params;
+  params.ants = 8;
+  params.cycles = static_cast<std::size_t>(state.range(0));
+  params.seed = 1;
+  const AcoConsolidation aco(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aco.solve(inst));
+  }
+}
+BENCHMARK(BM_AcoCycles)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_Exact(benchmark::State& state) {
+  const auto inst = bench::make_instance(static_cast<std::size_t>(state.range(0)), 1,
+                                         0.15, 0.6);
+  ExactParams params;
+  params.time_limit_s = 5.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_exact(inst, params));
+  }
+}
+BENCHMARK(BM_Exact)->Arg(10)->Arg(14)->Arg(18)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Experiment E5 — energy savings from suspend + relocation + consolidation
+// (paper §III).
+//
+// Paper claim: "each GM integrates mechanisms to detect idle LCs and
+// automatically transition them in a low-power state ... To favor idle
+// times, underload situations are detected ... In addition, consolidation is
+// performed periodically."
+//
+// A 48-LC cluster hosts 40 VMs spread by round-robin placement, running for
+// two simulated hours. Three configurations are compared:
+//   (1) no power management              (baseline)
+//   (2) suspend idle nodes only          (what naive power mgmt gets)
+//   (3) suspend + ACO reconfiguration    (the full Snooze energy stack)
+// Reported: cluster energy, suspended nodes at the end, and useful work (to
+// show the savings are not bought with application throughput).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/snooze.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace snooze;
+using namespace snooze::core;
+
+namespace {
+
+struct RunResult {
+  double energy_kj = 0.0;
+  double work = 0.0;
+  std::size_t suspended = 0;
+  std::size_t running_vms = 0;
+  bool ok = false;
+};
+
+RunResult run_config(bool energy_savings, bool consolidation, std::uint64_t seed,
+                     double horizon) {
+  SystemSpec spec;
+  spec.entry_points = 2;
+  spec.group_managers = 3;
+  spec.local_controllers = 48;
+  spec.seed = seed;
+  spec.config.placement_policy = PlacementPolicyKind::kRoundRobin;  // spreads VMs
+  spec.config.energy_savings = energy_savings;
+  spec.config.idle_threshold = 60.0;
+  spec.config.underload_threshold = 0.0;  // isolate the consolidation effect
+  if (consolidation) {
+    spec.config.consolidation = ConsolidationKind::kAco;
+    spec.config.reconfiguration_period = 300.0;
+    spec.config.aco_ants = 6;
+    spec.config.aco_cycles = 6;
+  }
+
+  RunResult out;
+  SnoozeSystem system(spec);
+  system.start();
+  if (!system.run_until_stable(300.0)) return out;
+
+  std::vector<VmDescriptor> vms;
+  for (int i = 0; i < 40; ++i) {
+    TraceSpec trace;
+    trace.kind = TraceSpec::Kind::kSinusoidal;  // diurnal-style load
+    trace.a = 0.55;
+    trace.b = 0.3;
+    trace.c = 3600.0;
+    trace.d = 0.0;
+    vms.push_back(system.make_vm({0.125, 0.125, 0.125}, 0.0, trace));
+  }
+  system.client().submit_all(vms, 0.2);
+  system.engine().run_until(system.engine().now() + horizon);
+
+  out.energy_kj = system.total_energy() / 1000.0;
+  out.work = system.total_work();
+  out.suspended = system.suspended_lc_count();
+  out.running_vms = system.running_vm_count();
+  out.ok = true;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const double horizon = args.get_double("horizon", 7200.0);
+
+  bench::print_header(
+      "E5: cluster energy under Snooze power management (48 LCs, 40 VMs, 2h)",
+      "idle servers are transitioned into a low-power state; consolidation "
+      "favors idle times");
+
+  const RunResult none = run_config(false, false, seed, horizon);
+  const RunResult suspend_only = run_config(true, false, seed, horizon);
+  const RunResult full = run_config(true, true, seed, horizon);
+
+  util::Table table({"configuration", "energy kJ", "saved vs baseline",
+                     "suspended LCs", "running VMs", "useful work VM-s"});
+  auto add = [&](const char* name, const RunResult& r) {
+    if (!r.ok) {
+      table.add_row({name, "failed", "-", "-", "-", "-"});
+      return;
+    }
+    table.add_row({name, util::Table::num(r.energy_kj, 0),
+                   util::Table::pct((none.energy_kj - r.energy_kj) / none.energy_kj),
+                   std::to_string(r.suspended), std::to_string(r.running_vms),
+                   util::Table::num(r.work, 0)});
+  };
+  add("no power management", none);
+  add("suspend idle only", suspend_only);
+  add("suspend + ACO consolidation", full);
+  table.print();
+
+  std::printf("\nshape check: suspend-only saves on the LCs that happen to be\n"
+              "empty; adding ACO reconfiguration packs the VMs onto few nodes\n"
+              "and suspends the rest, with useful work (SLA proxy) unchanged.\n");
+  return 0;
+}

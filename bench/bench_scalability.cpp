@@ -1,0 +1,111 @@
+// Experiment E3 — Snooze scalability (paper §II.F, CCGrid'12).
+//
+// Paper claim: evaluated on 144 nodes with up to 500 VMs; "negligible cost
+// is involved in performing distributed VM management and the system remains
+// highly scalable with increasing amounts of VMs and hosts."
+//
+// Two sweeps:
+//   (a) cluster size: 18..144 LCs (GMs scaled with the fleet) — time for the
+//       hierarchy to self-organize, and submission latency for a fixed batch;
+//   (b) VM count: 50..500 VMs on the full 144-LC deployment — submission
+//       latency percentiles and success rate.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/snooze.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace snooze;
+using namespace snooze::core;
+
+namespace {
+
+std::unique_ptr<SnoozeSystem> boot(std::size_t lcs, std::size_t gms,
+                                   std::uint64_t seed, double* stable_time) {
+  SystemSpec spec;
+  spec.entry_points = 2;
+  spec.group_managers = gms;
+  spec.local_controllers = lcs;
+  spec.seed = seed;
+  spec.config.dispatch_policy = DispatchPolicyKind::kLeastLoaded;
+  auto system = std::make_unique<SnoozeSystem>(spec);
+  system->start();
+  const bool ok = system->run_until_stable(300.0);
+  *stable_time = ok ? system->engine().now() : -1.0;
+  return system;
+}
+
+void submit_vms(SnoozeSystem& system, std::size_t n, double inter_arrival) {
+  std::vector<VmDescriptor> vms;
+  for (std::size_t i = 0; i < n; ++i) {
+    TraceSpec trace;
+    trace.kind = TraceSpec::Kind::kConstant;
+    trace.a = 0.6;
+    vms.push_back(system.make_vm({0.125, 0.125, 0.125}, 0.0, trace));
+  }
+  system.client().submit_all(vms, inter_arrival);
+  system.engine().run_until(system.engine().now() + inter_arrival * n + 120.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+  bench::print_header(
+      "E3a: hierarchy self-organization and submission latency vs cluster size",
+      "the system remains highly scalable with increasing amounts of hosts");
+
+  util::Table by_hosts({"LCs", "GMs", "stabilize s", "VMs", "submit ok", "lat p50 s",
+                        "lat p99 s", "ctrl msgs/s"});
+  for (std::size_t lcs : {18, 36, 72, 144}) {
+    const std::size_t gms = 1 + lcs / 36;  // GL + one GM per 36 nodes
+    double stable_time = 0.0;
+    auto system = boot(lcs, gms + 1, seed, &stable_time);
+    if (stable_time < 0.0) {
+      std::fprintf(stderr, "cluster of %zu LCs failed to stabilize\n", lcs);
+      continue;
+    }
+    system->network().reset_stats();
+    const double t0 = system->engine().now();
+    const std::size_t n_vms = lcs;  // fixed per-host submission pressure
+    submit_vms(*system, n_vms, 0.1);
+    const double elapsed = system->engine().now() - t0;
+    const auto stats = system->network().stats();
+    auto& lat = system->client().latencies();
+    by_hosts.add_row(
+        {std::to_string(lcs), std::to_string(gms), util::Table::num(stable_time, 1),
+         std::to_string(n_vms),
+         std::to_string(system->client().succeeded()) + "/" + std::to_string(n_vms),
+         util::Table::num(lat.median(), 3), util::Table::num(lat.percentile(0.99), 3),
+         util::Table::num(static_cast<double>(stats.messages_sent) / elapsed, 0)});
+  }
+  by_hosts.print();
+
+  bench::print_header("E3b: submission latency vs number of VMs (144-LC cluster)",
+                      "up to 500 VMs were submitted; scalable with amounts of VMs");
+
+  util::Table by_vms({"VMs", "submit ok", "lat mean s", "lat p50 s", "lat p99 s",
+                      "running VMs"});
+  for (std::size_t n_vms : {50, 100, 200, 350, 500}) {
+    double stable_time = 0.0;
+    auto system = boot(144, 5, seed, &stable_time);
+    if (stable_time < 0.0) continue;
+    submit_vms(*system, n_vms, 0.1);
+    auto& lat = system->client().latencies();
+    by_vms.add_row(
+        {std::to_string(n_vms),
+         std::to_string(system->client().succeeded()) + "/" + std::to_string(n_vms),
+         util::Table::num(lat.mean(), 3), util::Table::num(lat.median(), 3),
+         util::Table::num(lat.percentile(0.99), 3),
+         std::to_string(system->running_vm_count())});
+  }
+  by_vms.print();
+
+  std::printf("\nshape check: p50 latency should stay flat as LCs and VMs grow "
+              "(two-level dispatch), matching the paper's scalability claim.\n");
+  return 0;
+}

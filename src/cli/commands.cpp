@@ -1,0 +1,167 @@
+#include "cli/commands.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "cli/dot_export.hpp"
+
+namespace snooze::cli {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) out.push_back(token);
+  return out;
+}
+
+CliSession::CliSession(std::unique_ptr<core::SnoozeSystem> system)
+    : system_(std::move(system)) {}
+
+std::unique_ptr<CliSession> CliSession::boot(std::size_t gms, std::size_t lcs,
+                                             std::uint64_t seed, bool energy_savings) {
+  core::SystemSpec spec;
+  spec.entry_points = 2;
+  spec.group_managers = gms;
+  spec.local_controllers = lcs;
+  spec.seed = seed;
+  spec.config.energy_savings = energy_savings;
+  auto system = std::make_unique<core::SnoozeSystem>(spec);
+  system->start();
+  system->run_until_stable(300.0);
+  return std::make_unique<CliSession>(std::move(system));
+}
+
+std::string CliSession::help() {
+  return "commands:\n"
+         "  submit <n> [cpu] [mem] [net] [lifetime_s]  submit n VMs\n"
+         "  run <seconds>                              advance virtual time\n"
+         "  hierarchy                                  print the hierarchy\n"
+         "  export-dot [file]                          Graphviz of the hierarchy\n"
+         "  stats                                      counters and energy\n"
+         "  fail gl | fail gm <i> | fail lc <i>        inject a crash\n"
+         "  help                                       this screen\n"
+         "  quit                                       leave\n";
+}
+
+CommandResult CliSession::execute(const std::string& line) {
+  const auto tokens = tokenize(line);
+  if (tokens.empty()) return {};
+  const std::string& cmd = tokens.front();
+  const std::vector<std::string> args(tokens.begin() + 1, tokens.end());
+  if (cmd == "help") return {true, false, help()};
+  if (cmd == "quit" || cmd == "exit") return {true, true, ""};
+  if (cmd == "submit") return cmd_submit(args);
+  if (cmd == "run") return cmd_run(args);
+  if (cmd == "hierarchy") return cmd_hierarchy();
+  if (cmd == "export-dot") return cmd_export_dot(args);
+  if (cmd == "stats") return cmd_stats();
+  if (cmd == "fail") return cmd_fail(args);
+  return {false, false, "unknown command '" + cmd + "' (try 'help')\n"};
+}
+
+CommandResult CliSession::cmd_submit(const std::vector<std::string>& args) {
+  if (args.empty()) return {false, false, "usage: submit <n> [cpu] [mem] [net] [lifetime]\n"};
+  const auto n = static_cast<std::size_t>(std::strtoull(args[0].c_str(), nullptr, 10));
+  if (n == 0 || n > 100000) return {false, false, "submit: bad VM count\n"};
+  auto dim = [&](std::size_t i, double def) {
+    return args.size() > i ? std::strtod(args[i].c_str(), nullptr) : def;
+  };
+  const double cpu = dim(1, 0.125);
+  const double mem = dim(2, cpu);
+  const double net = dim(3, cpu);
+  const double lifetime = dim(4, 0.0);
+  std::vector<core::VmDescriptor> vms;
+  for (std::size_t i = 0; i < n; ++i) {
+    core::TraceSpec trace;
+    trace.kind = core::TraceSpec::Kind::kConstant;
+    trace.a = 0.7;
+    vms.push_back(system_->make_vm({cpu, mem, net}, lifetime, trace));
+  }
+  const auto before_ok = system_->client().succeeded();
+  const auto before_fail = system_->client().failed();
+  system_->client().submit_all(std::move(vms), 0.1);
+  system_->engine().run_until(system_->engine().now() + 0.1 * static_cast<double>(n) +
+                              60.0);
+  std::ostringstream out;
+  out << "submitted " << n << ": " << (system_->client().succeeded() - before_ok)
+      << " placed, " << (system_->client().failed() - before_fail) << " failed; "
+      << system_->running_vm_count() << " VMs running\n";
+  return {true, false, out.str()};
+}
+
+CommandResult CliSession::cmd_run(const std::vector<std::string>& args) {
+  if (args.empty()) return {false, false, "usage: run <seconds>\n"};
+  const double seconds = std::strtod(args[0].c_str(), nullptr);
+  if (seconds <= 0.0) return {false, false, "run: seconds must be positive\n"};
+  system_->engine().run_until(system_->engine().now() + seconds);
+  std::ostringstream out;
+  out << "t=" << system_->engine().now() << "s\n";
+  return {true, false, out.str()};
+}
+
+CommandResult CliSession::cmd_hierarchy() {
+  return {true, false, system_->hierarchy_dump()};
+}
+
+CommandResult CliSession::cmd_export_dot(const std::vector<std::string>& args) {
+  const std::string dot = hierarchy_dot(*system_);
+  if (args.empty()) return {true, false, dot};
+  std::ofstream out(args[0]);
+  if (!out) return {false, false, "export-dot: cannot open " + args[0] + "\n"};
+  out << dot;
+  return {true, false, "wrote " + args[0] + "\n"};
+}
+
+CommandResult CliSession::cmd_stats() {
+  std::ostringstream out;
+  out << "t=" << system_->engine().now() << "s\n";
+  out << "VMs running: " << system_->running_vm_count() << "\n";
+  out << "LCs assigned/suspended: " << system_->assigned_lc_count() << "/"
+      << system_->suspended_lc_count() << "\n";
+  out << "client: " << system_->client().succeeded() << " ok, "
+      << system_->client().failed() << " failed\n";
+  out << "energy: " << system_->total_energy() / 1000.0 << " kJ\n";
+  out << "useful work: " << system_->total_work() << " VM-s\n";
+  const auto net_stats = system_->network().stats();
+  out << "control messages: " << net_stats.messages_sent << " sent, "
+      << net_stats.messages_dropped << " dropped\n";
+  std::uint64_t migrations = 0, suspends = 0, wakeups = 0;
+  for (const auto& gm : system_->group_managers()) {
+    migrations += gm->counters().migrations_completed;
+    suspends += gm->counters().suspends;
+    wakeups += gm->counters().wakeups;
+  }
+  out << "migrations/suspends/wakeups: " << migrations << "/" << suspends << "/"
+      << wakeups << "\n";
+  return {true, false, out.str()};
+}
+
+CommandResult CliSession::cmd_fail(const std::vector<std::string>& args) {
+  if (args.empty()) return {false, false, "usage: fail gl | fail gm <i> | fail lc <i>\n"};
+  if (args[0] == "gl") {
+    const int index = system_->fail_gl();
+    if (index < 0) return {false, false, "fail gl: no leader elected\n"};
+    return {true, false, "crashed the GL (gm index " + std::to_string(index) + ")\n"};
+  }
+  if (args.size() < 2) return {false, false, "usage: fail gm <i> | fail lc <i>\n"};
+  const auto index = static_cast<std::size_t>(std::strtoull(args[1].c_str(), nullptr, 10));
+  if (args[0] == "gm") {
+    if (index >= system_->group_managers().size()) {
+      return {false, false, "fail gm: index out of range\n"};
+    }
+    system_->fail_gm(index);
+    return {true, false, "crashed gm-" + std::to_string(index) + "\n"};
+  }
+  if (args[0] == "lc") {
+    if (index >= system_->local_controllers().size()) {
+      return {false, false, "fail lc: index out of range\n"};
+    }
+    system_->fail_lc(index);
+    return {true, false, "crashed lc-" + std::to_string(index) + "\n"};
+  }
+  return {false, false, "fail: unknown target '" + args[0] + "'\n"};
+}
+
+}  // namespace snooze::cli

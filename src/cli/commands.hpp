@@ -1,0 +1,55 @@
+// Command-line interface over a simulated Snooze deployment (paper §II.A:
+// "a command line interface (CLI) is implemented on top of those services.
+// It supports the VM management as well as live visualizing and exporting of
+// the hierarchy organization").
+//
+// The interpreter is a library (CliSession) so it is unit-testable; the
+// snooze_cli binary wires it to stdin/stdout.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace snooze::cli {
+
+struct CommandResult {
+  bool ok = true;
+  bool quit = false;
+  std::string output;
+};
+
+class CliSession {
+ public:
+  /// Takes ownership of a running (or about-to-run) system.
+  explicit CliSession(std::unique_ptr<core::SnoozeSystem> system);
+
+  /// Convenience: build + start a deployment from basic parameters.
+  static std::unique_ptr<CliSession> boot(std::size_t gms, std::size_t lcs,
+                                          std::uint64_t seed, bool energy_savings);
+
+  /// Execute one command line; never throws (errors come back in .output).
+  CommandResult execute(const std::string& line);
+
+  /// One help screen listing every command.
+  [[nodiscard]] static std::string help();
+
+  [[nodiscard]] core::SnoozeSystem& system() { return *system_; }
+
+ private:
+  CommandResult cmd_submit(const std::vector<std::string>& args);
+  CommandResult cmd_run(const std::vector<std::string>& args);
+  CommandResult cmd_hierarchy();
+  CommandResult cmd_export_dot(const std::vector<std::string>& args);
+  CommandResult cmd_stats();
+  CommandResult cmd_fail(const std::vector<std::string>& args);
+
+  std::unique_ptr<core::SnoozeSystem> system_;
+};
+
+/// Tokenize a command line on whitespace.
+std::vector<std::string> tokenize(const std::string& line);
+
+}  // namespace snooze::cli

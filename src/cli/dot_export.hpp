@@ -1,0 +1,16 @@
+// Graphviz export of the live hierarchy — the paper's CLI "supports ...
+// live visualizing and exporting of the hierarchy organization" (§II.A).
+#pragma once
+
+#include <string>
+
+#include "core/system.hpp"
+
+namespace snooze::cli {
+
+/// Render the current EP / GL / GM / LC organization as a Graphviz digraph:
+/// EPs point at the GL they know, the GL at its registered GMs, each GM at
+/// its LCs; node labels carry VM counts and power states.
+std::string hierarchy_dot(core::SnoozeSystem& system);
+
+}  // namespace snooze::cli

@@ -1,0 +1,156 @@
+#include "consolidation/aco.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace snooze::consolidation {
+
+namespace {
+
+/// One ant's walk: fill hosts in index order, choosing the next VM among the
+/// feasible ones by the probabilistic decision rule.
+Placement construct_solution(const Instance& instance,
+                             const std::vector<std::vector<double>>& tau,
+                             const AcoParams& params, util::Rng& rng) {
+  const std::size_t n = instance.vm_count();
+  Placement placement(n);
+  std::vector<bool> assigned(n, false);
+  std::size_t remaining = n;
+
+  std::vector<double> weights;
+  std::vector<std::size_t> feasible;
+
+  for (std::size_t host = 0; host < instance.host_count() && remaining > 0; ++host) {
+    ResourceVector residual = instance.host_capacities[host];
+    for (;;) {
+      feasible.clear();
+      weights.clear();
+      for (std::size_t vm = 0; vm < n; ++vm) {
+        if (assigned[vm]) continue;
+        if (!instance.vm_demands[vm].fits_within(residual)) continue;
+        feasible.push_back(vm);
+        const double eta = aco_heuristic(residual, instance.vm_demands[vm]);
+        const double t = tau[vm][host];
+        double w = std::pow(t, params.alpha) * std::pow(eta, params.beta);
+        if (!std::isfinite(w) || w <= 0.0) w = 1e-12;
+        weights.push_back(w);
+      }
+      if (feasible.empty()) break;
+      const std::size_t pick = rng.weighted_index(weights);
+      const std::size_t vm = feasible[pick < feasible.size() ? pick : 0];
+      placement.assign(vm, static_cast<HostIndex>(host));
+      residual -= instance.vm_demands[vm];
+      assigned[vm] = true;
+      --remaining;
+    }
+  }
+  return placement;
+}
+
+/// Secondary quality used to break host-count ties: total squared residual
+/// of used hosts (lower = tighter packing).
+double packing_slack(const Instance& instance, const Placement& placement) {
+  const auto loads = placement.loads(instance);
+  double slack = 0.0;
+  for (std::size_t h = 0; h < loads.size(); ++h) {
+    if (loads[h] == ResourceVector{}) continue;
+    const ResourceVector residual = instance.host_capacities[h] - loads[h];
+    slack += residual.dot(residual);
+  }
+  return slack;
+}
+
+}  // namespace
+
+double aco_heuristic(const ResourceVector& residual, const ResourceVector& d) {
+  // Residual after hypothetically placing d; smaller leftover = better fit.
+  const ResourceVector after = residual - d;
+  return 1.0 / (1.0 + after.l1_norm());
+}
+
+AcoConsolidation::AcoConsolidation(AcoParams params) : params_(params) {}
+
+AcoResult AcoConsolidation::solve(const Instance& instance) const {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  AcoResult result;
+  const std::size_t n = instance.vm_count();
+  result.placement = Placement(n);
+  if (n == 0) {
+    result.feasible = true;
+    return result;
+  }
+
+  // Pheromone matrix over (VM, host) pairs.
+  std::vector<std::vector<double>> tau(
+      n, std::vector<double>(instance.host_count(), params_.tau0));
+
+  util::Rng master(params_.seed);
+  std::size_t best_hosts = instance.host_count() + 1;
+  double best_slack = std::numeric_limits<double>::infinity();
+  bool have_best = false;
+
+  std::unique_ptr<util::ThreadPool> pool;
+  if (params_.threads > 1) pool = std::make_unique<util::ThreadPool>(params_.threads);
+
+  for (std::size_t cycle = 0; cycle < params_.cycles; ++cycle) {
+    // Pre-fork one RNG per ant so results do not depend on thread count.
+    std::vector<util::Rng> rngs;
+    rngs.reserve(params_.ants);
+    for (std::size_t a = 0; a < params_.ants; ++a) rngs.push_back(master.fork());
+
+    std::vector<Placement> solutions(params_.ants);
+    auto run_ant = [&](std::size_t a) {
+      solutions[a] = construct_solution(instance, tau, params_, rngs[a]);
+    };
+    if (pool) {
+      pool->parallel_for(params_.ants, run_ant);
+    } else {
+      for (std::size_t a = 0; a < params_.ants; ++a) run_ant(a);
+    }
+
+    // Compare local solutions; keep the one needing the fewest hosts.
+    for (auto& solution : solutions) {
+      if (!solution.complete()) continue;  // instance not packable by this walk
+      const std::size_t hosts = solution.hosts_used();
+      const double slack = packing_slack(instance, solution);
+      if (!have_best || hosts < best_hosts ||
+          (hosts == best_hosts && slack < best_slack)) {
+        best_hosts = hosts;
+        best_slack = slack;
+        result.placement = std::move(solution);
+        have_best = true;
+      }
+    }
+
+    // Pheromone update: evaporation everywhere, reinforcement on the pairs
+    // of the best-so-far solution (elitist global update).
+    const double keep = 1.0 - params_.rho;
+    for (auto& row : tau) {
+      for (double& t : row) t *= keep;
+    }
+    if (have_best) {
+      const double deposit =
+          params_.rho * params_.q / static_cast<double>(std::max<std::size_t>(1, best_hosts));
+      for (std::size_t vm = 0; vm < n; ++vm) {
+        const HostIndex h = result.placement.host_of(vm);
+        if (h != kUnassigned) tau[vm][static_cast<std::size_t>(h)] += deposit;
+      }
+    }
+    result.best_per_cycle.push_back(have_best ? best_hosts : 0);
+  }
+
+  result.hosts_used = have_best ? best_hosts : 0;
+  result.feasible = have_best && result.placement.feasible(instance);
+  result.runtime_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  return result;
+}
+
+}  // namespace snooze::consolidation

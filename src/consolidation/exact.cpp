@@ -1,0 +1,174 @@
+#include "consolidation/exact.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "consolidation/greedy.hpp"
+
+namespace snooze::consolidation {
+
+namespace {
+
+class Solver {
+ public:
+  Solver(const Instance& instance, ExactParams params)
+      : instance_(instance), params_(params), start_(std::chrono::steady_clock::now()) {
+    order_.resize(instance.vm_count());
+    std::iota(order_.begin(), order_.end(), 0);
+    std::stable_sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
+      return instance.vm_demands[a].l2_norm() > instance.vm_demands[b].l2_norm();
+    });
+    loads_.assign(instance.host_count(), ResourceVector{});
+    host_vms_.assign(instance.host_count(), 0);
+    current_.assign(instance.vm_count(), kUnassigned);
+    homogeneous_ = std::all_of(
+        instance.host_capacities.begin(), instance.host_capacities.end(),
+        [&](const ResourceVector& c) { return c == instance.host_capacities.front(); });
+  }
+
+  ExactResult run() {
+    ExactResult result;
+    // Warm-start incumbent from BFD so pruning bites immediately.
+    const Placement warm = best_fit_decreasing(instance_, SortKey::kL2);
+    if (warm.feasible(instance_)) {
+      best_ = warm;
+      best_hosts_ = warm.hosts_used();
+      have_best_ = true;
+    } else {
+      best_hosts_ = instance_.host_count() + 1;
+    }
+
+    aborted_ = false;
+    dfs(0, 0);
+
+    result.nodes_explored = nodes_;
+    result.runtime_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    if (have_best_) {
+      result.placement = best_;
+      result.hosts_used = best_hosts_;
+      result.feasible = true;
+    }
+    result.optimal = !aborted_ && have_best_;
+    // An instance that cannot be packed at all: the exhaustive search proves
+    // it, but we only report optimality of a feasible packing.
+    if (!have_best_) result.optimal = false;
+    return result;
+  }
+
+ private:
+  [[nodiscard]] bool out_of_budget() {
+    if (nodes_ > params_.node_limit) return true;
+    if ((nodes_ & 0xFFF) == 0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+      if (elapsed > params_.time_limit_s) return true;
+    }
+    return false;
+  }
+
+  /// Per-dimension volume lower bound for the VMs from `depth` onward, given
+  /// `used_hosts` already-opened hosts (only valid for homogeneous hosts;
+  /// for heterogeneous fleets it degrades to the trivial bound).
+  [[nodiscard]] std::size_t bound(std::size_t depth, std::size_t used_hosts) const {
+    if (!homogeneous_) return used_hosts;
+    ResourceVector remaining_total;
+    for (std::size_t i = depth; i < order_.size(); ++i) {
+      remaining_total += instance_.vm_demands[order_[i]];
+    }
+    // Free capacity on the already-open hosts can absorb part of it.
+    ResourceVector open_free;
+    for (std::size_t h = 0; h < instance_.host_count(); ++h) {
+      if (host_vms_[h] > 0) open_free += instance_.host_capacities[h] - loads_[h];
+    }
+    const ResourceVector cap = instance_.host_capacities.front();
+    std::size_t extra = 0;
+    for (std::size_t d = 0; d < ResourceVector::kDims; ++d) {
+      const double overflow = remaining_total[d] - open_free[d];
+      if (overflow > 1e-9 && cap[d] > 1e-9) {
+        extra = std::max(extra,
+                         static_cast<std::size_t>(std::ceil(overflow / cap[d] - 1e-9)));
+      }
+    }
+    return used_hosts + extra;
+  }
+
+  void dfs(std::size_t depth, std::size_t used_hosts) {
+    if (aborted_) return;
+    ++nodes_;
+    if (out_of_budget()) {
+      aborted_ = true;
+      return;
+    }
+    if (used_hosts >= best_hosts_) return;  // cannot improve
+    if (depth == order_.size()) {
+      best_hosts_ = used_hosts;
+      best_ = Placement(instance_.vm_count());
+      for (std::size_t vm = 0; vm < current_.size(); ++vm) {
+        best_.assign(vm, current_[vm]);
+      }
+      have_best_ = true;
+      return;
+    }
+    if (bound(depth, used_hosts) >= best_hosts_) return;
+
+    const std::size_t vm = order_[depth];
+    const ResourceVector& demand = instance_.vm_demands[vm];
+
+    bool tried_empty = false;
+    for (std::size_t h = 0; h < instance_.host_count(); ++h) {
+      const bool empty = host_vms_[h] == 0;
+      if (empty) {
+        // Symmetry breaking: all empty homogeneous hosts are equivalent;
+        // try only the first one.
+        if (homogeneous_ && tried_empty) continue;
+        tried_empty = true;
+        // Opening another host cannot lead to an improvement.
+        if (used_hosts + 1 >= best_hosts_) continue;
+      }
+      if (!(loads_[h] + demand).fits_within(instance_.host_capacities[h])) continue;
+
+      loads_[h] += demand;
+      ++host_vms_[h];
+      current_[vm] = static_cast<HostIndex>(h);
+      dfs(depth + 1, used_hosts + (empty ? 1 : 0));
+      current_[vm] = kUnassigned;
+      --host_vms_[h];
+      loads_[h] -= demand;
+      if (aborted_) return;
+    }
+  }
+
+  const Instance& instance_;
+  ExactParams params_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::size_t> order_;
+  std::vector<ResourceVector> loads_;
+  std::vector<std::size_t> host_vms_;
+  std::vector<HostIndex> current_;
+  Placement best_;
+  std::size_t best_hosts_ = 0;
+  bool have_best_ = false;
+  bool homogeneous_ = true;
+  std::uint64_t nodes_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+ExactResult solve_exact(const Instance& instance, ExactParams params) {
+  if (instance.vm_count() == 0) {
+    ExactResult empty;
+    empty.placement = Placement(0);
+    empty.feasible = true;
+    empty.optimal = true;
+    return empty;
+  }
+  Solver solver(instance, params);
+  return solver.run();
+}
+
+}  // namespace snooze::consolidation

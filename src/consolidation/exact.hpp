@@ -1,0 +1,40 @@
+// Exact vector-bin-packing solver (CPLEX substitute).
+//
+// The GRID'11 evaluation computes the optimal host count with CPLEX to
+// report ACO's deviation from optimal (≈1.1 %). We substitute a
+// branch-and-bound search over VM→host assignments with:
+//   * VMs ordered by decreasing L2 norm (big items first → early pruning),
+//   * symmetry breaking for homogeneous hosts (a VM may open at most one
+//     new, empty host: the lowest-indexed one),
+//   * lower bound = used hosts + per-dimension volume bound on the rest,
+//   * incumbent initialized from best-fit-decreasing.
+// Exact for the instance sizes where the paper ran CPLEX (tens of VMs);
+// node and time limits keep larger calls safe (optimal flag then reports
+// whether the search completed).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "consolidation/instance.hpp"
+
+namespace snooze::consolidation {
+
+struct ExactParams {
+  std::uint64_t node_limit = 50'000'000;
+  double time_limit_s = 60.0;
+};
+
+struct ExactResult {
+  Placement placement;
+  std::size_t hosts_used = 0;
+  bool feasible = false;
+  bool optimal = false;  ///< search completed within limits
+  std::uint64_t nodes_explored = 0;
+  double runtime_s = 0.0;
+};
+
+/// Minimize the number of hosts used to pack all VMs of `instance`.
+ExactResult solve_exact(const Instance& instance, ExactParams params = {});
+
+}  // namespace snooze::consolidation

@@ -1,0 +1,127 @@
+#include "consolidation/greedy.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace snooze::consolidation {
+
+const char* to_string(SortKey key) {
+  switch (key) {
+    case SortKey::kNone: return "none";
+    case SortKey::kCpu: return "cpu";
+    case SortKey::kMemory: return "mem";
+    case SortKey::kNetwork: return "net";
+    case SortKey::kL1: return "l1";
+    case SortKey::kL2: return "l2";
+    case SortKey::kMaxDim: return "maxdim";
+  }
+  return "?";
+}
+
+double sort_value(const ResourceVector& demand, SortKey key) {
+  switch (key) {
+    case SortKey::kNone: return 0.0;
+    case SortKey::kCpu: return demand.cpu();
+    case SortKey::kMemory: return demand.memory();
+    case SortKey::kNetwork: return demand.network();
+    case SortKey::kL1: return demand.l1_norm();
+    case SortKey::kL2: return demand.l2_norm();
+    case SortKey::kMaxDim: return demand.max_component();
+  }
+  return 0.0;
+}
+
+namespace {
+
+std::vector<std::size_t> sorted_order(const Instance& instance, SortKey key) {
+  std::vector<std::size_t> order(instance.vm_count());
+  std::iota(order.begin(), order.end(), 0);
+  if (key != SortKey::kNone) {
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return sort_value(instance.vm_demands[a], key) >
+             sort_value(instance.vm_demands[b], key);
+    });
+  }
+  return order;
+}
+
+}  // namespace
+
+Placement first_fit(const Instance& instance, SortKey key) {
+  Placement placement(instance.vm_count());
+  std::vector<ResourceVector> loads(instance.host_count());
+  for (std::size_t vm : sorted_order(instance, key)) {
+    const ResourceVector& demand = instance.vm_demands[vm];
+    for (std::size_t h = 0; h < instance.host_count(); ++h) {
+      if ((loads[h] + demand).fits_within(instance.host_capacities[h])) {
+        loads[h] += demand;
+        placement.assign(vm, static_cast<HostIndex>(h));
+        break;
+      }
+    }
+  }
+  return placement;
+}
+
+Placement best_fit_decreasing(const Instance& instance, SortKey key) {
+  Placement placement(instance.vm_count());
+  std::vector<ResourceVector> loads(instance.host_count());
+  std::vector<bool> open(instance.host_count(), false);
+  for (std::size_t vm : sorted_order(instance, key)) {
+    const ResourceVector& demand = instance.vm_demands[vm];
+    std::size_t best_host = instance.host_count();
+    double best_residual = std::numeric_limits<double>::infinity();
+    // Prefer the tightest already-open host; open a new one only if needed.
+    for (std::size_t h = 0; h < instance.host_count(); ++h) {
+      if (!(loads[h] + demand).fits_within(instance.host_capacities[h])) continue;
+      if (!open[h]) {
+        if (best_host == instance.host_count()) best_host = h;
+        continue;
+      }
+      const double residual =
+          (instance.host_capacities[h] - (loads[h] + demand)).l1_norm();
+      if (residual < best_residual) {
+        best_residual = residual;
+        best_host = h;
+      }
+    }
+    if (best_host < instance.host_count()) {
+      loads[best_host] += demand;
+      open[best_host] = true;
+      placement.assign(vm, static_cast<HostIndex>(best_host));
+    }
+  }
+  return placement;
+}
+
+Placement dot_product_fit(const Instance& instance) {
+  Placement placement(instance.vm_count());
+  std::vector<bool> assigned(instance.vm_count(), false);
+  std::size_t remaining = instance.vm_count();
+  for (std::size_t h = 0; h < instance.host_count() && remaining > 0; ++h) {
+    ResourceVector residual = instance.host_capacities[h];
+    for (;;) {
+      std::size_t best_vm = instance.vm_count();
+      double best_score = -1.0;
+      for (std::size_t vm = 0; vm < instance.vm_count(); ++vm) {
+        if (assigned[vm]) continue;
+        const ResourceVector& demand = instance.vm_demands[vm];
+        if (!demand.fits_within(residual)) continue;
+        const double score = residual.dot(demand);
+        if (score > best_score) {
+          best_score = score;
+          best_vm = vm;
+        }
+      }
+      if (best_vm == instance.vm_count()) break;  // nothing else fits here
+      placement.assign(best_vm, static_cast<HostIndex>(h));
+      residual -= instance.vm_demands[best_vm];
+      assigned[best_vm] = true;
+      --remaining;
+    }
+  }
+  return placement;
+}
+
+}  // namespace snooze::consolidation

@@ -1,0 +1,41 @@
+#include "consolidation/metrics.hpp"
+
+#include <algorithm>
+
+namespace snooze::consolidation {
+
+PlacementMetrics evaluate_placement(const Instance& instance, const Placement& placement,
+                                    const EnergyWindow& window,
+                                    double algorithm_runtime_s) {
+  PlacementMetrics out;
+  const auto loads = placement.loads(instance);
+
+  double cpu_sum = 0.0;
+  double bottleneck_sum = 0.0;
+  for (std::size_t h = 0; h < loads.size(); ++h) {
+    const ResourceVector& load = loads[h];
+    const ResourceVector& cap = instance.host_capacities[h];
+    const bool used = !(load == ResourceVector{});
+    if (!used) {
+      ++out.hosts_idle;
+      out.energy_joules += window.duration_s * (window.suspend_idle
+                                                    ? window.host_power.p_suspend_w
+                                                    : window.host_power.p_idle_w);
+      continue;
+    }
+    ++out.hosts_used;
+    const double cpu_u = cap.cpu() > 0.0 ? std::min(1.0, load.cpu() / cap.cpu()) : 0.0;
+    cpu_sum += cpu_u;
+    bottleneck_sum += std::min(1.0, load.max_utilization(cap));
+    out.energy_joules += window.duration_s * window.host_power.power_on(cpu_u);
+  }
+  if (out.hosts_used > 0) {
+    out.avg_cpu_utilization = cpu_sum / static_cast<double>(out.hosts_used);
+    out.avg_bottleneck_utilization =
+        bottleneck_sum / static_cast<double>(out.hosts_used);
+  }
+  out.computation_joules = algorithm_runtime_s * window.mgmt_node_power_w;
+  return out;
+}
+
+}  // namespace snooze::consolidation

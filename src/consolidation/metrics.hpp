@@ -1,0 +1,36 @@
+// Placement quality metrics matching the GRID'11 evaluation: hosts used,
+// average utilization of the used hosts, and the energy of operating the
+// packing for a given duration — including the energy spent computing it.
+#pragma once
+
+#include <cstddef>
+
+#include "consolidation/instance.hpp"
+#include "energy/power_model.hpp"
+
+namespace snooze::consolidation {
+
+struct PlacementMetrics {
+  std::size_t hosts_used = 0;
+  std::size_t hosts_idle = 0;       ///< hosts with no VM (candidates for suspend)
+  double avg_cpu_utilization = 0.0;    ///< mean over *used* hosts
+  double avg_bottleneck_utilization = 0.0;  ///< mean max-dimension utilization
+  double energy_joules = 0.0;       ///< hosts (used: P(u); idle: suspend) over the window
+  double computation_joules = 0.0;  ///< algorithm runtime * management-node power
+  [[nodiscard]] double total_joules() const { return energy_joules + computation_joules; }
+};
+
+struct EnergyWindow {
+  double duration_s = 3600.0;        ///< how long the packing stays in effect
+  energy::PowerModel host_power;     ///< per-host power model
+  bool suspend_idle = true;          ///< idle hosts suspended (else stay on idle)
+  double mgmt_node_power_w = 171.0;  ///< node running the placement algorithm
+};
+
+/// Compute metrics for `placement` on `instance`. `algorithm_runtime_s`
+/// feeds the computation-energy term (pass 0 to exclude it).
+PlacementMetrics evaluate_placement(const Instance& instance, const Placement& placement,
+                                    const EnergyWindow& window,
+                                    double algorithm_runtime_s = 0.0);
+
+}  // namespace snooze::consolidation

@@ -1,0 +1,33 @@
+#include "consolidation/migration_plan.hpp"
+
+#include <cassert>
+
+namespace snooze::consolidation {
+
+MigrationPlan diff_placements(const Placement& current, const Placement& target) {
+  assert(current.vm_count() == target.vm_count());
+  MigrationPlan plan;
+  for (std::size_t vm = 0; vm < current.vm_count(); ++vm) {
+    const HostIndex from = current.host_of(vm);
+    const HostIndex to = target.host_of(vm);
+    if (from == kUnassigned || to == kUnassigned) continue;
+    if (from != to) plan.migrations.push_back(Migration{vm, from, to});
+  }
+  return plan;
+}
+
+PlanCost plan_cost(const MigrationPlan& plan, const std::vector<double>& memory_mb,
+                   const std::vector<double>& dirty_rate_mbps,
+                   const hypervisor::MigrationModel& model) {
+  PlanCost cost;
+  for (const Migration& m : plan.migrations) {
+    assert(m.vm < memory_mb.size() && m.vm < dirty_rate_mbps.size());
+    const auto c = model.cost(memory_mb[m.vm], dirty_rate_mbps[m.vm]);
+    cost.total_migration_s += c.total_s;
+    cost.total_downtime_s += c.downtime_s;
+    cost.transferred_mb += c.transferred_mb;
+  }
+  return cost;
+}
+
+}  // namespace snooze::consolidation

@@ -1,0 +1,42 @@
+// Migration plan: the diff between the current placement and a target
+// placement produced by a reconfiguration policy. Snooze's Group Managers
+// execute such plans via live migration (paper §II.C, reconfiguration).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "consolidation/instance.hpp"
+#include "hypervisor/migration.hpp"
+
+namespace snooze::consolidation {
+
+struct Migration {
+  std::size_t vm = 0;  ///< index into the instance's VM list
+  HostIndex from = kUnassigned;
+  HostIndex to = kUnassigned;
+};
+
+struct MigrationPlan {
+  std::vector<Migration> migrations;
+  [[nodiscard]] std::size_t size() const { return migrations.size(); }
+  [[nodiscard]] bool empty() const { return migrations.empty(); }
+};
+
+/// Compute the VM moves turning `current` into `target` (VMs assigned in
+/// both placements whose host differs).
+MigrationPlan diff_placements(const Placement& current, const Placement& target);
+
+/// Total live-migration cost of a plan given per-VM RAM footprints and dirty
+/// rates (index-aligned with the instance VM list) — used to decide whether
+/// a reconfiguration is worth its disruption.
+struct PlanCost {
+  double total_migration_s = 0.0;  ///< sum of individual migration durations
+  double total_downtime_s = 0.0;
+  double transferred_mb = 0.0;
+};
+PlanCost plan_cost(const MigrationPlan& plan, const std::vector<double>& memory_mb,
+                   const std::vector<double>& dirty_rate_mbps,
+                   const hypervisor::MigrationModel& model);
+
+}  // namespace snooze::consolidation

@@ -1,0 +1,123 @@
+#include "coord/leader_election.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace snooze::coord {
+
+LeaderElection::LeaderElection(sim::Engine& engine, net::Network& network,
+                               net::Address service, std::string name,
+                               std::string election_path)
+    : sim::Actor(engine, name),
+      client_(engine, network, service, name + ".election"),
+      election_path_(std::move(election_path)) {
+  client_.set_watch_handler([this](const WatchEvent& event) {
+    // Predecessor znode changed (deleted on its owner's crash/resign):
+    // re-evaluate our position in the queue.
+    (void)event;
+    if (!leader_) evaluate();
+  });
+  client_.set_expiry_handler([this](bool) {
+    // Our session expired (e.g. after a long stall): rejoin from scratch.
+    if (!alive()) return;
+    leader_ = false;
+    client_.open_session(session_timeout_, [this](bool ok) {
+      if (ok) create_candidate_node();
+    });
+  });
+}
+
+void LeaderElection::start(const std::string& data, ElectedCb on_elected) {
+  data_ = data;
+  on_elected_ = std::move(on_elected);
+  started_ = true;
+  join();
+}
+
+void LeaderElection::join() {
+  client_.open_session(session_timeout_, [this](bool ok) {
+    if (!ok) {
+      // Service unreachable: retry after a backoff.
+      after(1.0, [this] { join(); });
+      return;
+    }
+    create_candidate_node();
+  });
+}
+
+void LeaderElection::create_candidate_node() {
+  client_.create(election_path_ + "/n_", data_, /*ephemeral=*/true, /*sequential=*/true,
+                 [this](bool ok, const std::string& actual_path) {
+                   if (!ok) {
+                     after(1.0, [this] { create_candidate_node(); });
+                     return;
+                   }
+                   const auto pos = actual_path.find_last_of('/');
+                   my_node_ = actual_path.substr(pos + 1);
+                   evaluate();
+                 });
+}
+
+void LeaderElection::evaluate() {
+  if (my_node_.empty()) return;
+  client_.get_children(election_path_, /*watch=*/false,
+                       [this](bool ok, const std::vector<std::string>& children) {
+    if (!ok) {
+      after(1.0, [this] { evaluate(); });
+      return;
+    }
+    std::vector<std::string> sorted = children;
+    std::sort(sorted.begin(), sorted.end());
+    const auto me = std::find(sorted.begin(), sorted.end(), my_node_);
+    if (me == sorted.end()) {
+      // Our znode vanished (session hiccup): recreate and retry.
+      create_candidate_node();
+      return;
+    }
+    if (me == sorted.begin()) {
+      if (!leader_) {
+        leader_ = true;
+        LOG_DEBUG << name() << ": elected leader (" << my_node_ << ")";
+        if (on_elected_) on_elected_();
+      }
+      return;
+    }
+    // Watch the immediate predecessor; when it goes away, re-evaluate.
+    const std::string predecessor = election_path_ + "/" + *(me - 1);
+    client_.exists(predecessor, /*watch=*/true, [this](bool ok2, bool exists) {
+      if (!ok2) {
+        after(1.0, [this] { evaluate(); });
+        return;
+      }
+      if (!exists) evaluate();  // raced with its deletion
+    });
+  });
+}
+
+void LeaderElection::leader_data(Client::DataCb cb) {
+  client_.get_children(election_path_, /*watch=*/false,
+                       [this, cb = std::move(cb)](bool ok, const std::vector<std::string>& children) {
+    if (!ok || children.empty()) {
+      cb(false, {});
+      return;
+    }
+    const std::string first = *std::min_element(children.begin(), children.end());
+    client_.get_data(election_path_ + "/" + first, cb);
+  });
+}
+
+void LeaderElection::crash() {
+  leader_ = false;
+  started_ = false;
+  my_node_.clear();
+  client_.crash();
+  sim::Actor::crash();
+}
+
+void LeaderElection::recover() {
+  sim::Actor::recover();
+  client_.recover();
+}
+
+}  // namespace snooze::coord

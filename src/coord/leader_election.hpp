@@ -1,0 +1,59 @@
+// ZooKeeper leader-election recipe used by Snooze Group Managers.
+//
+// Every candidate creates an ephemeral sequential znode under the election
+// path; the candidate owning the lowest sequence number is the leader.
+// Non-leaders watch their immediate predecessor and re-evaluate when it
+// disappears — so exactly one candidate is promoted per failure, with no
+// herd effect. (Paper §II.D: "a leader election algorithm is triggered in
+// order to detect the current GL ... built on top of Apache ZooKeeper".)
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "coord/client.hpp"
+
+namespace snooze::coord {
+
+class LeaderElection final : public sim::Actor {
+ public:
+  /// Invoked once when this candidate becomes leader.
+  using ElectedCb = std::function<void()>;
+
+  LeaderElection(sim::Engine& engine, net::Network& network, net::Address service,
+                 std::string name, std::string election_path = "/election");
+
+  /// Join the election: opens a session, creates the candidate znode, and
+  /// evaluates leadership. `data` is published on the znode (candidate's
+  /// contact address).
+  void start(const std::string& data, ElectedCb on_elected);
+
+  [[nodiscard]] bool is_leader() const { return leader_; }
+  /// Network address of the underlying coordination-client connection (so a
+  /// fault injector can partition the whole node, election traffic included).
+  [[nodiscard]] net::Address client_address() const { return client_.address(); }
+  [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] const std::string& my_node() const { return my_node_; }
+
+  /// Read the current leader's published data (async, for tests/EPs).
+  void leader_data(Client::DataCb cb);
+
+  void crash() override;
+  void recover() override;
+
+ private:
+  void join();
+  void create_candidate_node();
+  void evaluate();
+
+  Client client_;
+  std::string election_path_;
+  std::string data_;
+  ElectedCb on_elected_;
+  std::string my_node_;  // name only (no path prefix)
+  bool leader_ = false;
+  bool started_ = false;
+  sim::Time session_timeout_ = 6.0;
+};
+
+}  // namespace snooze::coord

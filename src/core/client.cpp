@@ -1,0 +1,96 @@
+#include "core/client.hpp"
+
+namespace snooze::core {
+
+Client::Client(sim::Engine& engine, net::Network& network,
+               std::vector<net::Address> entry_points, SnoozeConfig config,
+               std::string name, sim::Trace* trace)
+    : sim::Actor(engine, std::move(name)),
+      endpoint_(engine, network, network.allocate_address(), Actor::name()),
+      entry_points_(std::move(entry_points)),
+      config_(config),
+      trace_(trace) {}
+
+void Client::discover_gl(std::size_t ep_index, std::function<void(net::Address)> cb) {
+  if (entry_points_.empty() || ep_index >= entry_points_.size()) {
+    cb(net::kNullAddress);
+    return;
+  }
+  const net::Address ep = entry_points_[(next_ep_ + ep_index) % entry_points_.size()];
+  endpoint_.call(ep, std::make_shared<GlQueryRequest>(), config_.rpc_timeout,
+                 [this, ep_index, cb = std::move(cb)](bool ok, const net::MsgPtr& reply) {
+    const auto* resp = ok ? net::msg_cast<GlQueryResponse>(reply) : nullptr;
+    if (resp != nullptr && resp->ok) {
+      cb(resp->gl);
+      return;
+    }
+    discover_gl(ep_index + 1, cb);  // try the next replicated EP
+  });
+}
+
+void Client::submit(const VmDescriptor& vm, SubmitCb cb) {
+  ++submitted_;
+  attempt(vm, now(), max_attempts_, std::move(cb));
+}
+
+void Client::attempt(VmDescriptor vm, sim::Time started, int attempts_left, SubmitCb cb) {
+  if (attempts_left <= 0) {
+    ++failed_;
+    if (trace_) trace_->record(name(), "client.submit_failed");
+    if (cb) cb(false, net::kNullAddress, now() - started);
+    return;
+  }
+  auto go = [this, vm, started, attempts_left, cb](net::Address gl) mutable {
+    if (gl == net::kNullAddress) {
+      // No GL known anywhere yet: back off and retry.
+      after(1.0, [this, vm, started, attempts_left, cb]() mutable {
+        attempt(std::move(vm), started, attempts_left - 1, std::move(cb));
+      });
+      return;
+    }
+    cached_gl_ = gl;
+    auto req = std::make_shared<SubmitVmRequest>();
+    req->vm = vm;
+    endpoint_.call(gl, req, config_.placement_rpc_timeout * 2.0,
+                   [this, vm, started, attempts_left, cb](bool ok,
+                                                          const net::MsgPtr& reply) mutable {
+      const auto* resp = ok ? net::msg_cast<SubmitVmResponse>(reply) : nullptr;
+      if (resp != nullptr && resp->ok) {
+        ++succeeded_;
+        const sim::Time latency = now() - started;
+        latencies_.add(latency);
+        if (cb) cb(true, resp->lc, latency);
+        return;
+      }
+      // Submission failed (GL gone, no capacity, ...): re-discover + retry.
+      cached_gl_ = net::kNullAddress;
+      ++next_ep_;
+      after(0.5, [this, vm, started, attempts_left, cb]() mutable {
+        attempt(std::move(vm), started, attempts_left - 1, std::move(cb));
+      });
+    });
+  };
+  if (cached_gl_ != net::kNullAddress) {
+    go(cached_gl_);
+  } else {
+    discover_gl(0, std::move(go));
+  }
+}
+
+void Client::submit_all(std::vector<VmDescriptor> vms, sim::Time inter_arrival,
+                        std::function<void()> done) {
+  auto outstanding = std::make_shared<std::size_t>(vms.size());
+  if (vms.empty()) {
+    if (done) done();
+    return;
+  }
+  auto on_reply = [outstanding, done = std::move(done)](bool, net::Address, sim::Time) {
+    if (--*outstanding == 0 && done) done();
+  };
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    after(inter_arrival * static_cast<double>(i),
+          [this, vm = vms[i], on_reply] { submit(vm, on_reply); });
+  }
+}
+
+}  // namespace snooze::core

@@ -1,0 +1,60 @@
+// Cloud client: discovers the current GL through the Entry Points and
+// submits VMs to it, with retries across GL failovers. Records end-to-end
+// submission latency (the scalability metric of experiment E3).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/messages.hpp"
+#include "net/rpc.hpp"
+#include "sim/trace.hpp"
+#include "util/stats.hpp"
+
+namespace snooze::core {
+
+class Client final : public sim::Actor {
+ public:
+  /// ok, hosting LC, end-to-end latency in (virtual) seconds.
+  using SubmitCb = std::function<void(bool ok, net::Address lc, sim::Time latency)>;
+
+  Client(sim::Engine& engine, net::Network& network, std::vector<net::Address> entry_points,
+         SnoozeConfig config, std::string name = "client", sim::Trace* trace = nullptr);
+
+  /// Submit one VM; retries (EP rotation + GL re-discovery) up to
+  /// `max_attempts` before reporting failure.
+  void submit(const VmDescriptor& vm, SubmitCb cb = nullptr);
+
+  /// Submit `vms` with a fixed inter-arrival gap; `done` fires after the
+  /// last response (success or failure) arrives.
+  void submit_all(std::vector<VmDescriptor> vms, sim::Time inter_arrival,
+                  std::function<void()> done = nullptr);
+
+  [[nodiscard]] net::Address address() const { return endpoint_.address(); }
+
+  // --- statistics -------------------------------------------------------------
+  [[nodiscard]] std::uint64_t submitted() const { return submitted_; }
+  [[nodiscard]] std::uint64_t succeeded() const { return succeeded_; }
+  [[nodiscard]] std::uint64_t failed() const { return failed_; }
+  [[nodiscard]] util::Percentiles& latencies() { return latencies_; }
+
+ private:
+  void attempt(VmDescriptor vm, sim::Time started, int attempts_left, SubmitCb cb);
+  void discover_gl(std::size_t ep_index, std::function<void(net::Address)> cb);
+
+  net::RpcEndpoint endpoint_;
+  std::vector<net::Address> entry_points_;
+  SnoozeConfig config_;
+  sim::Trace* trace_;
+  net::Address cached_gl_ = net::kNullAddress;
+  std::size_t next_ep_ = 0;
+  int max_attempts_ = 4;
+
+  std::uint64_t submitted_ = 0;
+  std::uint64_t succeeded_ = 0;
+  std::uint64_t failed_ = 0;
+  util::Percentiles latencies_;
+};
+
+}  // namespace snooze::core

@@ -1,0 +1,78 @@
+// Deployment configuration: heartbeat periods, failure-detection windows,
+// scheduling thresholds and energy-management knobs. One struct so a whole
+// simulated deployment is reproducible from a single value.
+#pragma once
+
+#include <cstddef>
+
+#include "core/estimator.hpp"
+#include "sim/engine.hpp"
+
+namespace snooze::core {
+
+/// Which policy a Group Leader uses to pick candidate GMs for a VM.
+enum class DispatchPolicyKind { kRoundRobin, kLeastLoaded };
+
+/// Which policy a Group Manager uses to place a VM on an LC.
+enum class PlacementPolicyKind { kFirstFit, kRoundRobin, kBestFit };
+
+/// Which policy the GL uses to assign a joining LC to a GM.
+enum class AssignmentPolicyKind { kRoundRobin, kLeastLoaded };
+
+/// Which algorithm periodic reconfiguration runs.
+enum class ConsolidationKind { kNone, kFfd, kBfd, kAco };
+
+struct SnoozeConfig {
+  // --- heartbeat / failure detection --------------------------------------
+  sim::Time gl_heartbeat_period = 1.0;
+  sim::Time gm_heartbeat_period = 1.0;
+  sim::Time lc_heartbeat_period = 1.0;
+  /// A peer is declared failed after `timeout_factor * period` of silence.
+  double heartbeat_timeout_factor = 3.5;
+
+  // --- monitoring / estimation ---------------------------------------------
+  sim::Time lc_monitor_period = 2.0;     ///< LC -> GM resource monitoring
+  sim::Time gm_summary_period = 2.0;     ///< GM -> GL aggregated summary
+  std::size_t estimator_window = 5;      ///< sliding window length (samples)
+  /// Window-max is conservative (never under-estimates recent demand);
+  /// EWMA is smoother and tracks trends (see core/estimator.hpp).
+  EstimatorKind estimator_kind = EstimatorKind::kWindowMax;
+  double estimator_ewma_alpha = 0.3;
+
+  // --- scheduling -----------------------------------------------------------
+  DispatchPolicyKind dispatch_policy = DispatchPolicyKind::kRoundRobin;
+  PlacementPolicyKind placement_policy = PlacementPolicyKind::kFirstFit;
+  AssignmentPolicyKind assignment_policy = AssignmentPolicyKind::kRoundRobin;
+  double overload_threshold = 0.90;   ///< LC bottleneck utilization
+  double underload_threshold = 0.20;
+  sim::Time anomaly_check_period = 5.0;  ///< LC-local overload/underload scan
+  sim::Time rpc_timeout = 1.0;
+  sim::Time placement_rpc_timeout = 20.0;  ///< must cover a wakeup (resume latency)
+  std::size_t max_dispatch_candidates = 4; ///< GL linear-search width
+
+  // --- reconfiguration (periodic consolidation) ----------------------------
+  ConsolidationKind consolidation = ConsolidationKind::kNone;
+  sim::Time reconfiguration_period = 0.0;  ///< 0 disables the timer
+  std::size_t aco_ants = 6;
+  std::size_t aco_cycles = 6;
+  /// Cap on live migrations issued per reconfiguration round (0 = no cap).
+  /// Bounds the disruption of a single round; the next round continues the
+  /// packing. LCs reject migrations they cannot absorb, so a truncated plan
+  /// degrades gracefully.
+  std::size_t max_migrations_per_reconfiguration = 0;
+
+  // --- energy management ----------------------------------------------------
+  bool energy_savings = false;
+  sim::Time idle_threshold = 30.0;  ///< idle time before suspending an LC
+  sim::Time energy_check_period = 5.0;
+
+  // --- VM lifecycle ----------------------------------------------------------
+  sim::Time vm_boot_time = 2.0;
+  double migration_bandwidth_mbps = 1000.0;
+
+  /// Reschedule VMs of a failed LC from their last descriptor (the paper's
+  /// optional snapshot-based recovery, §II.E).
+  bool reschedule_failed_vms = false;
+};
+
+}  // namespace snooze::core

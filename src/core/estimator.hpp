@@ -1,0 +1,42 @@
+// Resource-demand estimation (paper §II.B).
+//
+// Group Managers estimate each VM's demand from the monitoring samples the
+// LCs report. Two estimators are provided: sliding-window component-wise
+// maximum (conservative — never underestimates recent demand) and EWMA
+// (smooth — tracks the trend). Scheduling uses the estimate, not the raw
+// instantaneous sample, so placement decisions survive short spikes.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "hypervisor/resources.hpp"
+
+namespace snooze::core {
+
+enum class EstimatorKind { kWindowMax, kEwma };
+
+class ResourceEstimator {
+ public:
+  explicit ResourceEstimator(std::size_t window = 5,
+                             EstimatorKind kind = EstimatorKind::kWindowMax,
+                             double ewma_alpha = 0.3);
+
+  void add(const hypervisor::ResourceVector& sample);
+
+  /// Current demand estimate; zero vector before the first sample.
+  [[nodiscard]] hypervisor::ResourceVector estimate() const;
+
+  [[nodiscard]] bool empty() const { return samples_ == 0; }
+  [[nodiscard]] std::size_t samples() const { return samples_; }
+
+ private:
+  std::size_t window_;
+  EstimatorKind kind_;
+  double alpha_;
+  std::deque<hypervisor::ResourceVector> recent_;
+  hypervisor::ResourceVector ewma_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace snooze::core

@@ -1,0 +1,792 @@
+#include "core/group_manager.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "consolidation/greedy.hpp"
+#include "consolidation/migration_plan.hpp"
+#include "util/logging.hpp"
+
+namespace snooze::core {
+
+namespace {
+
+/// Parse the sequence number out of an election znode name ("n_0000000042").
+std::uint64_t epoch_from_node(const std::string& node) {
+  const auto pos = node.find_last_of('_');
+  if (pos == std::string::npos) return 0;
+  std::uint64_t value = 0;
+  std::from_chars(node.data() + pos + 1, node.data() + node.size(), value);
+  return value + 1;  // epochs start at 1 so kNull (0) never wins
+}
+
+}  // namespace
+
+GroupManager::GroupManager(sim::Engine& engine, net::Network& network,
+                           net::Address coord_service, SnoozeConfig config,
+                           net::GroupId gl_heartbeat_group, std::string name,
+                           sim::Trace* trace)
+    : sim::Actor(engine, name),
+      endpoint_(engine, network, network.allocate_address(), name),
+      election_(engine, network, coord_service, name),
+      config_(config),
+      gl_group_(gl_heartbeat_group),
+      // The GM's heartbeat channel: derived from its unique address.
+      gm_group_(0x80000000u | endpoint_.address()),
+      trace_(trace) {
+  dispatch_policy_ = make_dispatch_policy(config_.dispatch_policy);
+  placement_policy_ = make_placement_policy(config_.placement_policy);
+  assignment_policy_ = make_assignment_policy(config_.assignment_policy);
+  endpoint_.set_message_handler([this](const net::Envelope& env) { handle_oneway(env); });
+  endpoint_.set_request_handler(
+      [this](const net::Envelope& env, net::Responder r) { handle_request(env, r); });
+}
+
+void GroupManager::trace_event(std::string_view kind, std::string_view detail) {
+  if (trace_) trace_->record(name(), kind, detail);
+}
+
+void GroupManager::start() {
+  if (started_) return;
+  started_ = true;
+  // Listen for GL heartbeats (to track the current leader).
+  endpoint_.network().join_group(gl_group_, endpoint_.address());
+  election_.start(std::to_string(endpoint_.address()), [this] { become_leader(); });
+
+  every(config_.gm_heartbeat_period, [this] {
+    gm_tick_heartbeat();
+    return true;
+  });
+  every(config_.gm_summary_period, [this] {
+    gm_tick_summary();
+    return true;
+  });
+  every(config_.lc_heartbeat_period, [this] {
+    gm_check_lc_liveness();
+    return true;
+  });
+  if (config_.energy_savings) {
+    every(config_.energy_check_period, [this] {
+      gm_energy_check();
+      return true;
+    });
+  }
+  if (config_.reconfiguration_period > 0.0 &&
+      config_.consolidation != ConsolidationKind::kNone) {
+    every(config_.reconfiguration_period, [this] {
+      gm_reconfigure();
+      return true;
+    });
+  }
+  trace_event("gm.start");
+}
+
+std::size_t GroupManager::vm_count() const {
+  std::size_t n = 0;
+  for (const auto& [addr, lc] : lcs_) n += lc.vms.size();
+  return n;
+}
+
+std::vector<GmInfo> GroupManager::gm_infos() const {
+  std::vector<GmInfo> out;
+  out.reserve(gms_.size());
+  for (const auto& [addr, record] : gms_) out.push_back(record.info);
+  return out;
+}
+
+std::vector<LcInfo> GroupManager::lc_infos() const {
+  std::vector<LcInfo> out;
+  out.reserve(lcs_.size());
+  for (const auto& [addr, record] : lcs_) {
+    LcInfo info;
+    info.lc = addr;
+    info.capacity = record.capacity;
+    info.reserved = record.reserved;
+    info.estimated_used = record.used;
+    info.powered_on = record.power == LcPower::kOn;
+    info.vm_count = static_cast<std::uint32_t>(record.vms.size());
+    out.push_back(info);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch
+// ---------------------------------------------------------------------------
+
+void GroupManager::handle_oneway(const net::Envelope& env) {
+  if (const auto* hb = net::msg_cast<GlHeartbeat>(env.payload)) {
+    handle_gl_heartbeat(*hb);
+  } else if (const auto* summary = net::msg_cast<GmSummary>(env.payload)) {
+    handle_gm_summary(*summary);
+  } else if (const auto* monitor = net::msg_cast<LcMonitorData>(env.payload)) {
+    handle_monitor(*monitor);
+  } else if (const auto* hb2 = net::msg_cast<LcHeartbeat>(env.payload)) {
+    const auto it = lcs_.find(hb2->lc);
+    if (it != lcs_.end()) it->second.last_heartbeat = now();
+  } else if (const auto* anomaly = net::msg_cast<AnomalyEvent>(env.payload)) {
+    handle_anomaly(*anomaly);
+  } else if (const auto* done = net::msg_cast<MigrationDone>(env.payload)) {
+    handle_migration_done(*done);
+  } else if (const auto* terminated = net::msg_cast<VmTerminated>(env.payload)) {
+    handle_vm_terminated(*terminated);
+  }
+}
+
+void GroupManager::handle_request(const net::Envelope& env, net::Responder responder) {
+  if (const auto* join = net::msg_cast<LcJoinRequest>(env.payload)) {
+    handle_lc_join(*join, responder);
+  } else if (const auto* assign = net::msg_cast<AssignLcRequest>(env.payload)) {
+    handle_assign_lc(*assign, responder);
+  } else if (const auto* submit = net::msg_cast<SubmitVmRequest>(env.payload)) {
+    handle_submit(*submit, responder);
+  } else if (const auto* place = net::msg_cast<PlacementRequest>(env.payload)) {
+    handle_placement(*place, responder);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GM role: heartbeats, monitoring, liveness
+// ---------------------------------------------------------------------------
+
+void GroupManager::gm_tick_heartbeat() {
+  auto hb = std::make_shared<GmHeartbeat>();
+  hb->gm = endpoint_.address();
+  endpoint_.multicast(gm_group_, hb);
+}
+
+void GroupManager::gm_tick_summary() {
+  if (leader_) return;  // the GL keeps no LCs and reports no summary
+  if (current_gl_ == net::kNullAddress) return;
+  auto summary = std::make_shared<GmSummary>();
+  summary->gm = endpoint_.address();
+  for (const auto& [addr, lc] : lcs_) {
+    if (lc.power != LcPower::kOn) continue;
+    summary->capacity += lc.capacity;
+    for (const auto& [id, vm] : lc.vms) summary->used += vm.demand();
+  }
+  summary->lc_count = static_cast<std::uint32_t>(lcs_.size());
+  summary->vm_count = static_cast<std::uint32_t>(vm_count());
+  endpoint_.send(current_gl_, summary);
+}
+
+void GroupManager::handle_lc_join(const LcJoinRequest& req, net::Responder responder) {
+  auto resp = std::make_shared<LcJoinResponse>();
+  if (leader_) {
+    // Dedicated roles: a GL does not manage LCs.
+    resp->ok = false;
+    responder.respond(resp);
+    return;
+  }
+  LcRecord record;
+  record.capacity = req.capacity;
+  record.last_heartbeat = now();
+  lcs_[req.lc] = std::move(record);
+  resp->ok = true;
+  resp->heartbeat_group = gm_group_;
+  responder.respond(resp);
+  trace_event("gm.lc_joined");
+}
+
+void GroupManager::handle_monitor(const LcMonitorData& data) {
+  const auto it = lcs_.find(data.lc);
+  if (it == lcs_.end()) return;  // not ours (stale after resign)
+  LcRecord& record = it->second;
+  record.last_heartbeat = now();
+  record.reserved = data.reserved;
+  record.used = data.used;
+  // Reconcile the VM set: adopt new VMs (e.g. inherited after a GM failure),
+  // drop those the LC no longer reports, update demand estimators.
+  std::set<VmId> reported;
+  for (const auto& usage : data.vms) {
+    reported.insert(usage.vm);
+    auto [vm_it, inserted] = record.vms.try_emplace(usage.vm);
+    if (inserted) {
+      vm_it->second.estimator = ResourceEstimator(config_.estimator_window, config_.estimator_kind, config_.estimator_ewma_alpha);
+    }
+    vm_it->second.requested = usage.requested;
+    vm_it->second.estimator.add(usage.used);
+  }
+  for (auto vm_it = record.vms.begin(); vm_it != record.vms.end();) {
+    if (reported.count(vm_it->first) == 0) {
+      vm_it = record.vms.erase(vm_it);
+    } else {
+      ++vm_it;
+    }
+  }
+}
+
+void GroupManager::gm_check_lc_liveness() {
+  const sim::Time window =
+      config_.lc_heartbeat_period * config_.heartbeat_timeout_factor;
+  std::vector<net::Address> failed;
+  for (const auto& [addr, lc] : lcs_) {
+    if (lc.power != LcPower::kOn) continue;  // suspended nodes are silent
+    if (now() - lc.last_heartbeat > window) failed.push_back(addr);
+  }
+  for (net::Address addr : failed) on_lc_failed(addr);
+}
+
+void GroupManager::on_lc_failed(net::Address lc) {
+  const auto it = lcs_.find(lc);
+  if (it == lcs_.end()) return;
+  ++counters_.lc_failures_detected;
+  trace_event("gm.lc_failed");
+  // Paper §II.E: the LC's contact information is invalidated; its VMs are
+  // terminated. With the snapshot feature enabled the GM reschedules them.
+  std::vector<VmDescriptor> to_reschedule;
+  if (config_.reschedule_failed_vms) {
+    for (const auto& [id, vm] : it->second.vms) {
+      if (vm.has_descriptor) to_reschedule.push_back(vm.descriptor);
+    }
+  }
+  lcs_.erase(it);
+  waking_.erase(lc);
+  for (const VmDescriptor& vm : to_reschedule) {
+    ++counters_.vms_rescheduled;
+    reschedule_vm(vm);
+  }
+}
+
+void GroupManager::reschedule_vm(const VmDescriptor& vm) {
+  PlacementRequest req;
+  req.vm = vm;
+  // Run it through our own placement path; the responder goes nowhere.
+  handle_placement(req, net::Responder(&endpoint_.network(), endpoint_.address(),
+                                       endpoint_.address(), 0));
+}
+
+// ---------------------------------------------------------------------------
+// GM role: placement
+// ---------------------------------------------------------------------------
+
+void GroupManager::handle_placement(const PlacementRequest& req, net::Responder responder) {
+  // Idempotency: if we already host this VM (the GL's previous attempt whose
+  // response got lost), report where it lives instead of starting a copy.
+  for (const auto& [addr, lc_record] : lcs_) {
+    if (lc_record.vms.count(req.vm.id) > 0) {
+      auto resp = std::make_shared<PlacementResponse>();
+      resp->ok = true;
+      resp->lc = addr;
+      responder.respond(resp);
+      return;
+    }
+  }
+  const net::Address lc = placement_policy_->choose(req.vm, lc_infos());
+  if (lc != net::kNullAddress) {
+    place_on(lc, req.vm, responder);
+    return;
+  }
+  if (config_.energy_savings) {
+    try_wakeup_then_place(req.vm, responder);
+    return;
+  }
+  ++counters_.placements_failed;
+  auto resp = std::make_shared<PlacementResponse>();
+  resp->ok = false;
+  responder.respond(resp);
+}
+
+void GroupManager::place_on(net::Address lc, const VmDescriptor& vm,
+                            net::Responder responder) {
+  // Reserve optimistically at command time so concurrent placements in the
+  // same scheduling window do not all pick the same LC; rolled back if the
+  // LC refuses. The LC's own monitoring reports (which include booting VMs)
+  // remain the ground truth.
+  const auto pre = lcs_.find(lc);
+  if (pre != lcs_.end()) {
+    pre->second.reserved += vm.requested;
+    pre->second.idle_since = -1.0;
+  }
+  auto start = std::make_shared<StartVmRequest>();
+  start->vm = vm;
+  const sim::Time timeout = config_.vm_boot_time + config_.rpc_timeout;
+  endpoint_.call(lc, start, timeout,
+                 [this, lc, vm, responder](bool ok, const net::MsgPtr& reply) {
+    const auto* resp = ok ? net::msg_cast<StartVmResponse>(reply) : nullptr;
+    auto placement = std::make_shared<PlacementResponse>();
+    const auto it = lcs_.find(lc);
+    if (resp != nullptr && resp->ok) {
+      placement->ok = true;
+      placement->lc = lc;
+      ++counters_.placements_ok;
+      if (it != lcs_.end()) {
+        VmRecord record;
+        record.requested = vm.requested;
+        record.estimator = ResourceEstimator(config_.estimator_window, config_.estimator_kind, config_.estimator_ewma_alpha);
+        record.has_descriptor = true;
+        record.descriptor = vm;
+        it->second.vms[vm.id] = std::move(record);
+        it->second.idle_since = -1.0;
+      }
+      trace_event("gm.vm_placed");
+    } else {
+      placement->ok = false;
+      ++counters_.placements_failed;
+      if (it != lcs_.end()) {
+        it->second.reserved -= vm.requested;
+        if (it->second.reserved.any_negative()) it->second.reserved = {};
+      }
+      if (resp == nullptr) {
+        // Timeout: the LC may have started the VM and only the response was
+        // lost. Abort the potential orphan — the GL will place the VM on
+        // some other node after we report failure.
+        auto stop = std::make_shared<StopVmRequest>();
+        stop->vm = vm.id;
+        endpoint_.send(lc, stop);
+      }
+    }
+    responder.respond(placement);
+  });
+}
+
+void GroupManager::try_wakeup_then_place(const VmDescriptor& vm, net::Responder responder) {
+  // Find a suspended LC that could hold the VM once awake.
+  net::Address target = net::kNullAddress;
+  for (const auto& [addr, lc] : lcs_) {
+    if (lc.power != LcPower::kSuspended) continue;
+    if (waking_.count(addr)) continue;
+    if (vm.requested.fits_within(lc.capacity)) {
+      target = addr;
+      break;
+    }
+  }
+  if (target == net::kNullAddress) {
+    ++counters_.placements_failed;
+    auto resp = std::make_shared<PlacementResponse>();
+    resp->ok = false;
+    responder.respond(resp);
+    return;
+  }
+  ++counters_.wakeups;
+  waking_.insert(target);
+  lcs_[target].power = LcPower::kWaking;
+  trace_event("gm.wakeup");
+  auto wake = std::make_shared<WakeupRequest>();
+  const sim::Time timeout = 30.0 + config_.rpc_timeout;  // covers resume latency
+  endpoint_.call(target, wake, timeout,
+                 [this, target, vm, responder](bool ok, const net::MsgPtr& reply) {
+    waking_.erase(target);
+    const auto* resp = ok ? net::msg_cast<WakeupResponse>(reply) : nullptr;
+    const auto it = lcs_.find(target);
+    if (resp != nullptr && resp->ok && it != lcs_.end()) {
+      it->second.power = LcPower::kOn;
+      it->second.last_heartbeat = now();
+      it->second.idle_since = -1.0;
+      place_on(target, vm, responder);
+    } else {
+      if (it != lcs_.end()) it->second.power = LcPower::kSuspended;
+      ++counters_.placements_failed;
+      auto placement = std::make_shared<PlacementResponse>();
+      placement->ok = false;
+      responder.respond(placement);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// GM role: anomalies, relocation, reconfiguration
+// ---------------------------------------------------------------------------
+
+std::vector<VmLoad> GroupManager::vm_loads(const LcRecord& record) const {
+  std::vector<VmLoad> out;
+  out.reserve(record.vms.size());
+  for (const auto& [id, vm] : record.vms) {
+    out.push_back(VmLoad{id, vm.demand(), vm.requested});
+  }
+  return out;
+}
+
+void GroupManager::handle_anomaly(const AnomalyEvent& event) {
+  const auto it = lcs_.find(event.lc);
+  if (it == lcs_.end()) return;
+  LcInfo source;
+  source.lc = event.lc;
+  source.capacity = it->second.capacity;
+  source.reserved = it->second.reserved;
+  source.estimated_used = it->second.used;
+  source.powered_on = it->second.power == LcPower::kOn;
+  source.vm_count = static_cast<std::uint32_t>(it->second.vms.size());
+
+  std::vector<LcInfo> others;
+  for (const auto& [addr, lc] : lcs_) {
+    if (addr == event.lc || lc.power != LcPower::kOn) continue;
+    LcInfo info;
+    info.lc = addr;
+    info.capacity = lc.capacity;
+    info.reserved = lc.reserved;
+    info.estimated_used = lc.used;
+    info.powered_on = true;
+    info.vm_count = static_cast<std::uint32_t>(lc.vms.size());
+    others.push_back(info);
+  }
+
+  std::vector<RelocationMove> moves;
+  if (event.kind == AnomalyEvent::Kind::kOverload) {
+    ++counters_.overload_events;
+    trace_event("gm.overload_event");
+    moves = plan_overload_relocation(source, vm_loads(it->second), others,
+                                     config_.overload_threshold);
+  } else {
+    ++counters_.underload_events;
+    trace_event("gm.underload_event");
+    moves = plan_underload_relocation(source, vm_loads(it->second), others,
+                                      config_.underload_threshold,
+                                      config_.overload_threshold);
+  }
+  execute_moves(moves);
+}
+
+void GroupManager::execute_moves(const std::vector<RelocationMove>& moves) {
+  for (const RelocationMove& move : moves) {
+    ++counters_.migrations_commanded;
+    auto req = std::make_shared<MigrateVmRequest>();
+    req->vm = move.vm;
+    req->destination = move.to;
+    endpoint_.call(move.from, req, config_.rpc_timeout,
+                   [](bool, const net::MsgPtr&) {
+      // The ack only confirms the migration started; completion arrives
+      // as a MigrationDone one-way message.
+    });
+  }
+}
+
+void GroupManager::handle_migration_done(const MigrationDone& done) {
+  if (!done.ok) return;
+  ++counters_.migrations_completed;
+  trace_event("gm.migration_done");
+  const auto from_it = lcs_.find(done.from);
+  const auto to_it = lcs_.find(done.to);
+  if (from_it == lcs_.end()) return;
+  const auto vm_it = from_it->second.vms.find(done.vm);
+  if (vm_it == from_it->second.vms.end()) return;
+  if (to_it != lcs_.end()) {
+    to_it->second.vms[done.vm] = vm_it->second;
+    to_it->second.reserved += vm_it->second.requested;
+    to_it->second.idle_since = -1.0;
+  }
+  from_it->second.reserved -= vm_it->second.requested;
+  if (from_it->second.reserved.any_negative()) from_it->second.reserved = {};
+  from_it->second.vms.erase(vm_it);
+}
+
+void GroupManager::handle_vm_terminated(const VmTerminated& done) {
+  const auto it = lcs_.find(done.lc);
+  if (it == lcs_.end()) return;
+  const auto vm_it = it->second.vms.find(done.vm);
+  if (vm_it == it->second.vms.end()) return;
+  it->second.reserved -= vm_it->second.requested;
+  if (it->second.reserved.any_negative()) it->second.reserved = {};
+  it->second.vms.erase(vm_it);
+}
+
+void GroupManager::gm_reconfigure() {
+  if (leader_ || lcs_.empty()) return;
+  // Build the packing instance over the powered-on LCs.
+  std::vector<net::Address> hosts;
+  std::vector<std::pair<net::Address, VmId>> vm_keys;
+  consolidation::Instance instance;
+  for (const auto& [addr, lc] : lcs_) {
+    if (lc.power != LcPower::kOn) continue;
+    hosts.push_back(addr);
+    instance.host_capacities.push_back(lc.capacity);
+  }
+  if (hosts.empty()) return;
+  std::map<net::Address, std::size_t> host_index;
+  for (std::size_t h = 0; h < hosts.size(); ++h) host_index[hosts[h]] = h;
+
+  consolidation::Placement current;
+  std::vector<consolidation::HostIndex> current_raw;
+  for (const auto& [addr, lc] : lcs_) {
+    if (lc.power != LcPower::kOn) continue;
+    for (const auto& [id, vm] : lc.vms) {
+      instance.vm_demands.push_back(vm.requested);
+      vm_keys.emplace_back(addr, id);
+      current_raw.push_back(static_cast<consolidation::HostIndex>(host_index[addr]));
+    }
+  }
+  if (instance.vm_demands.empty()) return;
+  current = consolidation::Placement(instance.vm_count());
+  for (std::size_t i = 0; i < current_raw.size(); ++i) current.assign(i, current_raw[i]);
+
+  consolidation::Placement target;
+  switch (config_.consolidation) {
+    case ConsolidationKind::kFfd:
+      target = consolidation::first_fit_decreasing(instance);
+      break;
+    case ConsolidationKind::kBfd:
+      target = consolidation::best_fit_decreasing(instance);
+      break;
+    case ConsolidationKind::kAco: {
+      consolidation::AcoParams params;
+      params.ants = config_.aco_ants;
+      params.cycles = config_.aco_cycles;
+      params.seed = engine().rng().next_u64();
+      target = consolidation::AcoConsolidation(params).solve(instance).placement;
+      break;
+    }
+    case ConsolidationKind::kNone:
+      return;
+  }
+  if (!target.feasible(instance)) return;
+  if (target.hosts_used() >= current.hosts_used()) return;  // not an improvement
+
+  ++counters_.reconfigurations;
+  trace_event("gm.reconfiguration");
+  const auto plan = consolidation::diff_placements(current, target);
+  std::vector<RelocationMove> moves;
+  moves.reserve(plan.size());
+  for (const auto& migration : plan.migrations) {
+    if (config_.max_migrations_per_reconfiguration > 0 &&
+        moves.size() >= config_.max_migrations_per_reconfiguration) {
+      break;  // bound the disruption; the next round continues the packing
+    }
+    moves.push_back(RelocationMove{vm_keys[migration.vm].second,
+                                   hosts[static_cast<std::size_t>(migration.from)],
+                                   hosts[static_cast<std::size_t>(migration.to)]});
+  }
+  execute_moves(moves);
+}
+
+// ---------------------------------------------------------------------------
+// GM role: energy management
+// ---------------------------------------------------------------------------
+
+void GroupManager::gm_energy_check() {
+  if (leader_) return;
+  for (auto& [addr, lc] : lcs_) {
+    if (lc.power != LcPower::kOn) continue;
+    const bool idle = lc.vms.empty();
+    if (!idle) {
+      lc.idle_since = -1.0;
+      continue;
+    }
+    if (lc.idle_since < 0.0) {
+      lc.idle_since = now();
+      continue;
+    }
+    if (now() - lc.idle_since < config_.idle_threshold) continue;
+    // Idle past the administrator threshold: transition to low power.
+    ++counters_.suspends;
+    lc.power = LcPower::kSuspended;  // optimistic; reverted on refusal
+    trace_event("gm.suspend");
+    auto req = std::make_shared<SuspendRequest>();
+    const net::Address target = addr;
+    endpoint_.call(target, req, config_.rpc_timeout,
+                   [this, target](bool ok, const net::MsgPtr& reply) {
+      const auto* resp = ok ? net::msg_cast<SuspendResponse>(reply) : nullptr;
+      if (resp == nullptr || !resp->ok) {
+        const auto it = lcs_.find(target);
+        if (it != lcs_.end() && it->second.power == LcPower::kSuspended) {
+          it->second.power = LcPower::kOn;
+          it->second.last_heartbeat = now();
+          it->second.idle_since = -1.0;
+        }
+      }
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GL role
+// ---------------------------------------------------------------------------
+
+void GroupManager::become_leader() {
+  if (leader_) return;
+  leader_ = true;
+  ++counters_.elections_won;
+  my_epoch_ = epoch_from_node(election_.my_node());
+  current_gl_ = endpoint_.address();
+  trace_event("gm.elected_gl");
+
+  // Dedicated roles: hand the managed LCs back to the hierarchy.
+  if (!lcs_.empty()) {
+    auto resign = std::make_shared<GmResign>();
+    resign->gm = endpoint_.address();
+    endpoint_.multicast(gm_group_, resign);
+    lcs_.clear();
+    waking_.clear();
+  }
+
+  every(config_.gl_heartbeat_period, [this] {
+    gl_tick_heartbeat();
+    return leader_;
+  });
+  every(config_.gm_summary_period, [this] {
+    gl_check_gm_liveness();
+    return leader_;
+  });
+  // Announce immediately so discovery does not wait a full period.
+  gl_tick_heartbeat();
+}
+
+void GroupManager::gl_tick_heartbeat() {
+  if (!leader_) return;
+  auto hb = std::make_shared<GlHeartbeat>();
+  hb->gl = endpoint_.address();
+  hb->epoch = my_epoch_;
+  endpoint_.multicast(gl_group_, hb);
+}
+
+void GroupManager::handle_gl_heartbeat(const GlHeartbeat& hb) {
+  if (hb.gl == endpoint_.address()) return;
+  if (hb.epoch < gl_epoch_seen_) return;  // stale leader
+  gl_epoch_seen_ = hb.epoch;
+  current_gl_ = hb.gl;
+  if (leader_ && hb.epoch > my_epoch_) {
+    // A successor with a newer election epoch exists — our coordination
+    // session must have expired while we were partitioned away. Abdicate and
+    // resume plain GM duty to prevent split-brain after the partition heals.
+    leader_ = false;
+    gms_.clear();
+    trace_event("gm.abdicated");
+  }
+}
+
+void GroupManager::gl_check_gm_liveness() {
+  if (!leader_) return;
+  const sim::Time window =
+      config_.gm_summary_period * config_.heartbeat_timeout_factor;
+  for (auto it = gms_.begin(); it != gms_.end();) {
+    if (now() - it->second.last_summary > window) {
+      // Gracefully remove the failed GM so no new VMs land on it.
+      ++counters_.gm_failures_detected;
+      trace_event("gl.gm_failed");
+      it = gms_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void GroupManager::handle_gm_summary(const GmSummary& summary) {
+  if (!leader_) return;
+  GmRecord& record = gms_[summary.gm];
+  record.info.gm = summary.gm;
+  record.info.used = summary.used;
+  record.info.capacity = summary.capacity;
+  record.info.lc_count = summary.lc_count;
+  record.info.vm_count = summary.vm_count;
+  record.last_summary = now();
+}
+
+void GroupManager::handle_assign_lc(const AssignLcRequest& req, net::Responder responder) {
+  (void)req;  // the assignment policies rank GMs independently of the LC
+  auto resp = std::make_shared<AssignLcResponse>();
+  if (!leader_) {
+    resp->ok = false;
+    responder.respond(resp);
+    return;
+  }
+  const net::Address gm = assignment_policy_->assign(gm_infos());
+  resp->ok = gm != net::kNullAddress;
+  resp->gm = gm;
+  responder.respond(resp);
+}
+
+void GroupManager::handle_submit(const SubmitVmRequest& req, net::Responder responder) {
+  auto fail = [&] {
+    auto resp = std::make_shared<SubmitVmResponse>();
+    resp->ok = false;
+    responder.respond(resp);
+  };
+  if (!leader_) {
+    fail();
+    return;
+  }
+  // Idempotency: replay the result of an already-completed submission (the
+  // client only retries when our previous response was lost in transit).
+  const auto done = completed_submissions_.find(req.vm.id);
+  if (done != completed_submissions_.end()) {
+    auto resp = std::make_shared<SubmitVmResponse>();
+    resp->ok = true;
+    resp->lc = done->second.first;
+    resp->gm = done->second.second;
+    responder.respond(resp);
+    return;
+  }
+  if (inflight_submissions_.count(req.vm.id) > 0) {
+    fail();  // first attempt still running; the retry backs off
+    return;
+  }
+  ++counters_.dispatches;
+  std::vector<net::Address> candidates =
+      dispatch_policy_->candidates(req.vm, gm_infos(), config_.max_dispatch_candidates);
+  if (candidates.empty()) {
+    ++counters_.dispatch_failures;
+    fail();
+    return;
+  }
+  inflight_submissions_.insert(req.vm.id);
+  dispatch_linear_search(req.vm, std::move(candidates), 0, responder);
+}
+
+void GroupManager::dispatch_linear_search(VmDescriptor vm,
+                                          std::vector<net::Address> candidates,
+                                          std::size_t index, net::Responder responder) {
+  if (index >= 2 * candidates.size()) {
+    inflight_submissions_.erase(vm.id);
+    ++counters_.dispatch_failures;
+    auto resp = std::make_shared<SubmitVmResponse>();
+    resp->ok = false;
+    responder.respond(resp);
+    return;
+  }
+  // Each candidate GM is tried twice in a row before moving on: if the first
+  // attempt's *response* was lost (the GM may have placed the VM), the GM's
+  // own idempotent placement handler resolves the retry instantly instead of
+  // a second copy being started on the next GM.
+  const net::Address gm = candidates[index / 2];
+  auto place = std::make_shared<PlacementRequest>();
+  place->vm = vm;
+  endpoint_.call(gm, place, config_.placement_rpc_timeout,
+                 [this, vm, candidates = std::move(candidates), index, gm,
+                  responder](bool ok, const net::MsgPtr& reply) mutable {
+    const auto* resp = ok ? net::msg_cast<PlacementResponse>(reply) : nullptr;
+    if (resp != nullptr && resp->ok) {
+      inflight_submissions_.erase(vm.id);
+      completed_submissions_[vm.id] = {resp->lc, gm};
+      auto out = std::make_shared<SubmitVmResponse>();
+      out->ok = true;
+      out->lc = resp->lc;
+      out->gm = gm;
+      responder.respond(out);
+      return;
+    }
+    // Explicit rejection: no point retrying the same GM; jump to the next.
+    // Timeout (resp == nullptr): retry the same GM once before moving on.
+    const std::size_t next =
+        (resp != nullptr) ? (index / 2 + 1) * 2 : index + 1;
+    dispatch_linear_search(std::move(vm), std::move(candidates), next, responder);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+void GroupManager::fail() {
+  trace_event("gm.fail");
+  endpoint_.go_down();
+  election_.crash();  // coordination session will expire -> successor elected
+  lcs_.clear();
+  gms_.clear();
+  waking_.clear();
+  completed_submissions_.clear();
+  inflight_submissions_.clear();
+  leader_ = false;
+  started_ = false;
+  current_gl_ = net::kNullAddress;
+  crash();
+}
+
+void GroupManager::restart() {
+  recover();
+  election_.recover();
+  endpoint_.go_up();
+  gl_epoch_seen_ = 0;
+  trace_event("gm.restart");
+  start();
+}
+
+}  // namespace snooze::core

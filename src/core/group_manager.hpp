@@ -1,0 +1,174 @@
+// Group Manager (GM) and Group Leader (GL) — paper §II.
+//
+// A GM manages a subset of LCs: receives their monitoring data, estimates
+// VM resource demand, takes placement / relocation / reconfiguration
+// decisions, and manages their power states. Exactly one GM is elected
+// Group Leader (via the coordination service); the GL oversees the GMs,
+// keeps aggregated summaries, assigns joining LCs to GMs and dispatches VM
+// submissions. Per the paper's self-organization design the two roles live
+// in one component: "when an existing GM becomes the new leader it switches
+// to GL mode" — its former LCs are told to rejoin the hierarchy, because
+// components have dedicated roles (a GL does not manage LCs directly).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "consolidation/aco.hpp"
+#include "coord/leader_election.hpp"
+#include "core/config.hpp"
+#include "core/estimator.hpp"
+#include "core/messages.hpp"
+#include "core/policies.hpp"
+#include "core/relocation.hpp"
+#include "net/rpc.hpp"
+#include "sim/trace.hpp"
+
+namespace snooze::core {
+
+class GroupManager final : public sim::Actor {
+ public:
+  struct Counters {
+    std::uint64_t dispatches = 0;           // GL: submissions received
+    std::uint64_t dispatch_failures = 0;    // GL: no GM could place
+    std::uint64_t placements_ok = 0;        // GM: VMs placed on an LC
+    std::uint64_t placements_failed = 0;
+    std::uint64_t migrations_commanded = 0;
+    std::uint64_t migrations_completed = 0;
+    std::uint64_t overload_events = 0;
+    std::uint64_t underload_events = 0;
+    std::uint64_t reconfigurations = 0;
+    std::uint64_t suspends = 0;
+    std::uint64_t wakeups = 0;
+    std::uint64_t lc_failures_detected = 0;
+    std::uint64_t gm_failures_detected = 0;  // GL only
+    std::uint64_t vms_rescheduled = 0;       // snapshot-recovery feature
+    std::uint64_t elections_won = 0;
+  };
+
+  GroupManager(sim::Engine& engine, net::Network& network, net::Address coord_service,
+               SnoozeConfig config, net::GroupId gl_heartbeat_group, std::string name,
+               sim::Trace* trace = nullptr);
+
+  /// Join the hierarchy: start the leader election and the GM role timers.
+  void start();
+
+  // --- introspection ---------------------------------------------------------
+  [[nodiscard]] net::Address address() const { return endpoint_.address(); }
+  [[nodiscard]] bool is_leader() const { return leader_; }
+  [[nodiscard]] net::Address current_gl() const { return current_gl_; }
+  [[nodiscard]] std::size_t lc_count() const { return lcs_.size(); }
+  [[nodiscard]] std::size_t vm_count() const;
+  [[nodiscard]] std::size_t known_gm_count() const { return gms_.size(); }
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] net::GroupId heartbeat_group() const { return gm_group_; }
+  [[nodiscard]] std::vector<GmInfo> gm_infos() const;
+  [[nodiscard]] std::vector<LcInfo> lc_infos() const;
+
+  /// All network addresses this component owns (main endpoint + coordination
+  /// client) — the unit a fault injector partitions together.
+  [[nodiscard]] std::vector<net::Address> network_addresses() const {
+    return {endpoint_.address(), election_.client_address()};
+  }
+
+  // --- fault injection ---------------------------------------------------------
+  void fail();
+  void restart();
+
+ private:
+  // Per-VM knowledge within a GM.
+  struct VmRecord {
+    ResourceVector requested;
+    ResourceEstimator estimator;
+    bool has_descriptor = false;
+    VmDescriptor descriptor;  ///< known iff this GM placed the VM
+    [[nodiscard]] ResourceVector demand() const {
+      return estimator.empty() ? requested : estimator.estimate();
+    }
+  };
+  enum class LcPower { kOn, kSuspended, kWaking };
+  struct LcRecord {
+    ResourceVector capacity;
+    ResourceVector reserved;
+    ResourceVector used;
+    sim::Time last_heartbeat = 0.0;
+    sim::Time idle_since = -1.0;  ///< <0: not idle
+    LcPower power = LcPower::kOn;
+    std::map<VmId, VmRecord> vms;
+  };
+  // The GL's view of a GM.
+  struct GmRecord {
+    GmInfo info;
+    sim::Time last_summary = 0.0;
+  };
+
+  void handle_oneway(const net::Envelope& env);
+  void handle_request(const net::Envelope& env, net::Responder responder);
+
+  // GM role ------------------------------------------------------------------
+  void gm_tick_heartbeat();
+  void gm_tick_summary();
+  void gm_check_lc_liveness();
+  void gm_energy_check();
+  void gm_reconfigure();
+  void handle_lc_join(const LcJoinRequest& req, net::Responder responder);
+  void handle_monitor(const LcMonitorData& data);
+  void handle_anomaly(const AnomalyEvent& event);
+  void handle_migration_done(const MigrationDone& done);
+  void handle_vm_terminated(const VmTerminated& done);
+  void handle_placement(const PlacementRequest& req, net::Responder responder);
+  void place_on(net::Address lc, const VmDescriptor& vm, net::Responder responder);
+  void try_wakeup_then_place(const VmDescriptor& vm, net::Responder responder);
+  void execute_moves(const std::vector<RelocationMove>& moves);
+  void reschedule_vm(const VmDescriptor& vm);
+  [[nodiscard]] std::vector<VmLoad> vm_loads(const LcRecord& record) const;
+  void on_lc_failed(net::Address lc);
+
+  // GL role ------------------------------------------------------------------
+  void become_leader();
+  void gl_tick_heartbeat();
+  void gl_check_gm_liveness();
+  void handle_assign_lc(const AssignLcRequest& req, net::Responder responder);
+  void handle_submit(const SubmitVmRequest& req, net::Responder responder);
+  void dispatch_linear_search(VmDescriptor vm, std::vector<net::Address> candidates,
+                              std::size_t index, net::Responder responder);
+  void handle_gm_summary(const GmSummary& summary);
+  void handle_gl_heartbeat(const GlHeartbeat& hb);
+
+  void trace_event(std::string_view kind, std::string_view detail = {});
+
+  net::RpcEndpoint endpoint_;
+  coord::LeaderElection election_;
+  SnoozeConfig config_;
+  net::GroupId gl_group_;
+  net::GroupId gm_group_;
+  sim::Trace* trace_;
+
+  bool started_ = false;
+  bool leader_ = false;
+  net::Address current_gl_ = net::kNullAddress;
+  std::uint64_t gl_epoch_seen_ = 0;
+  std::uint64_t my_epoch_ = 0;
+
+  std::map<net::Address, LcRecord> lcs_;
+  std::map<net::Address, GmRecord> gms_;
+  std::set<net::Address> waking_;  ///< LCs with an in-flight wakeup
+
+  // GL-side idempotency: a submission retried because its response was lost
+  // must not start a second copy of the VM. Completed results are replayed;
+  // duplicates of in-flight submissions are rejected (the client backs off
+  // and retries, by which time the result is replayable). The completed map
+  // grows with the VM count of a GL term — bounded in practice by the fleet
+  // capacity, and cleared on failover.
+  std::map<VmId, std::pair<net::Address, net::Address>> completed_submissions_;
+  std::set<VmId> inflight_submissions_;
+
+  std::unique_ptr<DispatchPolicy> dispatch_policy_;
+  std::unique_ptr<PlacementPolicy> placement_policy_;
+  std::unique_ptr<AssignmentPolicy> assignment_policy_;
+
+  Counters counters_;
+};
+
+}  // namespace snooze::core

@@ -1,0 +1,127 @@
+// Local Controller (LC) — paper §II.A.
+//
+// One LC controls each physical node: it enforces VM and host management
+// commands from its Group Manager (start / migrate / suspend / wakeup),
+// reports monitoring data, detects local overload/underload anomalies, and
+// self-organizes into the hierarchy by listening for GL heartbeats,
+// requesting a GM assignment from the GL, and joining that GM.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "core/config.hpp"
+#include "core/messages.hpp"
+#include "hypervisor/host.hpp"
+#include "hypervisor/migration.hpp"
+#include "net/rpc.hpp"
+#include "sim/actor.hpp"
+#include "sim/trace.hpp"
+#include "util/stats.hpp"
+
+namespace snooze::core {
+
+class LocalController final : public sim::Actor {
+ public:
+  LocalController(sim::Engine& engine, net::Network& network,
+                  hypervisor::HostSpec host_spec, SnoozeConfig config,
+                  net::GroupId gl_heartbeat_group, sim::Trace* trace = nullptr);
+
+  /// Begin hierarchy discovery (listen for GL heartbeats).
+  void start();
+
+  // --- introspection --------------------------------------------------------
+  [[nodiscard]] net::Address address() const { return endpoint_.address(); }
+  [[nodiscard]] const hypervisor::Host& host() const { return host_; }
+  [[nodiscard]] bool assigned() const { return state_ == State::kAssigned; }
+  [[nodiscard]] net::Address gm() const { return gm_; }
+  [[nodiscard]] std::size_t vm_count() const { return host_.vm_count(); }
+  [[nodiscard]] energy::PowerState power_state() const { return host_.power_state(); }
+  [[nodiscard]] bool suspended() const {
+    return power_state() == energy::PowerState::kSuspended;
+  }
+
+  /// Useful work accrued by hosted VMs: running-VM-seconds minus migration
+  /// downtime. The "application performance" proxy of experiment E4.
+  [[nodiscard]] double total_work(sim::Time t) const;
+
+  /// Energy consumed by the node so far.
+  [[nodiscard]] double energy_joules(sim::Time t) const {
+    return host_.energy_joules(t);
+  }
+
+  // --- fault injection --------------------------------------------------------
+  /// Hard-crash the node: hosted VMs are terminated (paper §II.E).
+  void fail();
+  /// Power the node back on as a fresh, empty LC; it rejoins the hierarchy.
+  void restart();
+
+ private:
+  enum class State { kStopped, kDiscovering, kJoining, kAssigned };
+
+  struct VmMeta {
+    VmDescriptor descriptor;
+    sim::Time stop_at = 0.0;  ///< absolute termination time (0 = unbounded)
+    sim::EventId stop_event = 0;
+    bool migrating = false;
+  };
+
+  void handle_oneway(const net::Envelope& env);
+  void handle_request(const net::Envelope& env, net::Responder responder);
+  void handle_gl_heartbeat(const GlHeartbeat& hb);
+  void handle_gm_heartbeat();
+  void request_assignment();
+  void join_gm(net::Address gm);
+  void become_discovering(const char* reason);
+  void start_timers();
+  void check_gm_liveness();
+  void send_heartbeat();
+  void send_monitor_data();
+  void check_anomalies();
+
+  void handle_start_vm(const StartVmRequest& req, net::Responder responder);
+  void handle_migrate(const MigrateVmRequest& req, net::Responder responder);
+  void start_next_migration();
+  void run_migration(hypervisor::VmId vm, net::Address dest);
+  void handle_adopt(const AdoptVmRequest& req, net::Responder responder);
+  void handle_suspend(net::Responder responder);
+  void handle_wakeup(net::Responder responder);
+  void finish_wakeup(net::Responder responder);
+  void terminate_vm(hypervisor::VmId vm);
+  void set_running_vms(double count);
+
+  [[nodiscard]] bool serving() const {
+    return power_state() == energy::PowerState::kOn;
+  }
+  void trace_event(std::string_view kind, std::string_view detail = {});
+
+  net::RpcEndpoint endpoint_;
+  hypervisor::Host host_;
+  SnoozeConfig config_;
+  net::GroupId gl_group_;
+  sim::Trace* trace_;
+
+  State state_ = State::kStopped;
+  net::Address gl_ = net::kNullAddress;
+  net::Address gm_ = net::kNullAddress;
+  net::GroupId gm_group_ = 0;
+  sim::Time last_gm_heartbeat_ = 0.0;
+  sim::Time last_anomaly_ = -1e9;
+  hypervisor::MigrationModel migration_model_;
+
+  std::map<hypervisor::VmId, VmMeta> vm_meta_;
+  util::TimeWeighted running_vms_;
+  double downtime_accum_ = 0.0;
+  bool pending_wakeup_ = false;
+  std::optional<net::Responder> wakeup_responder_;
+
+  // Outbound live migrations share the node's migration link: one transfer
+  // at a time, later requests queue (accepted immediately, started when the
+  // link frees up).
+  bool migration_active_ = false;
+  std::deque<std::pair<hypervisor::VmId, net::Address>> migration_queue_;
+};
+
+}  // namespace snooze::core

@@ -1,0 +1,278 @@
+// The Snooze control-plane protocol.
+//
+// Every message of the hierarchy from Figure 1 of the paper: GL heartbeats
+// (multicast to EPs, GMs and discovering LCs), GM heartbeats (multicast to
+// the GM's LC group), LC heartbeats + monitoring (unicast to the GM), the
+// join/assignment handshakes, the two-level VM submission path, relocation
+// and reconfiguration commands, and the energy-management commands.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "net/network.hpp"
+
+namespace snooze::core {
+
+using net::Address;
+
+// --------------------------------------------------------------------------
+// Heartbeats
+// --------------------------------------------------------------------------
+
+/// GL -> multicast group (EPs, GMs, discovering LCs).
+struct GlHeartbeat final : net::Message {
+  Address gl = net::kNullAddress;
+  std::uint64_t epoch = 0;  ///< election sequence number; higher wins
+  [[nodiscard]] std::string_view type() const override { return "gl.heartbeat"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 24; }
+};
+
+/// GM -> its LC multicast group.
+struct GmHeartbeat final : net::Message {
+  Address gm = net::kNullAddress;
+  [[nodiscard]] std::string_view type() const override { return "gm.heartbeat"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 16; }
+};
+
+/// GM -> GL: heartbeat carrying the aggregated resource summary (paper
+/// §II.B: "each GM periodically sends aggregated resource monitoring
+/// information to the GL").
+struct GmSummary final : net::Message {
+  Address gm = net::kNullAddress;
+  ResourceVector used;      ///< estimated VM demand over the GM's LCs
+  ResourceVector capacity;  ///< total capacity of powered-on LCs
+  std::uint32_t lc_count = 0;
+  std::uint32_t vm_count = 0;
+  [[nodiscard]] std::string_view type() const override { return "gm.summary"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 72; }
+};
+
+/// LC -> GM liveness heartbeat.
+struct LcHeartbeat final : net::Message {
+  Address lc = net::kNullAddress;
+  [[nodiscard]] std::string_view type() const override { return "lc.heartbeat"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 16; }
+};
+
+/// LC -> GM: periodic per-VM monitoring data (paper §II.B).
+struct LcMonitorData final : net::Message {
+  Address lc = net::kNullAddress;
+  ResourceVector capacity;
+  ResourceVector reserved;  ///< sum of requested capacity of hosted VMs
+  ResourceVector used;      ///< actual consumption right now
+  struct VmUsage {
+    VmId vm = hypervisor::kNullVm;
+    ResourceVector requested;  ///< lets a new GM learn inherited VMs
+    ResourceVector used;
+  };
+  std::vector<VmUsage> vms;
+  [[nodiscard]] std::string_view type() const override { return "lc.monitor"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 96 + vms.size() * 64; }
+};
+
+// --------------------------------------------------------------------------
+// Self-organization
+// --------------------------------------------------------------------------
+
+/// LC -> GL: request a GM assignment (RPC).
+struct AssignLcRequest final : net::Message {
+  Address lc = net::kNullAddress;
+  ResourceVector capacity;
+  [[nodiscard]] std::string_view type() const override { return "gl.assign_lc"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 48; }
+};
+
+struct AssignLcResponse final : net::Message {
+  bool ok = false;
+  Address gm = net::kNullAddress;
+  [[nodiscard]] std::string_view type() const override { return "gl.assign_lc.r"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 16; }
+};
+
+/// LC -> GM: join the GM's group (RPC).
+struct LcJoinRequest final : net::Message {
+  Address lc = net::kNullAddress;
+  ResourceVector capacity;
+  [[nodiscard]] std::string_view type() const override { return "gm.join_lc"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 48; }
+};
+
+struct LcJoinResponse final : net::Message {
+  bool ok = false;
+  net::GroupId heartbeat_group = 0;  ///< GM's heartbeat multicast group
+  [[nodiscard]] std::string_view type() const override { return "gm.join_lc.r"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 16; }
+};
+
+/// Promoted GM -> its former LCs: rejoin the hierarchy immediately.
+struct GmResign final : net::Message {
+  Address gm = net::kNullAddress;
+  [[nodiscard]] std::string_view type() const override { return "gm.resign"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 16; }
+};
+
+// --------------------------------------------------------------------------
+// VM submission path (client -> EP -> GL -> GM -> LC)
+// --------------------------------------------------------------------------
+
+/// Client -> EP: who is the current GL? (RPC)
+struct GlQueryRequest final : net::Message {
+  [[nodiscard]] std::string_view type() const override { return "ep.gl_query"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 8; }
+};
+
+struct GlQueryResponse final : net::Message {
+  bool ok = false;
+  Address gl = net::kNullAddress;
+  [[nodiscard]] std::string_view type() const override { return "ep.gl_query.r"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 16; }
+};
+
+/// Client -> GL: submit one VM (RPC).
+struct SubmitVmRequest final : net::Message {
+  VmDescriptor vm;
+  [[nodiscard]] std::string_view type() const override { return "gl.submit_vm"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 120; }
+};
+
+struct SubmitVmResponse final : net::Message {
+  bool ok = false;
+  Address lc = net::kNullAddress;  ///< where the VM ended up
+  Address gm = net::kNullAddress;
+  [[nodiscard]] std::string_view type() const override { return "gl.submit_vm.r"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 24; }
+};
+
+/// GL -> GM: try to place this VM on one of your LCs (RPC).
+struct PlacementRequest final : net::Message {
+  VmDescriptor vm;
+  [[nodiscard]] std::string_view type() const override { return "gm.place_vm"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 120; }
+};
+
+struct PlacementResponse final : net::Message {
+  bool ok = false;
+  Address lc = net::kNullAddress;
+  [[nodiscard]] std::string_view type() const override { return "gm.place_vm.r"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 16; }
+};
+
+/// GM -> LC: start this VM (RPC; reply after the boot delay).
+struct StartVmRequest final : net::Message {
+  VmDescriptor vm;
+  [[nodiscard]] std::string_view type() const override { return "lc.start_vm"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 120; }
+};
+
+struct StartVmResponse final : net::Message {
+  bool ok = false;
+  [[nodiscard]] std::string_view type() const override { return "lc.start_vm.r"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 12; }
+};
+
+/// GM -> LC (one-way, best effort): abort/stop a VM. Sent when the GM's
+/// StartVm call timed out — the LC may or may not have started the VM, and a
+/// possibly-started orphan must not keep running once the GM reports the
+/// placement as failed (the GL will start the VM elsewhere).
+struct StopVmRequest final : net::Message {
+  VmId vm = hypervisor::kNullVm;
+  [[nodiscard]] std::string_view type() const override { return "lc.stop_vm"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 16; }
+};
+
+/// LC -> GM: a VM reached the end of its lifetime and was stopped.
+struct VmTerminated final : net::Message {
+  Address lc = net::kNullAddress;
+  VmId vm = hypervisor::kNullVm;
+  [[nodiscard]] std::string_view type() const override { return "gm.vm_done"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 24; }
+};
+
+// --------------------------------------------------------------------------
+// Anomaly events + relocation / reconfiguration
+// --------------------------------------------------------------------------
+
+/// LC -> GM: local anomaly detection (paper §II.A: LCs "detect local
+/// overload/underload anomaly situations and report them").
+struct AnomalyEvent final : net::Message {
+  enum class Kind { kOverload, kUnderload };
+  Address lc = net::kNullAddress;
+  Kind kind = Kind::kOverload;
+  double utilization = 0.0;
+  [[nodiscard]] std::string_view type() const override { return "gm.anomaly"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 28; }
+};
+
+/// GM -> source LC: live-migrate a VM to `destination` (RPC: acknowledged
+/// when the migration *starts*; completion arrives as MigrationDone).
+struct MigrateVmRequest final : net::Message {
+  VmId vm = hypervisor::kNullVm;
+  Address destination = net::kNullAddress;
+  [[nodiscard]] std::string_view type() const override { return "lc.migrate_vm"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 24; }
+};
+
+struct MigrateVmResponse final : net::Message {
+  bool ok = false;
+  [[nodiscard]] std::string_view type() const override { return "lc.migrate_vm.r"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 12; }
+};
+
+/// Source LC -> destination LC: hand over the VM at the end of pre-copy
+/// (RPC; carries the descriptor so the destination can reconstruct state).
+struct AdoptVmRequest final : net::Message {
+  VmDescriptor vm;
+  double downtime_s = 0.0;
+  double remaining_lifetime_s = 0.0;  ///< 0 = unbounded
+  [[nodiscard]] std::string_view type() const override { return "lc.adopt_vm"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 128; }
+};
+
+struct AdoptVmResponse final : net::Message {
+  bool ok = false;
+  [[nodiscard]] std::string_view type() const override { return "lc.adopt_vm.r"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 12; }
+};
+
+/// Source LC -> GM: migration finished (or failed).
+struct MigrationDone final : net::Message {
+  VmId vm = hypervisor::kNullVm;
+  Address from = net::kNullAddress;
+  Address to = net::kNullAddress;
+  bool ok = false;
+  [[nodiscard]] std::string_view type() const override { return "gm.migr_done"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 32; }
+};
+
+// --------------------------------------------------------------------------
+// Energy management
+// --------------------------------------------------------------------------
+
+/// GM -> LC: transition to the low-power state (RPC ack, then the LC goes
+/// silent until woken).
+struct SuspendRequest final : net::Message {
+  [[nodiscard]] std::string_view type() const override { return "lc.suspend"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 8; }
+};
+
+struct SuspendResponse final : net::Message {
+  bool ok = false;
+  [[nodiscard]] std::string_view type() const override { return "lc.suspend.r"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 12; }
+};
+
+/// GM -> LC: wake up (models Wake-on-LAN; processed even while suspended).
+struct WakeupRequest final : net::Message {
+  [[nodiscard]] std::string_view type() const override { return "lc.wakeup"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 8; }
+};
+
+struct WakeupResponse final : net::Message {
+  bool ok = false;
+  [[nodiscard]] std::string_view type() const override { return "lc.wakeup.r"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 12; }
+};
+
+}  // namespace snooze::core

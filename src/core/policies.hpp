@@ -1,0 +1,138 @@
+// Two-level scheduling policies (paper §II.C).
+//
+// GL level: dispatch policies rank candidate GMs from the aggregated
+// summaries ("summary information is not sufficient to take exact
+// dispatching decisions ... a list of candidate GMs is provided ... a linear
+// search is performed"). GM level: placement policies pick an LC for an
+// incoming VM. GL assignment policies attach a joining LC to a GM.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/types.hpp"
+#include "net/message.hpp"
+
+namespace snooze::core {
+
+using net::Address;
+
+/// The GL's view of one GM (from the latest GmSummary).
+struct GmInfo {
+  Address gm = net::kNullAddress;
+  ResourceVector used;
+  ResourceVector capacity;
+  std::uint32_t lc_count = 0;
+  std::uint32_t vm_count = 0;
+
+  [[nodiscard]] double load_fraction() const {
+    const double cap = capacity.l1_norm();
+    return cap > 0.0 ? used.l1_norm() / cap : 1.0;
+  }
+  [[nodiscard]] ResourceVector free() const { return capacity - used; }
+};
+
+/// The GM's view of one LC (capacity from the join, usage from monitoring).
+struct LcInfo {
+  Address lc = net::kNullAddress;
+  ResourceVector capacity;
+  ResourceVector reserved;        ///< sum of requested capacity of its VMs
+  ResourceVector estimated_used;  ///< demand estimate from monitoring
+  bool powered_on = true;
+  std::uint32_t vm_count = 0;
+
+  [[nodiscard]] bool fits(const ResourceVector& demand) const {
+    return powered_on && (reserved + demand).fits_within(capacity);
+  }
+  [[nodiscard]] double utilization() const {
+    return estimated_used.max_utilization(capacity);
+  }
+};
+
+// --- GL dispatch -----------------------------------------------------------
+
+class DispatchPolicy {
+ public:
+  virtual ~DispatchPolicy() = default;
+  /// Ranked candidate GMs for `vm` (at most `max` entries). GMs whose
+  /// summary shows insufficient free capacity are ranked last, not removed —
+  /// summaries are aggregates and may hide a feasible LC.
+  virtual std::vector<Address> candidates(const VmDescriptor& vm,
+                                          const std::vector<GmInfo>& gms,
+                                          std::size_t max) = 0;
+};
+
+class RoundRobinDispatch final : public DispatchPolicy {
+ public:
+  std::vector<Address> candidates(const VmDescriptor& vm, const std::vector<GmInfo>& gms,
+                                  std::size_t max) override;
+
+ private:
+  std::size_t next_ = 0;
+};
+
+class LeastLoadedDispatch final : public DispatchPolicy {
+ public:
+  std::vector<Address> candidates(const VmDescriptor& vm, const std::vector<GmInfo>& gms,
+                                  std::size_t max) override;
+};
+
+std::unique_ptr<DispatchPolicy> make_dispatch_policy(DispatchPolicyKind kind);
+
+// --- GM placement ----------------------------------------------------------
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  /// LC to place `vm` on, or kNullAddress if no powered-on LC fits.
+  virtual Address choose(const VmDescriptor& vm, const std::vector<LcInfo>& lcs) = 0;
+};
+
+class FirstFitPlacement final : public PlacementPolicy {
+ public:
+  Address choose(const VmDescriptor& vm, const std::vector<LcInfo>& lcs) override;
+};
+
+class RoundRobinPlacement final : public PlacementPolicy {
+ public:
+  Address choose(const VmDescriptor& vm, const std::vector<LcInfo>& lcs) override;
+
+ private:
+  std::size_t next_ = 0;
+};
+
+class BestFitPlacement final : public PlacementPolicy {
+ public:
+  Address choose(const VmDescriptor& vm, const std::vector<LcInfo>& lcs) override;
+};
+
+std::unique_ptr<PlacementPolicy> make_placement_policy(PlacementPolicyKind kind);
+
+// --- GL assignment of LCs to GMs --------------------------------------------
+
+class AssignmentPolicy {
+ public:
+  virtual ~AssignmentPolicy() = default;
+  /// GM to attach a joining LC to, or kNullAddress if no GM is known.
+  virtual Address assign(const std::vector<GmInfo>& gms) = 0;
+};
+
+class RoundRobinAssignment final : public AssignmentPolicy {
+ public:
+  Address assign(const std::vector<GmInfo>& gms) override;
+
+ private:
+  std::size_t next_ = 0;
+};
+
+/// Attach to the GM currently managing the fewest LCs.
+class LeastLoadedAssignment final : public AssignmentPolicy {
+ public:
+  Address assign(const std::vector<GmInfo>& gms) override;
+};
+
+std::unique_ptr<AssignmentPolicy> make_assignment_policy(AssignmentPolicyKind kind);
+
+}  // namespace snooze::core

@@ -1,0 +1,21 @@
+#include "core/types.hpp"
+
+#include "workload/traces.hpp"
+
+namespace snooze::core {
+
+hypervisor::UtilizationFn make_trace(const TraceSpec& spec) {
+  switch (spec.kind) {
+    case TraceSpec::Kind::kConstant:
+      return workload::constant(spec.a);
+    case TraceSpec::Kind::kSinusoidal:
+      return workload::sinusoidal(spec.a, spec.b, spec.c, spec.d);
+    case TraceSpec::Kind::kRandomSteps:
+      return workload::random_steps(spec.a, spec.b, spec.c, spec.seed);
+    case TraceSpec::Kind::kOnOff:
+      return workload::on_off(spec.a, spec.b, spec.c, spec.d, spec.seed);
+  }
+  return workload::constant(1.0);
+}
+
+}  // namespace snooze::core

@@ -1,0 +1,13 @@
+#include "energy/energy_meter.hpp"
+
+namespace snooze::energy {
+
+EnergyMeter::EnergyMeter(PowerModel model, double start_time)
+    : model_(model), power_(start_time, model.p_idle_w) {}
+
+void EnergyMeter::update(double t, PowerState state, double cpu_utilization) {
+  state_ = state;
+  power_.set(t, model_.power(state, cpu_utilization));
+}
+
+}  // namespace snooze::energy

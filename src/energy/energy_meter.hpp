@@ -1,0 +1,31 @@
+// Per-server energy meter: integrates instantaneous power over virtual time.
+#pragma once
+
+#include "energy/power_model.hpp"
+#include "util/stats.hpp"
+
+namespace snooze::energy {
+
+class EnergyMeter {
+ public:
+  EnergyMeter(PowerModel model, double start_time = 0.0);
+
+  /// Report a state/utilization change at virtual time `t` (monotone).
+  void update(double t, PowerState state, double cpu_utilization);
+
+  /// Total energy consumed up to time `t`, in joules.
+  [[nodiscard]] double joules(double t) const { return power_.integral(t); }
+
+  /// Average power draw over the metered interval, in watts.
+  [[nodiscard]] double average_watts(double t) const { return power_.average(t); }
+
+  [[nodiscard]] const PowerModel& model() const { return model_; }
+  [[nodiscard]] PowerState state() const { return state_; }
+
+ private:
+  PowerModel model_;
+  PowerState state_ = PowerState::kOn;
+  util::TimeWeighted power_;
+};
+
+}  // namespace snooze::energy

@@ -1,0 +1,34 @@
+#include "hypervisor/migration.hpp"
+
+#include <algorithm>
+
+namespace snooze::hypervisor {
+
+MigrationCost MigrationModel::cost(double memory_mb, double dirty_rate_mbps) const {
+  MigrationCost out;
+  // Convert link bandwidth from megabit/s to MB/s.
+  const double bw_mb_s = std::max(1e-6, bandwidth_mbps / 8.0);
+  const double dirty_mb_s = std::max(0.0, dirty_rate_mbps / 8.0);
+
+  double residual_mb = std::max(0.0, memory_mb);
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    const double round_time = residual_mb / bw_mb_s;
+    out.total_s += round_time;
+    out.transferred_mb += residual_mb;
+    ++out.rounds;
+    const double dirtied = dirty_mb_s * round_time;
+    if (dirtied >= residual_mb || dirty_mb_s >= bw_mb_s) {
+      // Dirtying outpaces the link: no convergence, go to stop-and-copy now.
+      residual_mb = std::min(residual_mb, std::max(dirtied, stop_copy_threshold_mb));
+      break;
+    }
+    residual_mb = dirtied;
+    if (residual_mb <= stop_copy_threshold_mb) break;
+  }
+  out.downtime_s = residual_mb / bw_mb_s;
+  out.total_s += out.downtime_s;
+  out.transferred_mb += residual_mb;
+  return out;
+}
+
+}  // namespace snooze::hypervisor

@@ -1,0 +1,29 @@
+// Live-migration cost model (pre-copy, KVM/Xen style).
+//
+// Iterative pre-copy: round 0 transfers the full RAM footprint; each later
+// round transfers the pages dirtied during the previous round. Iteration
+// stops when the residual set is small enough (or a round cap is hit), then
+// the VM is paused for the stop-and-copy downtime.
+#pragma once
+
+#include <cstddef>
+
+namespace snooze::hypervisor {
+
+struct MigrationCost {
+  double total_s = 0.0;     ///< wall time from start to VM resumed on target
+  double downtime_s = 0.0;  ///< stop-and-copy pause
+  std::size_t rounds = 0;   ///< pre-copy rounds performed
+  double transferred_mb = 0.0;
+};
+
+struct MigrationModel {
+  double bandwidth_mbps = 1000.0;    ///< migration link bandwidth (megabit/s)
+  double stop_copy_threshold_mb = 64.0;  ///< residual size to stop iterating
+  std::size_t max_rounds = 30;
+
+  /// Cost of migrating a VM with the given RAM footprint and dirty rate.
+  [[nodiscard]] MigrationCost cost(double memory_mb, double dirty_rate_mbps) const;
+};
+
+}  // namespace snooze::hypervisor

@@ -1,0 +1,56 @@
+// Wire-message base type.
+//
+// Protocol payloads derive from Message and are carried by value-semantics
+// shared_ptrs (a delivered message is immutable and may be multicast to many
+// receivers). wire_size() feeds the control-traffic accounting used by the
+// management-overhead experiment (E6).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+namespace snooze::net {
+
+/// Network address of a simulated node (EP/GL/GM/LC/client/service).
+using Address = std::uint32_t;
+
+constexpr Address kNullAddress = 0;
+
+struct Message {
+  virtual ~Message() = default;
+  /// Stable type tag, used for tracing and dispatch diagnostics.
+  [[nodiscard]] virtual std::string_view type() const = 0;
+  /// Approximate serialized size in bytes (for overhead accounting).
+  [[nodiscard]] virtual std::size_t wire_size() const { return 128; }
+};
+
+using MsgPtr = std::shared_ptr<const Message>;
+
+/// Downcast helper: returns nullptr when the payload is of a different type.
+template <typename T>
+const T* msg_cast(const Message& msg) {
+  return dynamic_cast<const T*>(&msg);
+}
+
+template <typename T>
+const T* msg_cast(const MsgPtr& msg) {
+  return msg ? dynamic_cast<const T*>(msg.get()) : nullptr;
+}
+
+/// Envelope delivered to an endpoint.
+struct Envelope {
+  Address from = kNullAddress;
+  Address to = kNullAddress;
+  MsgPtr payload;
+};
+
+/// Receiver interface registered with the Network.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void on_message(const Envelope& env) = 0;
+};
+
+}  // namespace snooze::net

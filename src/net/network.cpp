@@ -1,0 +1,120 @@
+#include "net/network.hpp"
+
+#include <cassert>
+
+namespace snooze::net {
+
+Network::Network(sim::Engine& engine, LatencyModel latency)
+    : engine_(engine), latency_(latency) {}
+
+void Network::attach(Address addr, Endpoint* endpoint) {
+  assert(addr != kNullAddress && endpoint != nullptr);
+  endpoints_[addr] = endpoint;
+  next_address_ = std::max(next_address_, addr + 1);
+}
+
+void Network::detach(Address addr) { endpoints_.erase(addr); }
+
+bool Network::attached(Address addr) const { return endpoints_.count(addr) > 0; }
+
+Address Network::allocate_address() { return next_address_++; }
+
+bool Network::blocked(Address from, Address to) const {
+  if (partitions_.empty()) return false;
+  for (const auto& group : partitions_) {
+    const bool has_from = group.count(from) > 0;
+    const bool has_to = group.count(to) > 0;
+    if (has_from || has_to) {
+      if (has_from && has_to) return false;
+      // Keep scanning: a node may legitimately appear in no group (then it
+      // is isolated from every grouped node).
+      if (has_from != has_to) return true;
+    }
+  }
+  return false;
+}
+
+bool Network::send(Address from, Address to, MsgPtr msg) {
+  assert(msg != nullptr);
+  if (down_.count(from)) return false;
+  ++stats_.messages_sent;
+  stats_.bytes_sent += msg->wire_size();
+  auto& sender = per_node_[from];
+  ++sender.messages_sent;
+  sender.bytes_sent += msg->wire_size();
+
+  if (down_.count(to) || blocked(from, to) ||
+      (drop_probability_ > 0.0 && engine_.rng().chance(drop_probability_))) {
+    ++stats_.messages_dropped;
+    ++per_node_[from].messages_dropped;
+    return true;  // sent but lost in transit
+  }
+
+  const sim::Time latency = latency_.sample(engine_.rng());
+  engine_.schedule(latency, [this, env = Envelope{from, to, std::move(msg)}]() mutable {
+    // Re-check at delivery time: the receiver may have crashed or detached
+    // while the message was in flight.
+    if (down_.count(env.to)) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    const auto it = endpoints_.find(env.to);
+    if (it == endpoints_.end()) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    ++stats_.messages_delivered;
+    ++per_node_[env.to].messages_delivered;
+    it->second->on_message(env);
+  });
+  return true;
+}
+
+void Network::multicast(Address from, GroupId group, const MsgPtr& msg) {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  // Copy membership: delivery callbacks may mutate the group.
+  const std::vector<Address> members(it->second.begin(), it->second.end());
+  for (Address member : members) {
+    if (member == from) continue;
+    send(from, member, msg);
+  }
+}
+
+void Network::join_group(GroupId group, Address member) { groups_[group].insert(member); }
+
+void Network::leave_group(GroupId group, Address member) {
+  const auto it = groups_.find(group);
+  if (it != groups_.end()) it->second.erase(member);
+}
+
+std::size_t Network::group_size(GroupId group) const {
+  const auto it = groups_.find(group);
+  return it == groups_.end() ? 0 : it->second.size();
+}
+
+void Network::set_node_up(Address addr, bool up) {
+  if (up) {
+    down_.erase(addr);
+  } else {
+    down_.insert(addr);
+  }
+}
+
+bool Network::node_up(Address addr) const { return down_.count(addr) == 0; }
+
+void Network::set_partitions(std::vector<std::set<Address>> partitions) {
+  partitions_ = std::move(partitions);
+}
+
+TrafficStats Network::node_stats(Address addr) const {
+  const auto it = per_node_.find(addr);
+  return it == per_node_.end() ? TrafficStats{} : it->second;
+}
+
+void Network::reset_stats() {
+  stats_ = TrafficStats{};
+  per_node_.clear();
+}
+
+}  // namespace snooze::net

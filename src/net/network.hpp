@@ -1,0 +1,102 @@
+// Simulated datacenter network.
+//
+// Models unicast with a configurable latency distribution, multicast groups
+// (the heartbeat channels of the Snooze hierarchy), and fault injection:
+// node crashes (blackhole), probabilistic message loss, and partitions.
+// Also the accounting point for the control-traffic measurements of the
+// management-overhead experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/message.hpp"
+#include "sim/engine.hpp"
+
+namespace snooze::net {
+
+/// Identifier of a multicast group (e.g. the GL heartbeat channel).
+using GroupId = std::uint32_t;
+
+/// Per-link latency model: base + uniform jitter.
+struct LatencyModel {
+  sim::Time base = 0.5e-3;    ///< one-way base latency (seconds)
+  sim::Time jitter = 0.2e-3;  ///< uniform extra in [0, jitter)
+
+  [[nodiscard]] sim::Time sample(util::Rng& rng) const {
+    return base + (jitter > 0.0 ? rng.uniform(0.0, jitter) : 0.0);
+  }
+};
+
+/// Aggregate traffic counters (global and per node).
+struct TrafficStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class Network {
+ public:
+  Network(sim::Engine& engine, LatencyModel latency = {});
+
+  // --- topology -----------------------------------------------------------
+  /// Register `endpoint` to receive messages addressed to `addr`.
+  void attach(Address addr, Endpoint* endpoint);
+  void detach(Address addr);
+  [[nodiscard]] bool attached(Address addr) const;
+
+  /// Allocate a fresh, never-used address.
+  Address allocate_address();
+
+  // --- messaging ----------------------------------------------------------
+  /// Send `msg` from `from` to `to`; returns false if dropped at the source
+  /// (sender down, receiver unknown is still "sent", loss decided at source).
+  bool send(Address from, Address to, MsgPtr msg);
+
+  /// Deliver to every member of `group` except the sender.
+  void multicast(Address from, GroupId group, const MsgPtr& msg);
+
+  void join_group(GroupId group, Address member);
+  void leave_group(GroupId group, Address member);
+  [[nodiscard]] std::size_t group_size(GroupId group) const;
+
+  // --- fault injection ----------------------------------------------------
+  /// A down node neither sends nor receives (traffic is blackholed).
+  void set_node_up(Address addr, bool up);
+  [[nodiscard]] bool node_up(Address addr) const;
+
+  /// Probability in [0,1] that any given message is silently lost.
+  void set_drop_probability(double p) { drop_probability_ = p; }
+
+  /// Partition the network into groups; traffic crosses partitions only if
+  /// both ends are in the same group. Empty vector clears the partition.
+  void set_partitions(std::vector<std::set<Address>> partitions);
+
+  // --- accounting ---------------------------------------------------------
+  [[nodiscard]] const TrafficStats& stats() const { return stats_; }
+  [[nodiscard]] TrafficStats node_stats(Address addr) const;
+  void reset_stats();
+
+  [[nodiscard]] sim::Engine& engine() const { return engine_; }
+
+ private:
+  [[nodiscard]] bool blocked(Address from, Address to) const;
+
+  sim::Engine& engine_;
+  LatencyModel latency_;
+  Address next_address_ = 1;
+  std::unordered_map<Address, Endpoint*> endpoints_;
+  std::set<Address> down_;
+  std::map<GroupId, std::set<Address>> groups_;
+  std::vector<std::set<Address>> partitions_;
+  double drop_probability_ = 0.0;
+  TrafficStats stats_;
+  std::unordered_map<Address, TrafficStats> per_node_;
+};
+
+}  // namespace snooze::net

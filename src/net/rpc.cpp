@@ -1,0 +1,103 @@
+#include "net/rpc.hpp"
+
+#include <cassert>
+
+namespace snooze::net {
+
+void Responder::respond(MsgPtr reply) const {
+  assert(reply != nullptr);
+  auto wrap = std::make_shared<RpcWrap>();
+  wrap->rpc_id = rpc_id_;
+  wrap->is_reply = true;
+  wrap->inner = std::move(reply);
+  // Send through the network directly: if the responding node has crashed in
+  // the meantime the network blackholes it (sender is in the down set).
+  network_->send(self_, to_, std::move(wrap));
+}
+
+RpcEndpoint::RpcEndpoint(sim::Engine& engine, Network& network, Address address,
+                         std::string name)
+    : engine_(engine),
+      network_(network),
+      address_(address),
+      name_(std::move(name)),
+      alive_(std::make_shared<bool>(true)) {
+  network_.attach(address_, this);
+}
+
+RpcEndpoint::~RpcEndpoint() {
+  *alive_ = false;
+  network_.detach(address_);
+}
+
+void RpcEndpoint::send(Address to, MsgPtr msg) {
+  if (!up_) return;
+  network_.send(address_, to, std::move(msg));
+}
+
+void RpcEndpoint::multicast(GroupId group, MsgPtr msg) {
+  if (!up_) return;
+  network_.multicast(address_, group, msg);
+}
+
+void RpcEndpoint::call(Address to, MsgPtr request, sim::Time timeout, ReplyCallback cb) {
+  assert(cb);
+  if (!up_) return;
+  auto wrap = std::make_shared<RpcWrap>();
+  wrap->rpc_id = next_rpc_id_++;
+  wrap->is_reply = false;
+  wrap->inner = std::move(request);
+
+  const std::uint64_t id = wrap->rpc_id;
+  PendingCall pending;
+  pending.cb = std::move(cb);
+  auto token = alive_;
+  pending.timeout_event = engine_.schedule(timeout, [this, token, id] {
+    if (!*token) return;
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    auto callback = std::move(it->second.cb);
+    pending_.erase(it);
+    callback(false, nullptr);
+  });
+  pending_.emplace(id, std::move(pending));
+  network_.send(address_, to, std::move(wrap));
+}
+
+void RpcEndpoint::go_down() {
+  if (!up_) return;
+  up_ = false;
+  network_.set_node_up(address_, false);
+  // A crashed process loses its in-flight calls silently.
+  for (auto& [id, pending] : pending_) engine_.cancel(pending.timeout_event);
+  pending_.clear();
+}
+
+void RpcEndpoint::go_up() {
+  if (up_) return;
+  up_ = true;
+  network_.set_node_up(address_, true);
+}
+
+void RpcEndpoint::on_message(const Envelope& env) {
+  if (!up_) return;
+  const auto* wrap = msg_cast<RpcWrap>(env.payload);
+  if (wrap == nullptr) {
+    if (on_oneway_) on_oneway_(env);
+    return;
+  }
+  if (!wrap->is_reply) {
+    if (!on_request_) return;
+    Envelope inner_env{env.from, env.to, wrap->inner};
+    on_request_(inner_env, Responder(&network_, address_, env.from, wrap->rpc_id));
+    return;
+  }
+  const auto it = pending_.find(wrap->rpc_id);
+  if (it == pending_.end()) return;  // late reply after timeout
+  engine_.cancel(it->second.timeout_event);
+  auto callback = std::move(it->second.cb);
+  pending_.erase(it);
+  callback(true, wrap->inner);
+}
+
+}  // namespace snooze::net

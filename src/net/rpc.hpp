@@ -1,0 +1,107 @@
+// Request/response layer over the simulated network.
+//
+// Snooze components are "RESTful web services" in the paper; RpcEndpoint is
+// the simulated equivalent: each component owns one endpoint that supports
+// fire-and-forget sends, multicast, and correlated request/response calls
+// with timeouts. Request handlers receive a Responder and may reply
+// immediately or later (e.g. a Group Manager deferring a placement response
+// until a suspended node has been woken up).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "net/network.hpp"
+#include "sim/actor.hpp"
+
+namespace snooze::net {
+
+/// Envelope wrapper carrying RPC correlation metadata.
+struct RpcWrap final : Message {
+  std::uint64_t rpc_id = 0;
+  bool is_reply = false;
+  MsgPtr inner;
+
+  [[nodiscard]] std::string_view type() const override { return "rpc"; }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 16 + (inner ? inner->wire_size() : 0);
+  }
+};
+
+/// Capability to answer one specific request; copyable, may outlive the
+/// handler invocation (deferred replies). Replying twice is a no-op at the
+/// caller (the first reply wins; the second finds no pending call).
+class Responder {
+ public:
+  Responder(Network* network, Address self, Address to, std::uint64_t rpc_id)
+      : network_(network), self_(self), to_(to), rpc_id_(rpc_id) {}
+
+  void respond(MsgPtr reply) const;
+
+ private:
+  Network* network_;
+  Address self_;
+  Address to_;
+  std::uint64_t rpc_id_;
+};
+
+class RpcEndpoint final : public Endpoint {
+ public:
+  /// Handler for one-way messages.
+  using MessageHandler = std::function<void(const Envelope&)>;
+  /// Handler for requests; reply now or keep the Responder for later.
+  using RequestHandler = std::function<void(const Envelope&, Responder)>;
+  /// Completion callback for call(): ok=false means timeout (reply null).
+  using ReplyCallback = std::function<void(bool ok, const MsgPtr& reply)>;
+
+  RpcEndpoint(sim::Engine& engine, Network& network, Address address, std::string name);
+  ~RpcEndpoint() override;
+
+  RpcEndpoint(const RpcEndpoint&) = delete;
+  RpcEndpoint& operator=(const RpcEndpoint&) = delete;
+
+  [[nodiscard]] Address address() const { return address_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Network& network() const { return network_; }
+
+  void set_message_handler(MessageHandler handler) { on_oneway_ = std::move(handler); }
+  void set_request_handler(RequestHandler handler) { on_request_ = std::move(handler); }
+
+  /// Fire-and-forget unicast.
+  void send(Address to, MsgPtr msg);
+
+  /// Fire-and-forget multicast to a heartbeat group.
+  void multicast(GroupId group, MsgPtr msg);
+
+  /// Request/response with timeout. The callback always fires exactly once.
+  void call(Address to, MsgPtr request, sim::Time timeout, ReplyCallback cb);
+
+  /// Simulate a process crash: detach from the network and drop all pending
+  /// calls *without* firing their callbacks (the process is gone).
+  void go_down();
+  /// Reattach after recovery.
+  void go_up();
+  [[nodiscard]] bool up() const { return up_; }
+
+  void on_message(const Envelope& env) override;
+
+ private:
+  struct PendingCall {
+    ReplyCallback cb;
+    sim::EventId timeout_event = 0;
+  };
+
+  sim::Engine& engine_;
+  Network& network_;
+  Address address_;
+  std::string name_;
+  bool up_ = true;
+  std::uint64_t next_rpc_id_ = 1;
+  std::unordered_map<std::uint64_t, PendingCall> pending_;
+  std::shared_ptr<bool> alive_;
+  MessageHandler on_oneway_;
+  RequestHandler on_request_;
+};
+
+}  // namespace snooze::net

@@ -1,0 +1,43 @@
+#include "sim/actor.hpp"
+
+#include <utility>
+
+namespace snooze::sim {
+
+Actor::Actor(Engine& engine, std::string name)
+    : engine_(engine), name_(std::move(name)), alive_(std::make_shared<bool>(true)) {}
+
+Actor::~Actor() { *alive_ = false; }
+
+void Actor::crash() { *alive_ = false; }
+
+void Actor::recover() {
+  if (*alive_) return;
+  alive_ = std::make_shared<bool>(true);
+}
+
+EventId Actor::after(Time delay, std::function<void()> fn) {
+  if (!*alive_) return 0;
+  auto token = alive_;
+  return engine_.schedule(delay, [token, fn = std::move(fn)] {
+    if (*token) fn();
+  });
+}
+
+void Actor::every(Time period, std::function<bool()> fn) {
+  if (!*alive_) return;
+  auto token = alive_;
+  // Self-rescheduling closure; stops when the token dies or fn returns false.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, token, period, fn = std::move(fn), tick] {
+    if (!*token) return;
+    if (!fn()) return;
+    if (!*token) return;  // fn may have crashed the actor
+    engine_.schedule(period, [tick_copy = tick] { (*tick_copy)(); });
+  };
+  engine_.schedule(period, [tick] { (*tick)(); });
+}
+
+void Actor::cancel(EventId id) { engine_.cancel(id); }
+
+}  // namespace snooze::sim

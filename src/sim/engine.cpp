@@ -1,0 +1,50 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+
+namespace snooze::sim {
+
+Engine::Engine(std::uint64_t seed) : rng_(seed) {}
+
+EventId Engine::schedule(Time delay, std::function<void()> fn) {
+  assert(delay >= 0.0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Engine::schedule_at(Time t, std::function<void()> fn) {
+  assert(t >= now_);
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(fn)});
+  return id;
+}
+
+bool Engine::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  return cancelled_.insert(id).second;
+}
+
+std::size_t Engine::run_until(Time until) {
+  stopped_ = false;
+  std::size_t fired = 0;
+  while (!queue_.empty() && !stopped_) {
+    const Event& top = queue_.top();
+    if (top.time > until) break;
+    Event ev{top.time, top.id, std::move(const_cast<Event&>(top).fn)};
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.time;
+    ev.fn();
+    ++fired;
+    ++processed_;
+  }
+  if (queue_.empty() && until != kTimeInfinity && now_ < until) {
+    // Advance the clock to the horizon so callers can rely on now()==until.
+    now_ = until;
+  }
+  return fired;
+}
+
+}  // namespace snooze::sim

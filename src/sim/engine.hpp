@@ -1,0 +1,85 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded, deterministic: events fire in (time, sequence) order, so
+// two events scheduled for the same instant fire in scheduling order. All
+// components of the simulated Snooze deployment (network, coordination
+// service, controllers) run on one engine; virtual time is in seconds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace snooze::sim {
+
+/// Virtual time in seconds since simulation start.
+using Time = double;
+
+constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+/// Handle identifying a scheduled event; usable to cancel it.
+using EventId = std::uint64_t;
+
+class Engine {
+ public:
+  explicit Engine(std::uint64_t seed = 1);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
+  EventId schedule(Time delay, std::function<void()> fn);
+
+  /// Schedule `fn` at absolute virtual time `t` (t >= now()).
+  EventId schedule_at(Time t, std::function<void()> fn);
+
+  /// Cancel a pending event. Returns false if it already fired or was
+  /// cancelled. Cancellation is O(1); the queue entry is skipped lazily.
+  bool cancel(EventId id);
+
+  /// Run until the event queue is empty or `until` is reached (whichever is
+  /// first). Returns the number of events processed.
+  std::size_t run_until(Time until);
+
+  /// Run until the queue drains completely.
+  std::size_t run() { return run_until(kTimeInfinity); }
+
+  /// Abort the current run_until loop after the current event returns.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  [[nodiscard]] std::size_t processed_events() const { return processed_; }
+
+  /// The engine-global RNG; fork() it for per-component streams.
+  util::Rng& rng() { return rng_; }
+
+ private:
+  struct Event {
+    Time time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  Time now_ = 0.0;
+  EventId next_id_ = 1;
+  std::size_t processed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  util::Rng rng_;
+};
+
+}  // namespace snooze::sim

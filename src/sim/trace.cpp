@@ -1,0 +1,48 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace snooze::sim {
+
+void Trace::record(std::string_view actor, std::string_view kind, std::string_view detail) {
+  records_.push_back(TraceRecord{engine_.now(), std::string(actor), std::string(kind),
+                                 std::string(detail)});
+}
+
+std::vector<TraceRecord> Trace::of_kind(std::string_view kind) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_) {
+    if (r.kind == kind) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t Trace::count(std::string_view kind) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.kind == kind) ++n;
+  }
+  return n;
+}
+
+Time Trace::first_time(std::string_view kind, Time from) const {
+  for (const auto& r : records_) {
+    if (r.time >= from && r.kind == kind) return r.time;
+  }
+  return -1.0;
+}
+
+std::string Trace::dump() const {
+  std::ostringstream out;
+  for (const auto& r : records_) {
+    char ts[32];
+    std::snprintf(ts, sizeof(ts), "%10.3f", r.time);
+    out << ts << "  " << r.actor << "  " << r.kind;
+    if (!r.detail.empty()) out << "  " << r.detail;
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace snooze::sim

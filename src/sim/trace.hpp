@@ -1,0 +1,48 @@
+// Structured event trace: components append (time, actor, kind, detail)
+// records; tests and examples query or dump them.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace snooze::sim {
+
+struct TraceRecord {
+  Time time;
+  std::string actor;
+  std::string kind;
+  std::string detail;
+};
+
+class Trace {
+ public:
+  explicit Trace(Engine& engine) : engine_(engine) {}
+
+  void record(std::string_view actor, std::string_view kind, std::string_view detail = {});
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+
+  /// All records of the given kind, in time order.
+  [[nodiscard]] std::vector<TraceRecord> of_kind(std::string_view kind) const;
+
+  /// Count of records of the given kind.
+  [[nodiscard]] std::size_t count(std::string_view kind) const;
+
+  /// Time of the first record of the given kind at/after `from`, or a
+  /// negative value if none exists.
+  [[nodiscard]] Time first_time(std::string_view kind, Time from = 0.0) const;
+
+  void clear() { records_.clear(); }
+
+  /// Human-readable dump (for examples / debugging).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  Engine& engine_;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace snooze::sim

@@ -1,0 +1,26 @@
+// CSV output for benchmark data series (so plots can be regenerated
+// externally from the bench output files).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace snooze::util {
+
+/// Minimal CSV writer. Fields containing commas/quotes/newlines are quoted.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Escape a single field per RFC 4180.
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace snooze::util

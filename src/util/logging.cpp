@@ -1,0 +1,36 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace snooze::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void Logger::log(LogLevel level, std::string_view msg) {
+  if (!enabled(level)) return;
+  if (sink_) {
+    sink_(level, msg);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %.*s\n", to_string(level), static_cast<int>(msg.size()),
+               msg.data());
+}
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace snooze::util

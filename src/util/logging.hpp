@@ -1,0 +1,74 @@
+// Lightweight leveled logger used across the Snooze stack.
+//
+// The simulator is single-threaded, so the logger keeps no locks on the hot
+// path; the sink pointer itself is only swapped during setup. Components log
+// through LOG_* macros that compile to a cheap level check.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace snooze::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global logging configuration. Defaults to kWarn so tests/benches stay quiet
+/// unless a component is being debugged.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Replace the output sink (default: stderr). Pass nullptr to restore.
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, std::string_view msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+const char* to_string(LogLevel level);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().log(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace snooze::util
+
+#define SNOOZE_LOG(level)                                      \
+  if (!::snooze::util::Logger::instance().enabled(level)) {    \
+  } else                                                       \
+    ::snooze::util::detail::LogLine(level)
+
+#define LOG_TRACE SNOOZE_LOG(::snooze::util::LogLevel::kTrace)
+#define LOG_DEBUG SNOOZE_LOG(::snooze::util::LogLevel::kDebug)
+#define LOG_INFO SNOOZE_LOG(::snooze::util::LogLevel::kInfo)
+#define LOG_WARN SNOOZE_LOG(::snooze::util::LogLevel::kWarn)
+#define LOG_ERROR SNOOZE_LOG(::snooze::util::LogLevel::kError)

@@ -1,0 +1,32 @@
+// ASCII table rendering for the benchmark harness: every bench binary prints
+// the rows/series its paper table reports through this formatter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace snooze::util {
+
+/// Column-aligned ASCII table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; it must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double value, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+  [[nodiscard]] std::string to_string() const;
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace snooze::util

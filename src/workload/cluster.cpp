@@ -1,0 +1,29 @@
+#include "workload/cluster.hpp"
+
+#include <cstdio>
+
+#include "util/rng.hpp"
+
+namespace snooze::workload {
+
+std::vector<hypervisor::HostSpec> build_cluster(const ClusterSpec& spec) {
+  std::vector<hypervisor::HostSpec> out;
+  out.reserve(spec.hosts);
+  util::Rng rng(spec.seed);
+  for (std::size_t h = 0; h < spec.hosts; ++h) {
+    hypervisor::HostSpec host;
+    char name[32];
+    std::snprintf(name, sizeof(name), "node-%03zu", h);
+    host.name = name;
+    double factor = 1.0;
+    if (spec.capacity_spread > 0.0) {
+      factor = 1.0 + rng.uniform(-spec.capacity_spread, spec.capacity_spread);
+    }
+    host.capacity = spec.capacity.scaled(factor);
+    host.power = spec.power;
+    out.push_back(std::move(host));
+  }
+  return out;
+}
+
+}  // namespace snooze::workload

@@ -1,0 +1,26 @@
+// Cluster topology builder: produces the host fleet a simulated Snooze
+// deployment (or a standalone packing instance) runs on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypervisor/host.hpp"
+
+namespace snooze::workload {
+
+struct ClusterSpec {
+  std::size_t hosts = 144;  ///< Grid'5000 scale used in the paper
+  hypervisor::ResourceVector capacity{1.0, 1.0, 1.0};
+  energy::PowerModel power;
+
+  /// Heterogeneity factor: host h's capacity is scaled by a deterministic
+  /// per-host factor in [1-h_spread, 1+h_spread]. 0 = homogeneous.
+  double capacity_spread = 0.0;
+  std::uint64_t seed = 42;
+};
+
+/// Materialize the host specs described by `spec`.
+std::vector<hypervisor::HostSpec> build_cluster(const ClusterSpec& spec);
+
+}  // namespace snooze::workload

@@ -1,0 +1,61 @@
+#include "workload/traces.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace snooze::workload {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// SplitMix64: stateless hash of (seed, bucket) -> uniform double in [0,1).
+double hash_uniform(std::uint64_t seed, std::int64_t bucket) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(bucket) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z = z ^ (z >> 31);
+  return static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+UtilizationFn constant(double value) {
+  const double v = clamp01(value);
+  return [v](double) { return v; };
+}
+
+UtilizationFn sinusoidal(double mean, double amplitude, double period, double phase) {
+  return [=](double t) {
+    return clamp01(mean + amplitude * std::sin(2.0 * kPi * (t + phase) / period));
+  };
+}
+
+UtilizationFn random_steps(double lo, double hi, double interval, std::uint64_t seed) {
+  return [=](double t) {
+    const auto bucket = static_cast<std::int64_t>(std::floor(t / interval));
+    return clamp01(lo + (hi - lo) * hash_uniform(seed, bucket));
+  };
+}
+
+UtilizationFn on_off(double low, double high, double period, double duty,
+                     std::uint64_t seed) {
+  const double phase = hash_uniform(seed, 0) * period;
+  return [=](double t) {
+    const double pos = std::fmod(t + phase, period) / period;
+    return clamp01(pos < duty ? high : low);
+  };
+}
+
+UtilizationFn jittered(UtilizationFn base, double amount, double interval,
+                       std::uint64_t seed) {
+  return [=, base = std::move(base)](double t) {
+    const auto bucket = static_cast<std::int64_t>(std::floor(t / interval));
+    const double j = (hash_uniform(seed, bucket) * 2.0 - 1.0) * amount;
+    return clamp01(base(t) * (1.0 + j));
+  };
+}
+
+}  // namespace snooze::workload

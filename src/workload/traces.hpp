@@ -1,0 +1,37 @@
+// Time-varying utilization traces.
+//
+// Every factory returns a pure function of virtual time (random traces
+// derive their value from a hash of the time bucket, so they are
+// deterministic, random-access and O(1) — no hidden state to corrupt the
+// simulator's reproducibility).
+#pragma once
+
+#include <cstdint>
+
+#include "hypervisor/vm.hpp"
+
+namespace snooze::workload {
+
+using hypervisor::UtilizationFn;
+
+/// Always `value` (clamped to [0,1]).
+UtilizationFn constant(double value);
+
+/// Diurnal pattern: mean + amplitude * sin(2*pi*(t+phase)/period),
+/// clamped to [0,1]. `period` in seconds (86400 for a day).
+UtilizationFn sinusoidal(double mean, double amplitude, double period, double phase = 0.0);
+
+/// Piecewise-constant noise: a fresh uniform draw in [lo,hi] every
+/// `interval` seconds, determined by (seed, bucket index).
+UtilizationFn random_steps(double lo, double hi, double interval, std::uint64_t seed);
+
+/// On/off bursts: `high` for duty*period then `low` for the rest; bucket
+/// phase is randomized per seed so a fleet of VMs doesn't synchronize.
+UtilizationFn on_off(double low, double high, double period, double duty,
+                     std::uint64_t seed);
+
+/// base(t) * (1 + jitter drawn from [-amount, +amount]), clamped.
+UtilizationFn jittered(UtilizationFn base, double amount, double interval,
+                       std::uint64_t seed);
+
+}  // namespace snooze::workload

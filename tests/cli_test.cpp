@@ -1,0 +1,193 @@
+// Tests for the CLI library: command parsing, every command's behaviour, and
+// the Graphviz hierarchy exporter.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cli/commands.hpp"
+#include "cli/dot_export.hpp"
+
+namespace {
+
+using namespace snooze;
+using namespace snooze::cli;
+
+std::unique_ptr<CliSession> session() {
+  return CliSession::boot(/*gms=*/2, /*lcs=*/4, /*seed=*/42, /*energy=*/false);
+}
+
+TEST(Tokenize, SplitsOnWhitespace) {
+  EXPECT_EQ(tokenize("a bb  ccc"), (std::vector<std::string>{"a", "bb", "ccc"}));
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize("   ").empty());
+}
+
+TEST(Cli, BootBringsUpHierarchy) {
+  auto s = session();
+  EXPECT_NE(s->system().leader(), nullptr);
+  EXPECT_EQ(s->system().assigned_lc_count(), 4u);
+}
+
+TEST(Cli, EmptyLineIsNoop) {
+  auto s = session();
+  const auto r = s->execute("");
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.output.empty());
+}
+
+TEST(Cli, UnknownCommandFails) {
+  auto s = session();
+  const auto r = s->execute("frobnicate");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.output.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, HelpListsCommands) {
+  const std::string help = CliSession::help();
+  for (const char* cmd : {"submit", "run", "hierarchy", "export-dot", "stats", "fail"}) {
+    EXPECT_NE(help.find(cmd), std::string::npos) << cmd;
+  }
+}
+
+TEST(Cli, QuitSetsFlag) {
+  auto s = session();
+  EXPECT_TRUE(s->execute("quit").quit);
+  EXPECT_TRUE(s->execute("exit").quit);
+  EXPECT_FALSE(s->execute("help").quit);
+}
+
+TEST(Cli, SubmitPlacesVms) {
+  auto s = session();
+  const auto r = s->execute("submit 3");
+  EXPECT_TRUE(r.ok);
+  EXPECT_NE(r.output.find("3 placed"), std::string::npos);
+  EXPECT_EQ(s->system().running_vm_count(), 3u);
+}
+
+TEST(Cli, SubmitValidatesArguments) {
+  auto s = session();
+  EXPECT_FALSE(s->execute("submit").ok);
+  EXPECT_FALSE(s->execute("submit 0").ok);
+}
+
+TEST(Cli, SubmitWithLifetimeExpires) {
+  auto s = session();
+  ASSERT_TRUE(s->execute("submit 2 0.2 0.2 0.2 10").ok);
+  ASSERT_TRUE(s->execute("run 120").ok);
+  EXPECT_EQ(s->system().running_vm_count(), 0u);
+}
+
+TEST(Cli, RunAdvancesVirtualTime) {
+  auto s = session();
+  const double before = s->system().engine().now();
+  ASSERT_TRUE(s->execute("run 42.5").ok);
+  EXPECT_NEAR(s->system().engine().now(), before + 42.5, 1e-9);
+  EXPECT_FALSE(s->execute("run").ok);
+  EXPECT_FALSE(s->execute("run -5").ok);
+}
+
+TEST(Cli, HierarchyShowsComponents) {
+  auto s = session();
+  const auto r = s->execute("hierarchy");
+  EXPECT_TRUE(r.ok);
+  EXPECT_NE(r.output.find("GL:"), std::string::npos);
+  EXPECT_NE(r.output.find("LCs: 4"), std::string::npos);
+}
+
+TEST(Cli, StatsReportsCounters) {
+  auto s = session();
+  s->execute("submit 2");
+  const auto r = s->execute("stats");
+  EXPECT_TRUE(r.ok);
+  EXPECT_NE(r.output.find("VMs running: 2"), std::string::npos);
+  EXPECT_NE(r.output.find("energy:"), std::string::npos);
+}
+
+TEST(Cli, FailGlTriggersFailover) {
+  auto s = session();
+  const auto r = s->execute("fail gl");
+  EXPECT_TRUE(r.ok);
+  s->execute("run 60");
+  EXPECT_NE(s->system().leader(), nullptr);  // successor elected
+}
+
+TEST(Cli, FailValidatesTargets) {
+  auto s = session();
+  EXPECT_FALSE(s->execute("fail").ok);
+  EXPECT_FALSE(s->execute("fail gm").ok);
+  EXPECT_FALSE(s->execute("fail gm 99").ok);
+  EXPECT_FALSE(s->execute("fail lc 99").ok);
+  EXPECT_FALSE(s->execute("fail disk 0").ok);
+}
+
+TEST(Cli, FailLcKillsItsVms) {
+  auto s = session();
+  s->execute("submit 4 0.5");
+  const std::size_t before = s->system().running_vm_count();
+  ASSERT_EQ(before, 4u);
+  // Find an LC index hosting VMs.
+  std::size_t victim = 0;
+  for (std::size_t i = 0; i < s->system().local_controllers().size(); ++i) {
+    if (s->system().local_controllers()[i]->vm_count() > 0) {
+      victim = i;
+      break;
+    }
+  }
+  EXPECT_TRUE(s->execute("fail lc " + std::to_string(victim)).ok);
+  s->execute("run 30");
+  EXPECT_LT(s->system().running_vm_count(), before);
+}
+
+// --- dot export -------------------------------------------------------------------
+
+TEST(DotExport, ContainsEveryComponent) {
+  auto s = session();
+  s->execute("submit 2");
+  const std::string dot = hierarchy_dot(s->system());
+  EXPECT_NE(dot.find("digraph snooze"), std::string::npos);
+  EXPECT_NE(dot.find("GL "), std::string::npos);
+  EXPECT_NE(dot.find("GM "), std::string::npos);
+  EXPECT_NE(dot.find("EP "), std::string::npos);
+  EXPECT_NE(dot.find("lc-000"), std::string::npos);
+  EXPECT_NE(dot.find("lc-003"), std::string::npos);
+  // Balanced braces / proper closing.
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("}\n"), std::string::npos);
+}
+
+TEST(DotExport, ShowsEdgesFromGlToGms) {
+  auto s = session();
+  const std::string dot = hierarchy_dot(s->system());
+  const std::string gl = s->system().leader()->name();
+  EXPECT_NE(dot.find("\"" + gl + "\" -> "), std::string::npos);
+}
+
+TEST(DotExport, MarksJoiningLcsWhenNoGl) {
+  // A deployment with a single GM: it becomes GL, LCs can never join.
+  auto s = CliSession::boot(1, 2, 42, false);
+  const std::string dot = hierarchy_dot(s->system());
+  EXPECT_NE(dot.find("(joining)"), std::string::npos);
+}
+
+TEST(DotExport, CommandWritesFile) {
+  auto s = session();
+  const std::string path = testing::TempDir() + "/snooze_hierarchy.dot";
+  const auto r = s->execute("export-dot " + path);
+  EXPECT_TRUE(r.ok);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "digraph snooze {");
+  std::remove(path.c_str());
+}
+
+TEST(DotExport, CommandWithoutFilePrints) {
+  auto s = session();
+  const auto r = s->execute("export-dot");
+  EXPECT_TRUE(r.ok);
+  EXPECT_NE(r.output.find("digraph"), std::string::npos);
+}
+
+}  // namespace

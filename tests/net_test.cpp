@@ -1,0 +1,389 @@
+// Unit tests for the simulated network: delivery/latency, fault injection
+// (crashes, loss, partitions), multicast groups, traffic accounting, and the
+// RPC layer (immediate + deferred replies, timeouts, crash semantics).
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "net/network.hpp"
+#include "net/rpc.hpp"
+
+namespace {
+
+using namespace snooze;
+using net::Address;
+using net::Envelope;
+using net::MsgPtr;
+
+struct Ping final : net::Message {
+  int value = 0;
+  [[nodiscard]] std::string_view type() const override { return "ping"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 100; }
+};
+
+struct Pong final : net::Message {
+  int value = 0;
+  [[nodiscard]] std::string_view type() const override { return "pong"; }
+};
+
+class Sink final : public net::Endpoint {
+ public:
+  std::vector<Envelope> received;
+  void on_message(const Envelope& env) override { received.push_back(env); }
+};
+
+MsgPtr ping(int v = 0) {
+  auto m = std::make_shared<Ping>();
+  m->value = v;
+  return m;
+}
+
+class NetworkTest : public testing::Test {
+ protected:
+  sim::Engine engine{1};
+  net::Network network{engine, net::LatencyModel{1e-3, 0.0}};
+};
+
+TEST_F(NetworkTest, DeliversToAttachedEndpoint) {
+  Sink sink;
+  network.attach(10, &sink);
+  network.send(20, 10, ping(7));
+  engine.run();
+  ASSERT_EQ(sink.received.size(), 1u);
+  EXPECT_EQ(sink.received[0].from, 20u);
+  EXPECT_EQ(net::msg_cast<Ping>(sink.received[0].payload)->value, 7);
+}
+
+TEST_F(NetworkTest, DeliveryTakesLatency) {
+  Sink sink;
+  network.attach(10, &sink);
+  network.send(20, 10, ping());
+  engine.run();
+  EXPECT_DOUBLE_EQ(engine.now(), 1e-3);
+}
+
+TEST_F(NetworkTest, UnknownReceiverIsDropped) {
+  network.send(20, 99, ping());
+  engine.run();
+  EXPECT_EQ(network.stats().messages_sent, 1u);
+  EXPECT_EQ(network.stats().messages_delivered, 0u);
+  EXPECT_EQ(network.stats().messages_dropped, 1u);
+}
+
+TEST_F(NetworkTest, DownSenderCannotSend) {
+  Sink sink;
+  network.attach(10, &sink);
+  network.set_node_up(20, false);
+  EXPECT_FALSE(network.send(20, 10, ping()));
+  engine.run();
+  EXPECT_TRUE(sink.received.empty());
+}
+
+TEST_F(NetworkTest, DownReceiverBlackholes) {
+  Sink sink;
+  network.attach(10, &sink);
+  network.set_node_up(10, false);
+  network.send(20, 10, ping());
+  engine.run();
+  EXPECT_TRUE(sink.received.empty());
+  EXPECT_EQ(network.stats().messages_dropped, 1u);
+}
+
+TEST_F(NetworkTest, CrashWhileInFlightDropsMessage) {
+  Sink sink;
+  network.attach(10, &sink);
+  network.send(20, 10, ping());
+  // Crash the receiver before the message lands.
+  engine.schedule(0.5e-3, [&] { network.set_node_up(10, false); });
+  engine.run();
+  EXPECT_TRUE(sink.received.empty());
+}
+
+TEST_F(NetworkTest, RecoveredNodeReceivesAgain) {
+  Sink sink;
+  network.attach(10, &sink);
+  network.set_node_up(10, false);
+  network.set_node_up(10, true);
+  network.send(20, 10, ping());
+  engine.run();
+  EXPECT_EQ(sink.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, DropProbabilityOneLosesEverything) {
+  Sink sink;
+  network.attach(10, &sink);
+  network.set_drop_probability(1.0);
+  for (int i = 0; i < 10; ++i) network.send(20, 10, ping());
+  engine.run();
+  EXPECT_TRUE(sink.received.empty());
+  EXPECT_EQ(network.stats().messages_dropped, 10u);
+}
+
+TEST_F(NetworkTest, PartitionBlocksCrossTraffic) {
+  Sink a, b;
+  network.attach(1, &a);
+  network.attach(2, &b);
+  network.set_partitions({{1}, {2}});
+  network.send(1, 2, ping());
+  engine.run();
+  EXPECT_TRUE(b.received.empty());
+  // Healing the partition restores connectivity.
+  network.set_partitions({});
+  network.send(1, 2, ping());
+  engine.run();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, SamePartitionCommunicates) {
+  Sink a, b;
+  network.attach(1, &a);
+  network.attach(2, &b);
+  network.set_partitions({{1, 2}, {3}});
+  network.send(1, 2, ping());
+  engine.run();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, MulticastReachesAllMembersExceptSender) {
+  Sink a, b, c;
+  network.attach(1, &a);
+  network.attach(2, &b);
+  network.attach(3, &c);
+  network.join_group(7, 1);
+  network.join_group(7, 2);
+  network.join_group(7, 3);
+  network.multicast(1, 7, ping());
+  engine.run();
+  EXPECT_TRUE(a.received.empty());
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(c.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, LeaveGroupStopsDelivery) {
+  Sink a, b;
+  network.attach(1, &a);
+  network.attach(2, &b);
+  network.join_group(7, 2);
+  network.leave_group(7, 2);
+  network.multicast(1, 7, ping());
+  engine.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(network.group_size(7), 0u);
+}
+
+TEST_F(NetworkTest, TrafficAccounting) {
+  Sink sink;
+  network.attach(10, &sink);
+  network.send(20, 10, ping());
+  network.send(20, 10, ping());
+  engine.run();
+  EXPECT_EQ(network.stats().messages_sent, 2u);
+  EXPECT_EQ(network.stats().messages_delivered, 2u);
+  EXPECT_EQ(network.stats().bytes_sent, 200u);  // Ping::wire_size == 100
+  EXPECT_EQ(network.node_stats(20).messages_sent, 2u);
+  EXPECT_EQ(network.node_stats(10).messages_delivered, 2u);
+  network.reset_stats();
+  EXPECT_EQ(network.stats().messages_sent, 0u);
+}
+
+TEST_F(NetworkTest, AllocateAddressAvoidsAttached) {
+  Sink sink;
+  network.attach(5, &sink);
+  const Address fresh = network.allocate_address();
+  EXPECT_GT(fresh, 5u);
+}
+
+TEST_F(NetworkTest, JitterStaysWithinConfiguredBound) {
+  net::Network jittery(engine, net::LatencyModel{1e-3, 4e-3});
+  Sink sink;
+  jittery.attach(10, &sink);
+  std::vector<double> arrival_times;
+  for (int i = 0; i < 50; ++i) {
+    const double sent_at = engine.now();
+    jittery.send(20, 10, ping());
+    engine.run();
+    ASSERT_FALSE(sink.received.empty());
+    arrival_times.push_back(engine.now() - sent_at);
+    sink.received.clear();
+  }
+  for (double latency : arrival_times) {
+    EXPECT_GE(latency, 1e-3 - 1e-12);
+    EXPECT_LT(latency, 5e-3);
+  }
+}
+
+TEST_F(NetworkTest, ZeroJitterIsConstantLatency) {
+  Sink sink;
+  network.attach(10, &sink);
+  network.send(20, 10, ping());
+  const double t0 = engine.now();
+  engine.run();
+  EXPECT_DOUBLE_EQ(engine.now() - t0, 1e-3);
+}
+
+TEST_F(NetworkTest, PartialLossDeliversTheRest) {
+  Sink sink;
+  network.attach(10, &sink);
+  network.set_drop_probability(0.5);
+  for (int i = 0; i < 500; ++i) network.send(20, 10, ping());
+  engine.run();
+  // ~50% delivery with wide tolerance (deterministic seed, but no tuning).
+  EXPECT_GT(sink.received.size(), 150u);
+  EXPECT_LT(sink.received.size(), 350u);
+}
+
+TEST_F(NetworkTest, MulticastToUnknownGroupIsNoop) {
+  network.multicast(1, 999, ping());
+  engine.run();
+  EXPECT_EQ(network.stats().messages_sent, 0u);
+}
+
+// --- RPC ------------------------------------------------------------------------
+
+class RpcTest : public testing::Test {
+ protected:
+  RpcTest()
+      : server(engine, network, network.allocate_address(), "server"),
+        client(engine, network, network.allocate_address(), "client") {}
+
+  sim::Engine engine{1};
+  net::Network network{engine, net::LatencyModel{1e-3, 0.0}};
+  net::RpcEndpoint server;
+  net::RpcEndpoint client;
+};
+
+TEST_F(RpcTest, OnewayMessageReachesHandler) {
+  std::optional<int> got;
+  server.set_message_handler([&](const Envelope& env) {
+    got = net::msg_cast<Ping>(env.payload)->value;
+  });
+  client.send(server.address(), ping(5));
+  engine.run();
+  EXPECT_EQ(got, 5);
+}
+
+TEST_F(RpcTest, CallGetsImmediateReply) {
+  server.set_request_handler([](const Envelope& env, net::Responder r) {
+    auto pong = std::make_shared<Pong>();
+    pong->value = net::msg_cast<Ping>(env.payload)->value + 1;
+    r.respond(pong);
+  });
+  std::optional<int> got;
+  client.call(server.address(), ping(1), 1.0, [&](bool ok, const MsgPtr& reply) {
+    ASSERT_TRUE(ok);
+    got = net::msg_cast<Pong>(reply)->value;
+  });
+  engine.run();
+  EXPECT_EQ(got, 2);
+}
+
+TEST_F(RpcTest, DeferredReplyArrivesLater) {
+  std::optional<net::Responder> held;
+  server.set_request_handler([&](const Envelope&, net::Responder r) { held = r; });
+  std::optional<bool> result;
+  client.call(server.address(), ping(), 10.0,
+              [&](bool ok, const MsgPtr&) { result = ok; });
+  engine.schedule(5.0, [&] {
+    ASSERT_TRUE(held.has_value());
+    held->respond(std::make_shared<Pong>());
+  });
+  engine.run();
+  EXPECT_EQ(result, true);
+  EXPECT_GT(engine.now(), 5.0);
+}
+
+TEST_F(RpcTest, TimeoutFiresWhenNoReply) {
+  server.set_request_handler([](const Envelope&, net::Responder) {});
+  std::optional<bool> result;
+  client.call(server.address(), ping(), 2.0,
+              [&](bool ok, const MsgPtr&) { result = ok; });
+  engine.run();
+  EXPECT_EQ(result, false);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+}
+
+TEST_F(RpcTest, TimeoutWhenServerDown) {
+  server.go_down();
+  std::optional<bool> result;
+  client.call(server.address(), ping(), 1.0,
+              [&](bool ok, const MsgPtr&) { result = ok; });
+  engine.run();
+  EXPECT_EQ(result, false);
+}
+
+TEST_F(RpcTest, LateReplyAfterTimeoutIsIgnored) {
+  std::optional<net::Responder> held;
+  server.set_request_handler([&](const Envelope&, net::Responder r) { held = r; });
+  int callbacks = 0;
+  client.call(server.address(), ping(), 1.0, [&](bool, const MsgPtr&) { ++callbacks; });
+  engine.schedule(2.0, [&] {
+    if (held) held->respond(std::make_shared<Pong>());
+  });
+  engine.run();
+  EXPECT_EQ(callbacks, 1);  // only the timeout
+}
+
+TEST_F(RpcTest, CrashedClientNeverSeesCallback) {
+  server.set_request_handler([](const Envelope&, net::Responder r) {
+    r.respond(std::make_shared<Pong>());
+  });
+  int callbacks = 0;
+  client.call(server.address(), ping(), 1.0, [&](bool, const MsgPtr&) { ++callbacks; });
+  client.go_down();
+  engine.run();
+  EXPECT_EQ(callbacks, 0);
+}
+
+TEST_F(RpcTest, DownEndpointIgnoresRequests) {
+  int handled = 0;
+  server.set_request_handler([&](const Envelope&, net::Responder) { ++handled; });
+  server.go_down();
+  // A fresh endpoint object is still attached but marked down: the network
+  // blackholes traffic; even direct delivery must be ignored.
+  std::optional<bool> result;
+  client.call(server.address(), ping(), 1.0,
+              [&](bool ok, const MsgPtr&) { result = ok; });
+  engine.run();
+  EXPECT_EQ(handled, 0);
+  EXPECT_EQ(result, false);
+}
+
+TEST_F(RpcTest, GoUpRestoresService) {
+  server.set_request_handler([](const Envelope&, net::Responder r) {
+    r.respond(std::make_shared<Pong>());
+  });
+  server.go_down();
+  server.go_up();
+  std::optional<bool> result;
+  client.call(server.address(), ping(), 1.0,
+              [&](bool ok, const MsgPtr&) { result = ok; });
+  engine.run();
+  EXPECT_EQ(result, true);
+}
+
+TEST_F(RpcTest, ConcurrentCallsCorrelateCorrectly) {
+  server.set_request_handler([](const Envelope& env, net::Responder r) {
+    auto pong = std::make_shared<Pong>();
+    pong->value = net::msg_cast<Ping>(env.payload)->value * 10;
+    r.respond(pong);
+  });
+  std::vector<int> results;
+  for (int i = 1; i <= 5; ++i) {
+    client.call(server.address(), ping(i), 1.0, [&](bool ok, const MsgPtr& reply) {
+      ASSERT_TRUE(ok);
+      results.push_back(net::msg_cast<Pong>(reply)->value);
+    });
+  }
+  engine.run();
+  EXPECT_EQ(results, (std::vector<int>{10, 20, 30, 40, 50}));
+}
+
+TEST_F(RpcTest, WireSizeAccountsRpcOverhead) {
+  server.set_request_handler([](const Envelope&, net::Responder) {});
+  client.call(server.address(), ping(), 1.0, [](bool, const MsgPtr&) {});
+  engine.run();
+  // RpcWrap adds 16 bytes over the 100-byte Ping.
+  EXPECT_EQ(network.stats().bytes_sent, 116u);
+}
+
+}  // namespace

@@ -1,0 +1,342 @@
+// Unit tests for the util library: stats accumulators, RNG, tables, CSV,
+// args parsing and the thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/args.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace snooze::util;
+
+// --- RunningStats -----------------------------------------------------------
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, MeanMinMax) {
+  RunningStats s;
+  for (double x : {4.0, 2.0, 6.0}) s.add(x);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+}
+
+TEST(RunningStats, VarianceMatchesDefinition) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  // Sample variance of {1,2,3,4} = 5/3.
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(7.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, ClearResets) {
+  RunningStats s;
+  s.add(1.0);
+  s.clear();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+// --- Percentiles --------------------------------------------------------------
+
+TEST(Percentiles, MedianOfOddCount) {
+  Percentiles p;
+  for (double x : {5.0, 1.0, 3.0}) p.add(x);
+  EXPECT_DOUBLE_EQ(p.median(), 3.0);
+}
+
+TEST(Percentiles, InterpolatesBetweenSamples) {
+  Percentiles p;
+  p.add(0.0);
+  p.add(10.0);
+  EXPECT_DOUBLE_EQ(p.percentile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(p.percentile(0.25), 2.5);
+}
+
+TEST(Percentiles, ExtremesAreMinMax) {
+  Percentiles p;
+  for (double x : {9.0, -2.0, 4.0}) p.add(x);
+  EXPECT_DOUBLE_EQ(p.min(), -2.0);
+  EXPECT_DOUBLE_EQ(p.max(), 9.0);
+}
+
+TEST(Percentiles, MeanAndEmptyBehaviour) {
+  Percentiles p;
+  EXPECT_DOUBLE_EQ(p.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 0.0);
+  p.add(2.0);
+  p.add(4.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 3.0);
+}
+
+TEST(Percentiles, QueryThenAddThenQuery) {
+  Percentiles p;
+  p.add(1.0);
+  EXPECT_DOUBLE_EQ(p.median(), 1.0);
+  p.add(3.0);  // invalidates sort cache
+  EXPECT_DOUBLE_EQ(p.median(), 2.0);
+}
+
+// --- TimeWeighted --------------------------------------------------------------
+
+TEST(TimeWeighted, IntegralOfConstant) {
+  TimeWeighted tw(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(tw.integral(5.0), 10.0);
+}
+
+TEST(TimeWeighted, PiecewiseIntegral) {
+  TimeWeighted tw(0.0, 1.0);
+  tw.set(2.0, 3.0);  // 1.0 for [0,2), then 3.0
+  EXPECT_DOUBLE_EQ(tw.integral(4.0), 2.0 + 6.0);
+  EXPECT_DOUBLE_EQ(tw.average(4.0), 2.0);
+}
+
+TEST(TimeWeighted, NonZeroStartTime) {
+  TimeWeighted tw(10.0, 4.0);
+  tw.set(12.0, 0.0);
+  EXPECT_DOUBLE_EQ(tw.integral(20.0), 8.0);
+  EXPECT_DOUBLE_EQ(tw.average(20.0), 0.8);
+}
+
+TEST(TimeWeighted, CurrentValueTracksLastSet) {
+  TimeWeighted tw;
+  tw.set(1.0, 42.0);
+  EXPECT_DOUBLE_EQ(tw.current(), 42.0);
+  EXPECT_DOUBLE_EQ(tw.last_update(), 1.0);
+}
+
+// --- Rng ------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.next_u64() != b.next_u64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int x = rng.uniform_int(0, 3);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 3);
+    saw_lo |= (x == 0);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(7);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, WeightedIndexRespectsZeroWeights) {
+  Rng rng(7);
+  const std::vector<double> w{0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.weighted_index(w), 1u);
+  }
+}
+
+TEST(Rng, WeightedIndexAllZeroReturnsSize) {
+  Rng rng(7);
+  const std::vector<double> w{0.0, 0.0};
+  EXPECT_EQ(rng.weighted_index(w), w.size());
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  Rng rng(7);
+  const std::vector<double> w{1.0, 3.0};
+  int count1 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.weighted_index(w) == 1) ++count1;
+  }
+  EXPECT_NEAR(static_cast<double>(count1) / n, 0.75, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork();
+  // The child stream is distinct from the parent's continued stream.
+  EXPECT_NE(child.next_u64(), a.next_u64());
+}
+
+// --- Table ------------------------------------------------------------------------
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, PctFormatsFraction) { EXPECT_EQ(Table::pct(0.047, 1), "4.7%"); }
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+// --- Csv ------------------------------------------------------------------------
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesRows) {
+  const std::string path = testing::TempDir() + "/snooze_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.write_row({"a", "b"});
+    csv.write_row({"1", "2,3"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,\"2,3\"");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv"), std::runtime_error);
+}
+
+// --- Args ------------------------------------------------------------------------
+
+TEST(Args, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--count=5", "--name=test"};
+  Args args(3, argv);
+  EXPECT_EQ(args.get_int("count", 0), 5);
+  EXPECT_EQ(args.get("name", ""), "test");
+}
+
+TEST(Args, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--count", "7"};
+  Args args(3, argv);
+  EXPECT_EQ(args.get_int("count", 0), 7);
+}
+
+TEST(Args, BooleanFlag) {
+  const char* argv[] = {"prog", "--verbose"};
+  Args args(2, argv);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_FALSE(args.get_bool("quiet", false));
+}
+
+TEST(Args, FalseStringIsFalse) {
+  const char* argv[] = {"prog", "--x=false", "--y=0"};
+  Args args(3, argv);
+  EXPECT_FALSE(args.get_bool("x", true));
+  EXPECT_FALSE(args.get_bool("y", true));
+}
+
+TEST(Args, DefaultsWhenMissing) {
+  const char* argv[] = {"prog"};
+  Args args(1, argv);
+  EXPECT_EQ(args.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 1.5), 1.5);
+}
+
+TEST(Args, PositionalArguments) {
+  const char* argv[] = {"prog", "input.txt", "--n=1", "output.txt"};
+  Args args(4, argv);
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.positional()[1], "output.txt");
+}
+
+// --- ThreadPool --------------------------------------------------------------------
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(64, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, ManyTasksComplete) {
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&sum] { sum += 1; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 200);
+}
+
+TEST(ThreadPool, SizeReflectsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+}  // namespace
