@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aco_optimality.dir/bench_aco_optimality.cpp.o"
+  "CMakeFiles/bench_aco_optimality.dir/bench_aco_optimality.cpp.o.d"
+  "bench_aco_optimality"
+  "bench_aco_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aco_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

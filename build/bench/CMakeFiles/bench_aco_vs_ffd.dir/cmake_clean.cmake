@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aco_vs_ffd.dir/bench_aco_vs_ffd.cpp.o"
+  "CMakeFiles/bench_aco_vs_ffd.dir/bench_aco_vs_ffd.cpp.o.d"
+  "bench_aco_vs_ffd"
+  "bench_aco_vs_ffd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aco_vs_ffd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_aco_vs_ffd.
+# This may be replaced when dependencies are built.

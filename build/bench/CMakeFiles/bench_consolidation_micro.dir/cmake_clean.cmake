@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_consolidation_micro.dir/bench_consolidation_micro.cpp.o"
+  "CMakeFiles/bench_consolidation_micro.dir/bench_consolidation_micro.cpp.o.d"
+  "bench_consolidation_micro"
+  "bench_consolidation_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_consolidation_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

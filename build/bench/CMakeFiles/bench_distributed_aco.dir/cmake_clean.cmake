@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distributed_aco.dir/bench_distributed_aco.cpp.o"
+  "CMakeFiles/bench_distributed_aco.dir/bench_distributed_aco.cpp.o.d"
+  "bench_distributed_aco"
+  "bench_distributed_aco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distributed_aco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

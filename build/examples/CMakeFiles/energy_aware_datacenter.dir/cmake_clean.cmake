@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_aware_datacenter.dir/energy_aware_datacenter.cpp.o"
+  "CMakeFiles/energy_aware_datacenter.dir/energy_aware_datacenter.cpp.o.d"
+  "energy_aware_datacenter"
+  "energy_aware_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_aware_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

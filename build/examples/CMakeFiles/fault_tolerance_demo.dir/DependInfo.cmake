@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fault_tolerance_demo.cpp" "examples/CMakeFiles/fault_tolerance_demo.dir/fault_tolerance_demo.cpp.o" "gcc" "examples/CMakeFiles/fault_tolerance_demo.dir/fault_tolerance_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/snooze_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/snooze_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/snooze_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/snooze_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/snooze_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/snooze_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/consolidation/CMakeFiles/snooze_consolidation.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/snooze_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/snooze_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snooze_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

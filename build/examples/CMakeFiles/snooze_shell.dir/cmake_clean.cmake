@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snooze_shell.dir/snooze_cli.cpp.o"
+  "CMakeFiles/snooze_shell.dir/snooze_cli.cpp.o.d"
+  "snooze_shell"
+  "snooze_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snooze_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

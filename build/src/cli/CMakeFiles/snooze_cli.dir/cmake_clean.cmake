@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snooze_cli.dir/commands.cpp.o"
+  "CMakeFiles/snooze_cli.dir/commands.cpp.o.d"
+  "CMakeFiles/snooze_cli.dir/dot_export.cpp.o"
+  "CMakeFiles/snooze_cli.dir/dot_export.cpp.o.d"
+  "libsnooze_cli.a"
+  "libsnooze_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snooze_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consolidation/aco.cpp" "src/consolidation/CMakeFiles/snooze_consolidation.dir/aco.cpp.o" "gcc" "src/consolidation/CMakeFiles/snooze_consolidation.dir/aco.cpp.o.d"
+  "/root/repo/src/consolidation/distributed_aco.cpp" "src/consolidation/CMakeFiles/snooze_consolidation.dir/distributed_aco.cpp.o" "gcc" "src/consolidation/CMakeFiles/snooze_consolidation.dir/distributed_aco.cpp.o.d"
+  "/root/repo/src/consolidation/exact.cpp" "src/consolidation/CMakeFiles/snooze_consolidation.dir/exact.cpp.o" "gcc" "src/consolidation/CMakeFiles/snooze_consolidation.dir/exact.cpp.o.d"
+  "/root/repo/src/consolidation/greedy.cpp" "src/consolidation/CMakeFiles/snooze_consolidation.dir/greedy.cpp.o" "gcc" "src/consolidation/CMakeFiles/snooze_consolidation.dir/greedy.cpp.o.d"
+  "/root/repo/src/consolidation/instance.cpp" "src/consolidation/CMakeFiles/snooze_consolidation.dir/instance.cpp.o" "gcc" "src/consolidation/CMakeFiles/snooze_consolidation.dir/instance.cpp.o.d"
+  "/root/repo/src/consolidation/metrics.cpp" "src/consolidation/CMakeFiles/snooze_consolidation.dir/metrics.cpp.o" "gcc" "src/consolidation/CMakeFiles/snooze_consolidation.dir/metrics.cpp.o.d"
+  "/root/repo/src/consolidation/migration_plan.cpp" "src/consolidation/CMakeFiles/snooze_consolidation.dir/migration_plan.cpp.o" "gcc" "src/consolidation/CMakeFiles/snooze_consolidation.dir/migration_plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hypervisor/CMakeFiles/snooze_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/snooze_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snooze_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snooze_consolidation.dir/aco.cpp.o"
+  "CMakeFiles/snooze_consolidation.dir/aco.cpp.o.d"
+  "CMakeFiles/snooze_consolidation.dir/distributed_aco.cpp.o"
+  "CMakeFiles/snooze_consolidation.dir/distributed_aco.cpp.o.d"
+  "CMakeFiles/snooze_consolidation.dir/exact.cpp.o"
+  "CMakeFiles/snooze_consolidation.dir/exact.cpp.o.d"
+  "CMakeFiles/snooze_consolidation.dir/greedy.cpp.o"
+  "CMakeFiles/snooze_consolidation.dir/greedy.cpp.o.d"
+  "CMakeFiles/snooze_consolidation.dir/instance.cpp.o"
+  "CMakeFiles/snooze_consolidation.dir/instance.cpp.o.d"
+  "CMakeFiles/snooze_consolidation.dir/metrics.cpp.o"
+  "CMakeFiles/snooze_consolidation.dir/metrics.cpp.o.d"
+  "CMakeFiles/snooze_consolidation.dir/migration_plan.cpp.o"
+  "CMakeFiles/snooze_consolidation.dir/migration_plan.cpp.o.d"
+  "libsnooze_consolidation.a"
+  "libsnooze_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snooze_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

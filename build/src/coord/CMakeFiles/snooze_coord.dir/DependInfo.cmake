@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coord/client.cpp" "src/coord/CMakeFiles/snooze_coord.dir/client.cpp.o" "gcc" "src/coord/CMakeFiles/snooze_coord.dir/client.cpp.o.d"
+  "/root/repo/src/coord/leader_election.cpp" "src/coord/CMakeFiles/snooze_coord.dir/leader_election.cpp.o" "gcc" "src/coord/CMakeFiles/snooze_coord.dir/leader_election.cpp.o.d"
+  "/root/repo/src/coord/service.cpp" "src/coord/CMakeFiles/snooze_coord.dir/service.cpp.o" "gcc" "src/coord/CMakeFiles/snooze_coord.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/snooze_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/snooze_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snooze_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snooze_coord.dir/client.cpp.o"
+  "CMakeFiles/snooze_coord.dir/client.cpp.o.d"
+  "CMakeFiles/snooze_coord.dir/leader_election.cpp.o"
+  "CMakeFiles/snooze_coord.dir/leader_election.cpp.o.d"
+  "CMakeFiles/snooze_coord.dir/service.cpp.o"
+  "CMakeFiles/snooze_coord.dir/service.cpp.o.d"
+  "libsnooze_coord.a"
+  "libsnooze_coord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snooze_coord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/snooze_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/snooze_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/entry_point.cpp" "src/core/CMakeFiles/snooze_core.dir/entry_point.cpp.o" "gcc" "src/core/CMakeFiles/snooze_core.dir/entry_point.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/core/CMakeFiles/snooze_core.dir/estimator.cpp.o" "gcc" "src/core/CMakeFiles/snooze_core.dir/estimator.cpp.o.d"
+  "/root/repo/src/core/group_manager.cpp" "src/core/CMakeFiles/snooze_core.dir/group_manager.cpp.o" "gcc" "src/core/CMakeFiles/snooze_core.dir/group_manager.cpp.o.d"
+  "/root/repo/src/core/local_controller.cpp" "src/core/CMakeFiles/snooze_core.dir/local_controller.cpp.o" "gcc" "src/core/CMakeFiles/snooze_core.dir/local_controller.cpp.o.d"
+  "/root/repo/src/core/policies.cpp" "src/core/CMakeFiles/snooze_core.dir/policies.cpp.o" "gcc" "src/core/CMakeFiles/snooze_core.dir/policies.cpp.o.d"
+  "/root/repo/src/core/relocation.cpp" "src/core/CMakeFiles/snooze_core.dir/relocation.cpp.o" "gcc" "src/core/CMakeFiles/snooze_core.dir/relocation.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/snooze_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/snooze_core.dir/system.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/core/CMakeFiles/snooze_core.dir/types.cpp.o" "gcc" "src/core/CMakeFiles/snooze_core.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/snooze_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/snooze_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/snooze_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/snooze_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/snooze_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/snooze_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/consolidation/CMakeFiles/snooze_consolidation.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snooze_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

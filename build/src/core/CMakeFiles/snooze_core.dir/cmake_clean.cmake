@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snooze_core.dir/client.cpp.o"
+  "CMakeFiles/snooze_core.dir/client.cpp.o.d"
+  "CMakeFiles/snooze_core.dir/entry_point.cpp.o"
+  "CMakeFiles/snooze_core.dir/entry_point.cpp.o.d"
+  "CMakeFiles/snooze_core.dir/estimator.cpp.o"
+  "CMakeFiles/snooze_core.dir/estimator.cpp.o.d"
+  "CMakeFiles/snooze_core.dir/group_manager.cpp.o"
+  "CMakeFiles/snooze_core.dir/group_manager.cpp.o.d"
+  "CMakeFiles/snooze_core.dir/local_controller.cpp.o"
+  "CMakeFiles/snooze_core.dir/local_controller.cpp.o.d"
+  "CMakeFiles/snooze_core.dir/policies.cpp.o"
+  "CMakeFiles/snooze_core.dir/policies.cpp.o.d"
+  "CMakeFiles/snooze_core.dir/relocation.cpp.o"
+  "CMakeFiles/snooze_core.dir/relocation.cpp.o.d"
+  "CMakeFiles/snooze_core.dir/system.cpp.o"
+  "CMakeFiles/snooze_core.dir/system.cpp.o.d"
+  "CMakeFiles/snooze_core.dir/types.cpp.o"
+  "CMakeFiles/snooze_core.dir/types.cpp.o.d"
+  "libsnooze_core.a"
+  "libsnooze_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snooze_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snooze_energy.dir/energy_meter.cpp.o"
+  "CMakeFiles/snooze_energy.dir/energy_meter.cpp.o.d"
+  "CMakeFiles/snooze_energy.dir/power_model.cpp.o"
+  "CMakeFiles/snooze_energy.dir/power_model.cpp.o.d"
+  "libsnooze_energy.a"
+  "libsnooze_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snooze_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hypervisor/host.cpp" "src/hypervisor/CMakeFiles/snooze_hypervisor.dir/host.cpp.o" "gcc" "src/hypervisor/CMakeFiles/snooze_hypervisor.dir/host.cpp.o.d"
+  "/root/repo/src/hypervisor/migration.cpp" "src/hypervisor/CMakeFiles/snooze_hypervisor.dir/migration.cpp.o" "gcc" "src/hypervisor/CMakeFiles/snooze_hypervisor.dir/migration.cpp.o.d"
+  "/root/repo/src/hypervisor/resources.cpp" "src/hypervisor/CMakeFiles/snooze_hypervisor.dir/resources.cpp.o" "gcc" "src/hypervisor/CMakeFiles/snooze_hypervisor.dir/resources.cpp.o.d"
+  "/root/repo/src/hypervisor/vm.cpp" "src/hypervisor/CMakeFiles/snooze_hypervisor.dir/vm.cpp.o" "gcc" "src/hypervisor/CMakeFiles/snooze_hypervisor.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/energy/CMakeFiles/snooze_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snooze_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snooze_hypervisor.dir/host.cpp.o"
+  "CMakeFiles/snooze_hypervisor.dir/host.cpp.o.d"
+  "CMakeFiles/snooze_hypervisor.dir/migration.cpp.o"
+  "CMakeFiles/snooze_hypervisor.dir/migration.cpp.o.d"
+  "CMakeFiles/snooze_hypervisor.dir/resources.cpp.o"
+  "CMakeFiles/snooze_hypervisor.dir/resources.cpp.o.d"
+  "CMakeFiles/snooze_hypervisor.dir/vm.cpp.o"
+  "CMakeFiles/snooze_hypervisor.dir/vm.cpp.o.d"
+  "libsnooze_hypervisor.a"
+  "libsnooze_hypervisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snooze_hypervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsnooze_hypervisor.a"
+)

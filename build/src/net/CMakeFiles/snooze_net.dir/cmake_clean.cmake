@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snooze_net.dir/network.cpp.o"
+  "CMakeFiles/snooze_net.dir/network.cpp.o.d"
+  "CMakeFiles/snooze_net.dir/rpc.cpp.o"
+  "CMakeFiles/snooze_net.dir/rpc.cpp.o.d"
+  "libsnooze_net.a"
+  "libsnooze_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snooze_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snooze_sim.dir/actor.cpp.o"
+  "CMakeFiles/snooze_sim.dir/actor.cpp.o.d"
+  "CMakeFiles/snooze_sim.dir/engine.cpp.o"
+  "CMakeFiles/snooze_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/snooze_sim.dir/trace.cpp.o"
+  "CMakeFiles/snooze_sim.dir/trace.cpp.o.d"
+  "libsnooze_sim.a"
+  "libsnooze_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snooze_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

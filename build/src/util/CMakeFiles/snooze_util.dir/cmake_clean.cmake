@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snooze_util.dir/args.cpp.o"
+  "CMakeFiles/snooze_util.dir/args.cpp.o.d"
+  "CMakeFiles/snooze_util.dir/csv.cpp.o"
+  "CMakeFiles/snooze_util.dir/csv.cpp.o.d"
+  "CMakeFiles/snooze_util.dir/logging.cpp.o"
+  "CMakeFiles/snooze_util.dir/logging.cpp.o.d"
+  "CMakeFiles/snooze_util.dir/stats.cpp.o"
+  "CMakeFiles/snooze_util.dir/stats.cpp.o.d"
+  "CMakeFiles/snooze_util.dir/table.cpp.o"
+  "CMakeFiles/snooze_util.dir/table.cpp.o.d"
+  "CMakeFiles/snooze_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/snooze_util.dir/thread_pool.cpp.o.d"
+  "libsnooze_util.a"
+  "libsnooze_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snooze_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/cluster.cpp" "src/workload/CMakeFiles/snooze_workload.dir/cluster.cpp.o" "gcc" "src/workload/CMakeFiles/snooze_workload.dir/cluster.cpp.o.d"
+  "/root/repo/src/workload/traces.cpp" "src/workload/CMakeFiles/snooze_workload.dir/traces.cpp.o" "gcc" "src/workload/CMakeFiles/snooze_workload.dir/traces.cpp.o.d"
+  "/root/repo/src/workload/vm_generator.cpp" "src/workload/CMakeFiles/snooze_workload.dir/vm_generator.cpp.o" "gcc" "src/workload/CMakeFiles/snooze_workload.dir/vm_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hypervisor/CMakeFiles/snooze_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snooze_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/snooze_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snooze_workload.dir/cluster.cpp.o"
+  "CMakeFiles/snooze_workload.dir/cluster.cpp.o.d"
+  "CMakeFiles/snooze_workload.dir/traces.cpp.o"
+  "CMakeFiles/snooze_workload.dir/traces.cpp.o.d"
+  "CMakeFiles/snooze_workload.dir/vm_generator.cpp.o"
+  "CMakeFiles/snooze_workload.dir/vm_generator.cpp.o.d"
+  "libsnooze_workload.a"
+  "libsnooze_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snooze_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

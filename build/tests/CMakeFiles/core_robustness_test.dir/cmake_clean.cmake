@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_robustness_test.dir/core_robustness_test.cpp.o"
+  "CMakeFiles/core_robustness_test.dir/core_robustness_test.cpp.o.d"
+  "core_robustness_test"
+  "core_robustness_test.pdb"
+  "core_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

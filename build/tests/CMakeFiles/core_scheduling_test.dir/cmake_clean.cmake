@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_scheduling_test.dir/core_scheduling_test.cpp.o"
+  "CMakeFiles/core_scheduling_test.dir/core_scheduling_test.cpp.o.d"
+  "core_scheduling_test"
+  "core_scheduling_test.pdb"
+  "core_scheduling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_scheduling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

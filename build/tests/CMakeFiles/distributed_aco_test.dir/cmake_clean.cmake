@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_aco_test.dir/distributed_aco_test.cpp.o"
+  "CMakeFiles/distributed_aco_test.dir/distributed_aco_test.cpp.o.d"
+  "distributed_aco_test"
+  "distributed_aco_test.pdb"
+  "distributed_aco_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_aco_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

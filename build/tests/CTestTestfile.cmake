@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/coord_test[1]_include.cmake")
+include("/root/repo/build/tests/hypervisor_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/consolidation_test[1]_include.cmake")
+include("/root/repo/build/tests/distributed_aco_test[1]_include.cmake")
+include("/root/repo/build/tests/core_policies_test[1]_include.cmake")
+include("/root/repo/build/tests/core_system_test[1]_include.cmake")
+include("/root/repo/build/tests/core_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/core_lifecycle_test[1]_include.cmake")
+include("/root/repo/build/tests/core_scheduling_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
