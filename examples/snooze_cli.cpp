@@ -4,16 +4,33 @@
 //
 // Interactive:  ./snooze_cli --lcs=12 --gms=3
 // Scripted:     echo "submit 5\nrun 60\nhierarchy\nstats" | ./snooze_cli
+// Chaos:        ./snooze_cli --gms=3 --lcs=9 --chaos-seed=7 [--chaos-duration=120]
+//               (non-interactive; exit code 0 iff all invariants held)
 
 #include <cstdio>
 #include <iostream>
 #include <string>
 
+#include "chaos/runner.hpp"
 #include "cli/commands.hpp"
 #include "util/args.hpp"
 
 int main(int argc, char** argv) {
   const snooze::util::Args args(argc, argv);
+
+  if (args.has("chaos-seed")) {
+    snooze::chaos::ChaosRunConfig cfg;
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("chaos-seed", 1));
+    cfg.topology.group_managers = static_cast<std::size_t>(args.get_int("gms", 3));
+    cfg.topology.local_controllers = static_cast<std::size_t>(args.get_int("lcs", 9));
+    cfg.spec.duration = args.get_double("chaos-duration", cfg.spec.duration);
+    const auto result = snooze::chaos::run_chaos(cfg);
+    std::fputs(result.report.c_str(), stdout);
+    std::printf("trace hash: %016llx\n",
+                static_cast<unsigned long long>(result.trace_hash));
+    return result.ok() ? 0 : 1;
+  }
+
   auto session = snooze::cli::CliSession::boot(
       static_cast<std::size_t>(args.get_int("gms", 3)),
       static_cast<std::size_t>(args.get_int("lcs", 12)),

@@ -1,0 +1,295 @@
+#include "chaos/injector.hpp"
+
+#include <sstream>
+
+namespace snooze::chaos {
+
+namespace {
+
+std::string target_label(NodeRole role, int index) {
+  std::string out = to_string(role);
+  if (index >= 0) out += "-" + std::to_string(index);
+  return out;
+}
+
+}  // namespace
+
+ChaosInjector::ChaosInjector(core::SnoozeSystem& system, FaultSchedule schedule,
+                             InvariantChecker* checker)
+    : sim::Actor(system.engine(), "chaos"),
+      system_(system),
+      schedule_(std::move(schedule)),
+      checker_(checker) {
+  schedule_.sort();
+}
+
+void ChaosInjector::trace(std::string_view kind, std::string_view detail) {
+  system_.trace().record(name(), kind, detail);
+}
+
+void ChaosInjector::start() {
+  // Action times are relative to injection start (the cluster may have spent
+  // arbitrary virtual time stabilizing before the chaos phase begins).
+  for (const FaultAction& action : schedule_.actions) {
+    after(std::max(0.0, action.at), [this, action] { execute(action); });
+  }
+  trace("chaos.start", std::to_string(schedule_.actions.size()) + " actions");
+}
+
+net::Address ChaosInjector::resolve_address(NodeRole role, int index) {
+  switch (role) {
+    case NodeRole::kGl:
+      return system_.gl_address();
+    case NodeRole::kGm: {
+      auto& gms = system_.group_managers();
+      if (index < 0 || static_cast<std::size_t>(index) >= gms.size()) {
+        return net::kNullAddress;
+      }
+      return gms[static_cast<std::size_t>(index)]->address();
+    }
+    case NodeRole::kLc: {
+      auto& lcs = system_.local_controllers();
+      if (index < 0 || static_cast<std::size_t>(index) >= lcs.size()) {
+        return net::kNullAddress;
+      }
+      return lcs[static_cast<std::size_t>(index)]->address();
+    }
+    case NodeRole::kEp: {
+      auto& eps = system_.entry_points();
+      if (index < 0 || static_cast<std::size_t>(index) >= eps.size()) {
+        return net::kNullAddress;
+      }
+      return eps[static_cast<std::size_t>(index)]->address();
+    }
+    case NodeRole::kNone:
+      break;
+  }
+  return net::kNullAddress;
+}
+
+void ChaosInjector::execute(const FaultAction& action) {
+  switch (action.kind) {
+    case ActionKind::kCrash:
+      do_crash(action);
+      break;
+    case ActionKind::kRecover:
+      do_recover(action);
+      break;
+    case ActionKind::kIsolate:
+      do_isolate(action);
+      break;
+    case ActionKind::kHeal:
+      do_heal(action);
+      break;
+    case ActionKind::kHealAll:
+      isolated_.clear();
+      pair_isolated_.clear();
+      apply_partitions();
+      system_.network().clear_all_faults();
+      system_.network().set_drop_probability(0.0);
+      trace("chaos.heal", "all");
+      break;
+    case ActionKind::kLink:
+      do_link(action, true);
+      break;
+    case ActionKind::kUnlink:
+      do_link(action, false);
+      break;
+    case ActionKind::kGlobalDrop:
+      system_.network().set_drop_probability(action.drop);
+      if (action.drop > 0.0) ++faults_injected_;
+      trace("chaos.drop", std::to_string(action.drop));
+      break;
+  }
+}
+
+void ChaosInjector::do_crash(const FaultAction& action) {
+  NodeRole role = action.role;
+  int index = action.index;
+  if (role == NodeRole::kGl) {
+    // Resolve the current leader; without one the action is a no-op (the
+    // cluster is already leaderless, which is chaos enough).
+    index = system_.fail_gl();
+    if (index < 0) {
+      trace("chaos.skip", "crash gl: no leader");
+      return;
+    }
+    role = NodeRole::kGm;
+    if (action.pair != 0) pair_targets_[action.pair] = {role, index};
+    ++faults_injected_;
+    trace("chaos.crash", "gl (gm-" + std::to_string(index) + ")");
+    return;
+  }
+  if (action.pair != 0) pair_targets_[action.pair] = {role, index};
+  switch (role) {
+    case NodeRole::kGm: {
+      auto& gms = system_.group_managers();
+      if (index < 0 || static_cast<std::size_t>(index) >= gms.size() ||
+          !gms[static_cast<std::size_t>(index)]->alive()) {
+        trace("chaos.skip", "crash " + target_label(role, index));
+        return;
+      }
+      gms[static_cast<std::size_t>(index)]->fail();
+      break;
+    }
+    case NodeRole::kLc: {
+      auto& lcs = system_.local_controllers();
+      if (index < 0 || static_cast<std::size_t>(index) >= lcs.size() ||
+          !lcs[static_cast<std::size_t>(index)]->alive()) {
+        trace("chaos.skip", "crash " + target_label(role, index));
+        return;
+      }
+      auto& lc = *lcs[static_cast<std::size_t>(index)];
+      // The node's VMs die with it by design; they must not count as lost.
+      if (checker_ != nullptr) checker_->excuse_vms(lc.host().vm_ids());
+      lc.fail();
+      break;
+    }
+    case NodeRole::kEp: {
+      auto& eps = system_.entry_points();
+      if (index < 0 || static_cast<std::size_t>(index) >= eps.size()) {
+        trace("chaos.skip", "crash " + target_label(role, index));
+        return;
+      }
+      eps[static_cast<std::size_t>(index)]->fail();
+      break;
+    }
+    default:
+      trace("chaos.skip", "crash: bad target");
+      return;
+  }
+  ++faults_injected_;
+  trace("chaos.crash", target_label(role, index));
+}
+
+void ChaosInjector::do_recover(const FaultAction& action) {
+  NodeRole role = action.role;
+  int index = action.index;
+  if (action.pair != 0) {
+    const auto it = pair_targets_.find(action.pair);
+    if (it == pair_targets_.end()) {
+      trace("chaos.skip", "recover #" + std::to_string(action.pair) + ": never crashed");
+      return;
+    }
+    role = it->second.first;
+    index = it->second.second;
+    pair_targets_.erase(it);
+  }
+  switch (role) {
+    case NodeRole::kGm: {
+      auto& gms = system_.group_managers();
+      if (index >= 0 && static_cast<std::size_t>(index) < gms.size() &&
+          !gms[static_cast<std::size_t>(index)]->alive()) {
+        gms[static_cast<std::size_t>(index)]->restart();
+      }
+      break;
+    }
+    case NodeRole::kLc: {
+      auto& lcs = system_.local_controllers();
+      if (index >= 0 && static_cast<std::size_t>(index) < lcs.size() &&
+          !lcs[static_cast<std::size_t>(index)]->alive()) {
+        lcs[static_cast<std::size_t>(index)]->restart();
+      }
+      break;
+    }
+    case NodeRole::kEp: {
+      auto& eps = system_.entry_points();
+      if (index >= 0 && static_cast<std::size_t>(index) < eps.size() &&
+          !eps[static_cast<std::size_t>(index)]->alive()) {
+        eps[static_cast<std::size_t>(index)]->restart();
+      }
+      break;
+    }
+    default:
+      trace("chaos.skip", "recover: bad target");
+      return;
+  }
+  trace("chaos.recover", target_label(role, index));
+}
+
+void ChaosInjector::apply_partitions() {
+  // Isolation islands: every isolated address forms a singleton partition
+  // group; per Network::blocked() semantics, grouped nodes cannot reach any
+  // node outside their group, while ungrouped nodes keep talking normally.
+  std::vector<std::set<net::Address>> partitions;
+  partitions.reserve(isolated_.size());
+  for (const net::Address addr : isolated_) partitions.push_back({addr});
+  system_.network().set_partitions(std::move(partitions));
+}
+
+void ChaosInjector::do_isolate(const FaultAction& action) {
+  const net::Address addr = resolve_address(action.role, action.index);
+  if (addr == net::kNullAddress) {
+    trace("chaos.skip", "isolate " + target_label(action.role, action.index));
+    return;
+  }
+  if (action.pair != 0) pair_isolated_[action.pair] = addr;
+  if (!isolated_.insert(addr).second) return;  // already isolated
+  apply_partitions();
+  ++faults_injected_;
+  trace("chaos.isolate", target_label(action.role, action.index));
+}
+
+void ChaosInjector::do_heal(const FaultAction& action) {
+  net::Address addr = net::kNullAddress;
+  if (action.pair != 0) {
+    const auto it = pair_isolated_.find(action.pair);
+    if (it == pair_isolated_.end()) {
+      trace("chaos.skip", "heal #" + std::to_string(action.pair) + ": not isolated");
+      return;
+    }
+    addr = it->second;
+    pair_isolated_.erase(it);
+  } else {
+    addr = resolve_address(action.role, action.index);
+  }
+  if (addr == net::kNullAddress || isolated_.erase(addr) == 0) {
+    trace("chaos.skip", "heal: target not isolated");
+    return;
+  }
+  apply_partitions();
+  trace("chaos.heal", target_label(action.role, action.index));
+}
+
+void ChaosInjector::do_link(const FaultAction& action, bool install) {
+  const net::Address a = resolve_address(action.role, action.index);
+  const net::Address b = resolve_address(action.role2, action.index2);
+  if (a == net::kNullAddress || b == net::kNullAddress || a == b) {
+    trace("chaos.skip", "link: bad endpoints");
+    return;
+  }
+  if (install) {
+    system_.network().set_link_faults(a, b, action.faults);
+    system_.network().set_link_faults(b, a, action.faults);
+    ++faults_injected_;
+  } else {
+    system_.network().clear_link_faults(a, b);
+    system_.network().clear_link_faults(b, a);
+  }
+  std::ostringstream detail;
+  detail << target_label(action.role, action.index) << " <-> "
+         << target_label(action.role2, action.index2);
+  if (install) detail << " drop=" << action.faults.drop;
+  trace(install ? "chaos.link" : "chaos.unlink", detail.str());
+}
+
+void ChaosInjector::heal_all_remaining() {
+  for (auto& gm : system_.group_managers()) {
+    if (!gm->alive()) gm->restart();
+  }
+  for (auto& lc : system_.local_controllers()) {
+    if (!lc->alive()) lc->restart();
+  }
+  for (auto& ep : system_.entry_points()) {
+    if (!ep->alive()) ep->restart();
+  }
+  isolated_.clear();
+  pair_isolated_.clear();
+  pair_targets_.clear();
+  apply_partitions();
+  system_.network().clear_all_faults();
+  system_.network().set_drop_probability(0.0);
+  trace("chaos.heal", "final");
+}
+
+}  // namespace snooze::chaos

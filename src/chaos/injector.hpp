@@ -1,0 +1,63 @@
+// Executes a FaultSchedule against a running SnoozeSystem.
+//
+// The injector is a DES actor: every action is scheduled at its absolute
+// time and applied through the system's own fault hooks (component fail()/
+// restart(), network partitions, per-link fault knobs, global loss). GL
+// targets are resolved at execution time — "crash gl" crashes whichever GM
+// holds the leadership when the action fires — and the resolved node is
+// remembered per pair id so the matching recover/heal finds it.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "chaos/invariants.hpp"
+#include "chaos/schedule.hpp"
+#include "core/system.hpp"
+#include "sim/actor.hpp"
+
+namespace snooze::chaos {
+
+class ChaosInjector final : public sim::Actor {
+ public:
+  /// `checker` may be null; when set, VMs on a deliberately crashed LC are
+  /// excused from the no-VM-lost invariant (the paper terminates them).
+  ChaosInjector(core::SnoozeSystem& system, FaultSchedule schedule,
+                InvariantChecker* checker = nullptr);
+
+  /// Schedule every action; call before running the engine.
+  void start();
+
+  /// Undo every still-open fault immediately: restart crashed components,
+  /// clear partitions, link/node faults and global loss. Called by the
+  /// runner after the schedule horizon so the final liveness check starts
+  /// from a connected cluster.
+  void heal_all_remaining();
+
+  [[nodiscard]] std::size_t faults_injected() const { return faults_injected_; }
+
+ private:
+  void execute(const FaultAction& action);
+  void do_crash(const FaultAction& action);
+  void do_recover(const FaultAction& action);
+  void do_isolate(const FaultAction& action);
+  void do_heal(const FaultAction& action);
+  void do_link(const FaultAction& action, bool install);
+  void apply_partitions();
+  /// Live target of (role, index); kNullAddress when it cannot be resolved.
+  [[nodiscard]] net::Address resolve_address(NodeRole role, int index);
+  void trace(std::string_view kind, std::string_view detail = {});
+
+  core::SnoozeSystem& system_;
+  FaultSchedule schedule_;
+  InvariantChecker* checker_;
+
+  /// pair id -> concrete (role, index) fixed at injection time.
+  std::map<int, std::pair<NodeRole, int>> pair_targets_;
+  /// pair id -> isolated address (for heal by pair).
+  std::map<int, net::Address> pair_isolated_;
+  std::set<net::Address> isolated_;
+  std::size_t faults_injected_ = 0;
+};
+
+}  // namespace snooze::chaos

@@ -1,0 +1,85 @@
+#include "chaos/runner.hpp"
+
+#include <sstream>
+
+#include "chaos/injector.hpp"
+#include "core/system.hpp"
+
+namespace snooze::chaos {
+
+ChaosRunResult run_chaos(const ChaosRunConfig& cfg) {
+  return run_chaos_schedule(cfg,
+                            generate_schedule(cfg.spec, cfg.topology, cfg.seed));
+}
+
+ChaosRunResult run_chaos_schedule(const ChaosRunConfig& cfg,
+                                  const FaultSchedule& schedule) {
+  core::SystemSpec spec;
+  spec.entry_points = cfg.topology.entry_points;
+  spec.group_managers = cfg.topology.group_managers;
+  spec.local_controllers = cfg.topology.local_controllers;
+  spec.config = cfg.config;
+  spec.seed = cfg.seed;
+  core::SnoozeSystem system(spec);
+  system.start();
+  system.run_until_stable(cfg.stabilize_bound);
+
+  InvariantChecker checker(system, cfg.invariants);
+  checker.start();
+  ChaosInjector injector(system, schedule, &checker);
+  const sim::Time chaos_start = system.engine().now();
+  injector.start();
+
+  // Stagger the workload across the fault window so submissions race the
+  // injected failures. VMs run unbounded: each accepted one must survive to
+  // the final check unless its host was deliberately crashed.
+  for (std::size_t i = 0; i < cfg.vms; ++i) {
+    system.engine().schedule(
+        cfg.vm_inter_arrival * static_cast<double>(i + 1), [&system, &checker] {
+      const core::VmDescriptor vm = system.make_vm({0.15, 0.15, 0.15});
+      const core::VmId id = vm.id;
+      system.client().submit(vm, [&checker, id](bool ok, net::Address, sim::Time) {
+        if (ok) checker.note_accepted(id);
+      });
+    });
+  }
+
+  system.engine().run_until(chaos_start + schedule.duration + 1.0);
+  injector.heal_all_remaining();
+
+  ChaosRunResult result;
+  result.converged = checker.final_check(cfg.converge_bound);
+  result.invariants_ok = checker.ok();
+  result.violations = checker.violations();
+  result.faults_injected = injector.faults_injected();
+  result.vms_accepted = checker.accepted_count();
+  result.vms_excused = checker.excused_count();
+
+  const net::TrafficStats& stats = system.network().stats();
+  result.messages_sent = stats.messages_sent;
+  result.messages_dropped = stats.messages_dropped;
+  result.messages_duplicated = stats.messages_duplicated;
+
+  // Fingerprint: the full event trace plus the network counters. Identical
+  // config + seed must reproduce this value bit for bit.
+  std::uint64_t h = system.trace().hash();
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  };
+  mix(stats.messages_sent);
+  mix(stats.messages_delivered);
+  mix(stats.messages_dropped);
+  mix(stats.messages_duplicated);
+  mix(stats.bytes_sent);
+  result.trace_hash = h;
+
+  std::ostringstream report;
+  report << "chaos run: seed=" << cfg.seed << " faults=" << result.faults_injected
+         << " accepted=" << result.vms_accepted << " excused=" << result.vms_excused
+         << " converged=" << (result.converged ? "yes" : "no") << "\n"
+         << checker.report();
+  result.report = report.str();
+  return result;
+}
+
+}  // namespace snooze::chaos

@@ -1,0 +1,59 @@
+// End-to-end chaos run: build a cluster, submit a workload, execute a fault
+// schedule with invariants continuously checked, heal, and verify liveness.
+//
+// The whole run is a pure function of its configuration (seed included):
+// two runs with identical inputs produce identical event traces, exposed as
+// a fingerprint hash for reproducibility checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/invariants.hpp"
+#include "chaos/schedule.hpp"
+#include "core/config.hpp"
+
+namespace snooze::chaos {
+
+struct ChaosRunConfig {
+  Topology topology{};
+  std::uint64_t seed = 1;
+  ChaosSpec spec{};
+  core::SnoozeConfig config{};
+
+  std::size_t vms = 12;                 ///< workload size
+  sim::Time vm_inter_arrival = 1.5;     ///< submission spacing
+  sim::Time stabilize_bound = 30.0;  ///< initial hierarchy formation bound
+  /// Post-heal reconvergence bound. A node recovered right at the horizon
+  /// still needs a full boot (90 s with the default power model) before it
+  /// can even start rejoining, so the bound must cover boot + election +
+  /// assignment.
+  sim::Time converge_bound = 150.0;
+  InvariantChecker::Options invariants{};
+};
+
+struct ChaosRunResult {
+  bool converged = false;      ///< hierarchy re-stabilized after healing
+  bool invariants_ok = false;  ///< no invariant violation at any point
+  std::vector<std::string> violations;
+  std::uint64_t trace_hash = 0;  ///< deterministic run fingerprint
+  std::size_t faults_injected = 0;
+  std::size_t vms_accepted = 0;
+  std::size_t vms_excused = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::string report;
+
+  [[nodiscard]] bool ok() const { return converged && invariants_ok; }
+};
+
+/// Generate a schedule from cfg.seed and run it.
+[[nodiscard]] ChaosRunResult run_chaos(const ChaosRunConfig& cfg);
+
+/// Run an explicit schedule (e.g. parsed from a script) on a fresh cluster.
+[[nodiscard]] ChaosRunResult run_chaos_schedule(const ChaosRunConfig& cfg,
+                                                const FaultSchedule& schedule);
+
+}  // namespace snooze::chaos

@@ -1,0 +1,496 @@
+#include "chaos/schedule.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace snooze::chaos {
+
+const char* to_string(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kCrash: return "crash";
+    case ActionKind::kRecover: return "recover";
+    case ActionKind::kIsolate: return "isolate";
+    case ActionKind::kHeal: return "heal";
+    case ActionKind::kHealAll: return "heal";
+    case ActionKind::kLink: return "link";
+    case ActionKind::kUnlink: return "unlink";
+    case ActionKind::kGlobalDrop: return "drop";
+  }
+  return "?";
+}
+
+const char* to_string(NodeRole role) {
+  switch (role) {
+    case NodeRole::kNone: return "none";
+    case NodeRole::kGl: return "gl";
+    case NodeRole::kGm: return "gm";
+    case NodeRole::kLc: return "lc";
+    case NodeRole::kEp: return "ep";
+  }
+  return "?";
+}
+
+void FaultSchedule::sort() {
+  std::stable_sort(actions.begin(), actions.end(),
+                   [](const FaultAction& a, const FaultAction& b) { return a.at < b.at; });
+}
+
+namespace {
+
+std::string format_time(sim::Time t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", t);
+  return buf;
+}
+
+void append_target(std::ostringstream& out, NodeRole role, int index) {
+  out << ' ' << to_string(role);
+  if (role != NodeRole::kGl) out << ' ' << index;
+}
+
+}  // namespace
+
+std::string FaultSchedule::to_script() const {
+  std::ostringstream out;
+  out << "# snooze chaos schedule\n";
+  out << "duration " << format_time(duration) << '\n';
+  for (const FaultAction& a : actions) {
+    out << format_time(a.at) << ' ' << to_string(a.kind);
+    switch (a.kind) {
+      case ActionKind::kCrash:
+      case ActionKind::kIsolate:
+        append_target(out, a.role, a.index);
+        if (a.pair != 0) out << " #" << a.pair;
+        break;
+      case ActionKind::kRecover:
+      case ActionKind::kHeal:
+        if (a.pair != 0) {
+          out << " #" << a.pair;
+        } else {
+          append_target(out, a.role, a.index);
+        }
+        break;
+      case ActionKind::kHealAll:
+        out << " all";
+        break;
+      case ActionKind::kLink:
+        append_target(out, a.role, a.index);
+        append_target(out, a.role2, a.index2);
+        out << " drop=" << a.faults.drop;
+        if (a.faults.duplicate > 0.0) out << " dup=" << a.faults.duplicate;
+        if (a.faults.reorder > 0.0) {
+          out << " reorder=" << a.faults.reorder
+              << " rdelay=" << a.faults.reorder_delay;
+        }
+        if (a.faults.extra_latency > 0.0) out << " lat=" << a.faults.extra_latency;
+        break;
+      case ActionKind::kUnlink:
+        append_target(out, a.role, a.index);
+        append_target(out, a.role2, a.index2);
+        break;
+      case ActionKind::kGlobalDrop:
+        out << ' ' << a.drop;
+        break;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Seeded generation
+// ---------------------------------------------------------------------------
+
+FaultSchedule generate_schedule(const ChaosSpec& spec, const Topology& topo,
+                                std::uint64_t seed) {
+  util::Rng rng(seed ^ 0x5C4A05);
+  FaultSchedule schedule;
+  schedule.duration = spec.duration;
+  int next_pair = 1;
+
+  // Targets currently inside an open crash/isolation window (a GL crash
+  // consumes a GM slot: the leader is one of the GMs).
+  std::set<std::pair<NodeRole, int>> busy;
+  std::size_t down_gms = 0;
+  std::size_t down_lcs = 0;
+  std::size_t down_eps = 0;
+  bool gl_window_open = false;
+
+  // Node pairs with an open link-fault window.
+  std::set<std::array<int, 4>> busy_links;
+
+  auto heal_time = [&](sim::Time at) {
+    sim::Time t = at + spec.min_heal_time;
+    if (spec.mean_extra_heal > 0.0) {
+      t += rng.exponential(1.0 / spec.mean_extra_heal);
+    }
+    return std::min(t, spec.duration);
+  };
+
+  auto random_node = [&](util::Rng& r) {
+    // Pick a role/index pair over the whole cluster, GMs and LCs only (link
+    // faults between control-plane nodes are where the protocols hurt).
+    const std::size_t n = topo.group_managers + topo.local_controllers;
+    const std::size_t i = r.uniform_int<std::size_t>(0, n - 1);
+    if (i < topo.group_managers) {
+      return std::pair<NodeRole, int>{NodeRole::kGm, static_cast<int>(i)};
+    }
+    return std::pair<NodeRole, int>{NodeRole::kLc,
+                                    static_cast<int>(i - topo.group_managers)};
+  };
+
+  sim::Time t = 0.0;
+  if (spec.fault_rate <= 0.0) return schedule;
+  while (true) {
+    t += rng.exponential(spec.fault_rate);
+    if (t >= spec.duration) break;
+
+    enum { kGl, kGm, kLc, kEp, kIso, kLink, kDrop };
+    const std::array<double, 7> weights{
+        spec.weight_crash_gl, spec.weight_crash_gm, spec.weight_crash_lc,
+        spec.weight_crash_ep, spec.weight_isolate,  spec.weight_link,
+        spec.weight_global_drop};
+    const std::size_t kind = rng.weighted_index(weights);
+
+    FaultAction inject;
+    inject.at = t;
+
+    auto open_window = [&](ActionKind open_kind, ActionKind close_kind, NodeRole role,
+                           int index) {
+      inject.kind = open_kind;
+      inject.role = role;
+      inject.index = index;
+      inject.pair = next_pair++;
+      FaultAction close;
+      close.at = heal_time(t);
+      close.kind = close_kind;
+      close.pair = inject.pair;
+      schedule.actions.push_back(inject);
+      schedule.actions.push_back(close);
+    };
+
+    switch (kind) {
+      case kGl: {
+        // The GL is resolved at execution time; one open GL window at a time
+        // and only while a spare GM exists to take over.
+        if (gl_window_open) continue;
+        if (topo.group_managers - down_gms <= spec.min_live_gms) continue;
+        gl_window_open = true;
+        ++down_gms;
+        const bool isolate = rng.chance(0.4);
+        open_window(isolate ? ActionKind::kIsolate : ActionKind::kCrash,
+                    isolate ? ActionKind::kHeal : ActionKind::kRecover,
+                    NodeRole::kGl, -1);
+        // Re-open the slot at heal time (processed in time order below).
+        FaultAction& close = schedule.actions.back();
+        close.role = NodeRole::kGl;  // marker for the bookkeeping pass
+        break;
+      }
+      case kGm: {
+        if (topo.group_managers - down_gms <= spec.min_live_gms) continue;
+        const int i = rng.uniform_int<int>(0, static_cast<int>(topo.group_managers) - 1);
+        if (busy.count({NodeRole::kGm, i}) > 0) continue;
+        busy.insert({NodeRole::kGm, i});
+        ++down_gms;
+        open_window(ActionKind::kCrash, ActionKind::kRecover, NodeRole::kGm, i);
+        break;
+      }
+      case kLc: {
+        if (topo.local_controllers - down_lcs <= spec.min_live_lcs) continue;
+        const int i =
+            rng.uniform_int<int>(0, static_cast<int>(topo.local_controllers) - 1);
+        if (busy.count({NodeRole::kLc, i}) > 0) continue;
+        busy.insert({NodeRole::kLc, i});
+        ++down_lcs;
+        const bool isolate = rng.chance(0.3);
+        open_window(isolate ? ActionKind::kIsolate : ActionKind::kCrash,
+                    isolate ? ActionKind::kHeal : ActionKind::kRecover,
+                    NodeRole::kLc, i);
+        break;
+      }
+      case kEp: {
+        if (topo.entry_points - down_eps <= spec.min_live_eps) continue;
+        const int i = rng.uniform_int<int>(0, static_cast<int>(topo.entry_points) - 1);
+        if (busy.count({NodeRole::kEp, i}) > 0) continue;
+        busy.insert({NodeRole::kEp, i});
+        ++down_eps;
+        open_window(ActionKind::kCrash, ActionKind::kRecover, NodeRole::kEp, i);
+        break;
+      }
+      case kIso: {
+        if (topo.group_managers - down_gms <= spec.min_live_gms) continue;
+        const int i = rng.uniform_int<int>(0, static_cast<int>(topo.group_managers) - 1);
+        if (busy.count({NodeRole::kGm, i}) > 0) continue;
+        busy.insert({NodeRole::kGm, i});
+        ++down_gms;
+        open_window(ActionKind::kIsolate, ActionKind::kHeal, NodeRole::kGm, i);
+        break;
+      }
+      case kLink: {
+        const auto a = random_node(rng);
+        const auto b = random_node(rng);
+        if (a == b) continue;
+        const std::array<int, 4> key{static_cast<int>(a.first), a.second,
+                                     static_cast<int>(b.first), b.second};
+        if (busy_links.count(key) > 0) continue;
+        busy_links.insert(key);
+        inject.kind = ActionKind::kLink;
+        inject.role = a.first;
+        inject.index = a.second;
+        inject.role2 = b.first;
+        inject.index2 = b.second;
+        inject.faults.drop = rng.uniform(0.05, spec.max_link_drop);
+        if (rng.chance(0.4)) inject.faults.duplicate = rng.uniform(0.0, spec.max_duplicate);
+        if (rng.chance(0.4)) {
+          inject.faults.reorder = rng.uniform(0.0, spec.max_reorder);
+          inject.faults.reorder_delay = rng.uniform(0.01, 0.2);
+        }
+        if (rng.chance(0.3)) {
+          inject.faults.extra_latency = rng.uniform(0.0, spec.max_extra_latency);
+        }
+        FaultAction close;
+        close.at = heal_time(t);
+        close.kind = ActionKind::kUnlink;
+        close.role = a.first;
+        close.index = a.second;
+        close.role2 = b.first;
+        close.index2 = b.second;
+        schedule.actions.push_back(inject);
+        schedule.actions.push_back(close);
+        break;
+      }
+      case kDrop:
+      default: {
+        inject.kind = ActionKind::kGlobalDrop;
+        inject.drop = rng.uniform(0.005, spec.max_global_drop);
+        FaultAction close;
+        close.at = heal_time(t);
+        close.kind = ActionKind::kGlobalDrop;
+        close.drop = 0.0;
+        schedule.actions.push_back(inject);
+        schedule.actions.push_back(close);
+        break;
+      }
+    }
+
+    // Re-open windows whose heal time has passed. A simple rescan keeps the
+    // bookkeeping honest without a second queue; schedules are tiny.
+    busy.clear();
+    busy_links.clear();
+    down_gms = down_lcs = down_eps = 0;
+    gl_window_open = false;
+    std::set<int> healed;
+    for (const FaultAction& a : schedule.actions) {
+      const bool closes = a.kind == ActionKind::kRecover || a.kind == ActionKind::kHeal ||
+                          a.kind == ActionKind::kUnlink;
+      if (closes && a.at <= t) {
+        if (a.pair != 0) healed.insert(a.pair);
+        if (a.kind == ActionKind::kUnlink) {
+          busy_links.erase({static_cast<int>(a.role), a.index,
+                            static_cast<int>(a.role2), a.index2});
+        }
+      }
+    }
+    for (const FaultAction& a : schedule.actions) {
+      if (a.kind == ActionKind::kLink && a.at <= t) {
+        bool open = true;
+        for (const FaultAction& c : schedule.actions) {
+          if (c.kind == ActionKind::kUnlink && c.at <= t && c.role == a.role &&
+              c.index == a.index && c.role2 == a.role2 && c.index2 == a.index2 &&
+              c.at >= a.at) {
+            open = false;
+            break;
+          }
+        }
+        if (open) {
+          busy_links.insert({static_cast<int>(a.role), a.index,
+                             static_cast<int>(a.role2), a.index2});
+        }
+      }
+      if ((a.kind != ActionKind::kCrash && a.kind != ActionKind::kIsolate) || a.at > t) {
+        continue;
+      }
+      if (a.pair != 0 && healed.count(a.pair) > 0) continue;
+      if (a.role == NodeRole::kGl) {
+        gl_window_open = true;
+        ++down_gms;
+      } else {
+        busy.insert({a.role, a.index});
+        if (a.role == NodeRole::kGm) ++down_gms;
+        if (a.role == NodeRole::kLc) ++down_lcs;
+        if (a.role == NodeRole::kEp) ++down_eps;
+      }
+    }
+  }
+
+  schedule.sort();
+  return schedule;
+}
+
+// ---------------------------------------------------------------------------
+// Script parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void fail_at(std::size_t line, const std::string& message) {
+  throw std::runtime_error("chaos script line " + std::to_string(line) + ": " + message);
+}
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) {
+    if (tok[0] == '#' && (tok.size() < 2 || !std::isdigit(static_cast<unsigned char>(tok[1])))) {
+      break;  // trailing comment ("#id" pair refs keep their digits)
+    }
+    out.push_back(tok);
+  }
+  return out;
+}
+
+double parse_number(const std::string& tok, std::size_t line, const char* what) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(tok, &used);
+    if (used != tok.size()) fail_at(line, std::string("bad ") + what + " '" + tok + "'");
+    return value;
+  } catch (const std::logic_error&) {
+    fail_at(line, std::string("bad ") + what + " '" + tok + "'");
+  }
+}
+
+NodeRole parse_role(const std::string& tok, std::size_t line) {
+  if (tok == "gl") return NodeRole::kGl;
+  if (tok == "gm") return NodeRole::kGm;
+  if (tok == "lc") return NodeRole::kLc;
+  if (tok == "ep") return NodeRole::kEp;
+  fail_at(line, "unknown role '" + tok + "'");
+}
+
+/// Parse "<role> [<i>]" starting at tokens[pos]; advances pos.
+void parse_target(const std::vector<std::string>& tokens, std::size_t& pos,
+                  std::size_t line, NodeRole& role, int& index) {
+  if (pos >= tokens.size()) fail_at(line, "expected a target role");
+  role = parse_role(tokens[pos++], line);
+  if (role == NodeRole::kGl) {
+    index = -1;
+    return;
+  }
+  if (pos >= tokens.size()) fail_at(line, "expected a node index");
+  index = static_cast<int>(parse_number(tokens[pos++], line, "node index"));
+  if (index < 0) fail_at(line, "node index must be >= 0");
+}
+
+/// Parse an optional trailing "#id"; returns 0 when absent.
+int parse_pair(const std::vector<std::string>& tokens, std::size_t& pos,
+               std::size_t line) {
+  if (pos >= tokens.size() || tokens[pos][0] != '#') return 0;
+  const int id = static_cast<int>(parse_number(tokens[pos].substr(1), line, "pair id"));
+  ++pos;
+  return id;
+}
+
+}  // namespace
+
+FaultSchedule parse_script(const std::string& text) {
+  FaultSchedule schedule;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::vector<std::string> tokens = split_tokens(line);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "duration") {
+      if (tokens.size() < 2) fail_at(line_no, "duration needs a value");
+      schedule.duration = parse_number(tokens[1], line_no, "duration");
+      continue;
+    }
+
+    FaultAction action;
+    action.at = parse_number(tokens[0], line_no, "time");
+    if (action.at < 0.0) fail_at(line_no, "time must be >= 0");
+    if (tokens.size() < 2) fail_at(line_no, "expected an action verb");
+    const std::string& verb = tokens[1];
+    std::size_t pos = 2;
+
+    if (verb == "crash" || verb == "isolate") {
+      action.kind = verb == "crash" ? ActionKind::kCrash : ActionKind::kIsolate;
+      parse_target(tokens, pos, line_no, action.role, action.index);
+      action.pair = parse_pair(tokens, pos, line_no);
+    } else if (verb == "recover" || verb == "heal") {
+      if (pos < tokens.size() && tokens[pos] == "all") {
+        if (verb != "heal") fail_at(line_no, "'all' only applies to heal");
+        action.kind = ActionKind::kHealAll;
+        ++pos;
+      } else if (pos < tokens.size() && tokens[pos][0] == '#') {
+        action.kind = verb == "recover" ? ActionKind::kRecover : ActionKind::kHeal;
+        action.pair = parse_pair(tokens, pos, line_no);
+        if (action.pair == 0) fail_at(line_no, "bad pair reference");
+      } else {
+        action.kind = verb == "recover" ? ActionKind::kRecover : ActionKind::kHeal;
+        parse_target(tokens, pos, line_no, action.role, action.index);
+      }
+    } else if (verb == "link") {
+      action.kind = ActionKind::kLink;
+      parse_target(tokens, pos, line_no, action.role, action.index);
+      parse_target(tokens, pos, line_no, action.role2, action.index2);
+      bool saw_knob = false;
+      for (; pos < tokens.size(); ++pos) {
+        const std::string& knob = tokens[pos];
+        const auto eq = knob.find('=');
+        if (eq == std::string::npos) fail_at(line_no, "bad link knob '" + knob + "'");
+        const std::string key = knob.substr(0, eq);
+        const double value = parse_number(knob.substr(eq + 1), line_no, key.c_str());
+        if (key == "drop") {
+          action.faults.drop = value;
+        } else if (key == "dup") {
+          action.faults.duplicate = value;
+        } else if (key == "reorder") {
+          action.faults.reorder = value;
+        } else if (key == "rdelay") {
+          action.faults.reorder_delay = value;
+        } else if (key == "lat") {
+          action.faults.extra_latency = value;
+        } else {
+          fail_at(line_no, "unknown link knob '" + key + "'");
+        }
+        saw_knob = true;
+      }
+      if (!saw_knob) fail_at(line_no, "link needs at least one knob (e.g. drop=0.2)");
+      pos = tokens.size();
+    } else if (verb == "unlink") {
+      action.kind = ActionKind::kUnlink;
+      parse_target(tokens, pos, line_no, action.role, action.index);
+      parse_target(tokens, pos, line_no, action.role2, action.index2);
+    } else if (verb == "drop") {
+      action.kind = ActionKind::kGlobalDrop;
+      if (pos >= tokens.size()) fail_at(line_no, "drop needs a probability");
+      action.drop = parse_number(tokens[pos++], line_no, "probability");
+      if (action.drop < 0.0 || action.drop > 1.0) {
+        fail_at(line_no, "probability must be in [0,1]");
+      }
+    } else {
+      fail_at(line_no, "unknown action '" + verb + "'");
+    }
+    if (pos != tokens.size()) {
+      fail_at(line_no, "unexpected trailing token '" + tokens[pos] + "'");
+    }
+    schedule.actions.push_back(action);
+    schedule.duration = std::max(schedule.duration, action.at);
+  }
+  schedule.sort();
+  return schedule;
+}
+
+}  // namespace snooze::chaos

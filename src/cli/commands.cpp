@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "chaos/runner.hpp"
 #include "cli/dot_export.hpp"
 
 namespace snooze::cli {
@@ -41,6 +42,9 @@ std::string CliSession::help() {
          "  export-dot [file]                          Graphviz of the hierarchy\n"
          "  stats                                      counters and energy\n"
          "  fail gl | fail gm <i> | fail lc <i>        inject a crash\n"
+         "  chaos seed <n> [duration]                  seeded chaos run + invariants\n"
+         "  chaos script <file>                        run a fault-schedule script\n"
+         "  chaos show <n> [duration]                  print the schedule for a seed\n"
          "  help                                       this screen\n"
          "  quit                                       leave\n";
 }
@@ -58,6 +62,7 @@ CommandResult CliSession::execute(const std::string& line) {
   if (cmd == "export-dot") return cmd_export_dot(args);
   if (cmd == "stats") return cmd_stats();
   if (cmd == "fail") return cmd_fail(args);
+  if (cmd == "chaos") return cmd_chaos(args);
   return {false, false, "unknown command '" + cmd + "' (try 'help')\n"};
 }
 
@@ -162,6 +167,60 @@ CommandResult CliSession::cmd_fail(const std::vector<std::string>& args) {
     return {true, false, "crashed lc-" + std::to_string(index) + "\n"};
   }
   return {false, false, "fail: unknown target '" + args[0] + "'\n"};
+}
+
+CommandResult CliSession::cmd_chaos(const std::vector<std::string>& args) {
+  const std::string usage =
+      "usage: chaos seed <n> [duration] | chaos script <file> | chaos show <n> [duration]\n";
+  if (args.size() < 2) return {false, false, usage};
+
+  // Chaos runs execute on a fresh cluster shaped like this session's (the
+  // interactive deployment stays untouched); the seed fully determines the
+  // run, so a failure reported here reproduces anywhere.
+  chaos::ChaosRunConfig cfg;
+  cfg.topology.entry_points = system_->spec().entry_points;
+  cfg.topology.group_managers = system_->spec().group_managers;
+  cfg.topology.local_controllers = system_->spec().local_controllers;
+  cfg.config = system_->spec().config;
+
+  auto finish = [](const chaos::ChaosRunResult& result) {
+    std::ostringstream out;
+    out << result.report;
+    out << "trace hash: " << std::hex << result.trace_hash << std::dec << "\n";
+    return CommandResult{result.ok(), false, out.str()};
+  };
+
+  if (args[0] == "seed" || args[0] == "show") {
+    char* end = nullptr;
+    cfg.seed = std::strtoull(args[1].c_str(), &end, 10);
+    if (end == args[1].c_str() || *end != '\0') {
+      return {false, false, "chaos: bad seed '" + args[1] + "'\n"};
+    }
+    if (args.size() > 2) {
+      const double duration = std::strtod(args[2].c_str(), nullptr);
+      if (duration <= 0.0) return {false, false, "chaos: bad duration\n"};
+      cfg.spec.duration = duration;
+    }
+    if (args[0] == "show") {
+      const auto schedule =
+          chaos::generate_schedule(cfg.spec, cfg.topology, cfg.seed);
+      return {true, false, schedule.to_script()};
+    }
+    return finish(chaos::run_chaos(cfg));
+  }
+  if (args[0] == "script") {
+    std::ifstream in(args[1]);
+    if (!in) return {false, false, "chaos: cannot open " + args[1] + "\n"};
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      const auto schedule = chaos::parse_script(text.str());
+      return finish(chaos::run_chaos_schedule(cfg, schedule));
+    } catch (const std::exception& e) {
+      return {false, false, std::string(e.what()) + "\n"};
+    }
+  }
+  return {false, false, usage};
 }
 
 }  // namespace snooze::cli

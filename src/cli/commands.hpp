@@ -45,6 +45,7 @@ class CliSession {
   CommandResult cmd_export_dot(const std::vector<std::string>& args);
   CommandResult cmd_stats();
   CommandResult cmd_fail(const std::vector<std::string>& args);
+  CommandResult cmd_chaos(const std::vector<std::string>& args);
 
   std::unique_ptr<core::SnoozeSystem> system_;
 };

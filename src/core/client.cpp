@@ -1,5 +1,7 @@
 #include "core/client.hpp"
 
+#include <algorithm>
+
 namespace snooze::core {
 
 Client::Client(sim::Engine& engine, net::Network& network,
@@ -28,6 +30,13 @@ void Client::discover_gl(std::size_t ep_index, std::function<void(net::Address)>
   });
 }
 
+sim::Time Client::rediscover_backoff(int attempts_left) {
+  // attempts_left counts down from max_attempts_, so the round number grows
+  // as retries accumulate and the backoff stretches exponentially.
+  const int round = std::max(1, max_attempts_ - attempts_left + 1);
+  return round_policy_.backoff(round, engine().rng());
+}
+
 void Client::submit(const VmDescriptor& vm, SubmitCb cb) {
   ++submitted_;
   attempt(vm, now(), max_attempts_, std::move(cb));
@@ -43,7 +52,8 @@ void Client::attempt(VmDescriptor vm, sim::Time started, int attempts_left, Subm
   auto go = [this, vm, started, attempts_left, cb](net::Address gl) mutable {
     if (gl == net::kNullAddress) {
       // No GL known anywhere yet: back off and retry.
-      after(1.0, [this, vm, started, attempts_left, cb]() mutable {
+      after(rediscover_backoff(attempts_left),
+            [this, vm, started, attempts_left, cb]() mutable {
         attempt(std::move(vm), started, attempts_left - 1, std::move(cb));
       });
       return;
@@ -51,9 +61,12 @@ void Client::attempt(VmDescriptor vm, sim::Time started, int attempts_left, Subm
     cached_gl_ = gl;
     auto req = std::make_shared<SubmitVmRequest>();
     req->vm = vm;
-    endpoint_.call(gl, req, config_.placement_rpc_timeout * 2.0,
-                   [this, vm, started, attempts_left, cb](bool ok,
-                                                          const net::MsgPtr& reply) mutable {
+    // Transient loss against a live GL is absorbed here (the GL dedups by VM
+    // id); only after retries exhaust do we fall back to re-discovery.
+    endpoint_.call_with_retries(
+        gl, req, config_.placement_rpc_timeout * 2.0, submit_policy_,
+        [this, vm, started, attempts_left, cb](bool ok,
+                                               const net::MsgPtr& reply) mutable {
       const auto* resp = ok ? net::msg_cast<SubmitVmResponse>(reply) : nullptr;
       if (resp != nullptr && resp->ok) {
         ++succeeded_;
@@ -65,7 +78,8 @@ void Client::attempt(VmDescriptor vm, sim::Time started, int attempts_left, Subm
       // Submission failed (GL gone, no capacity, ...): re-discover + retry.
       cached_gl_ = net::kNullAddress;
       ++next_ep_;
-      after(0.5, [this, vm, started, attempts_left, cb]() mutable {
+      after(rediscover_backoff(attempts_left),
+            [this, vm, started, attempts_left, cb]() mutable {
         attempt(std::move(vm), started, attempts_left - 1, std::move(cb));
       });
     });

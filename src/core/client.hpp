@@ -43,6 +43,9 @@ class Client final : public sim::Actor {
   void attempt(VmDescriptor vm, sim::Time started, int attempts_left, SubmitCb cb);
   void discover_gl(std::size_t ep_index, std::function<void(net::Address)> cb);
 
+  /// Backoff before the next discovery round, per RetryPolicy semantics.
+  [[nodiscard]] sim::Time rediscover_backoff(int attempts_left);
+
   net::RpcEndpoint endpoint_;
   std::vector<net::Address> entry_points_;
   SnoozeConfig config_;
@@ -50,6 +53,12 @@ class Client final : public sim::Actor {
   net::Address cached_gl_ = net::kNullAddress;
   std::size_t next_ep_ = 0;
   int max_attempts_ = 4;
+  /// Transport-level retries of one submission RPC against a known GL. The
+  /// GL deduplicates submissions by VM id, so re-sends are safe.
+  net::RetryPolicy submit_policy_{.max_attempts = 2, .base_backoff = 0.5};
+  /// Backoff schedule between whole discovery+submit rounds.
+  net::RetryPolicy round_policy_{.max_attempts = 4, .base_backoff = 0.5,
+                                 .multiplier = 2.0, .max_backoff = 8.0};
 
   std::uint64_t submitted_ = 0;
   std::uint64_t succeeded_ = 0;

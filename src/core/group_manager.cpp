@@ -452,7 +452,17 @@ void GroupManager::execute_moves(const std::vector<RelocationMove>& moves) {
 }
 
 void GroupManager::handle_migration_done(const MigrationDone& done) {
-  if (!done.ok) return;
+  if (!done.ok) {
+    // The source reverted (or lost) the VM. The destination may still hold a
+    // copy if only the adopt confirmation was lost — command it away so a
+    // failed migration can never leave two running instances behind.
+    if (done.to != net::kNullAddress) {
+      auto stop = std::make_shared<StopVmRequest>();
+      stop->vm = done.vm;
+      endpoint_.send(done.to, stop);
+    }
+    return;
+  }
   ++counters_.migrations_completed;
   trace_event("gm.migration_done");
   const auto from_it = lcs_.find(done.from);
@@ -724,7 +734,7 @@ void GroupManager::handle_submit(const SubmitVmRequest& req, net::Responder resp
 void GroupManager::dispatch_linear_search(VmDescriptor vm,
                                           std::vector<net::Address> candidates,
                                           std::size_t index, net::Responder responder) {
-  if (index >= 2 * candidates.size()) {
+  if (index >= candidates.size()) {
     inflight_submissions_.erase(vm.id);
     ++counters_.dispatch_failures;
     auto resp = std::make_shared<SubmitVmResponse>();
@@ -732,16 +742,22 @@ void GroupManager::dispatch_linear_search(VmDescriptor vm,
     responder.respond(resp);
     return;
   }
-  // Each candidate GM is tried twice in a row before moving on: if the first
-  // attempt's *response* was lost (the GM may have placed the VM), the GM's
-  // own idempotent placement handler resolves the retry instantly instead of
-  // a second copy being started on the next GM.
-  const net::Address gm = candidates[index / 2];
+  // Each candidate GM gets transport-level retries before we move on: if an
+  // attempt's *response* was lost (the GM may well have placed the VM), the
+  // GM's idempotent placement handler resolves the re-send instantly instead
+  // of a second copy being started on the next GM. Explicit rejections do
+  // not retry (call_with_retries semantics) and fall through to the next
+  // candidate immediately.
+  const net::Address gm = candidates[index];
   auto place = std::make_shared<PlacementRequest>();
   place->vm = vm;
-  endpoint_.call(gm, place, config_.placement_rpc_timeout,
-                 [this, vm, candidates = std::move(candidates), index, gm,
-                  responder](bool ok, const net::MsgPtr& reply) mutable {
+  net::RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.base_backoff = 0.25;
+  endpoint_.call_with_retries(
+      gm, place, config_.placement_rpc_timeout, policy,
+      [this, vm, candidates = std::move(candidates), index, gm,
+       responder](bool ok, const net::MsgPtr& reply) mutable {
     const auto* resp = ok ? net::msg_cast<PlacementResponse>(reply) : nullptr;
     if (resp != nullptr && resp->ok) {
       inflight_submissions_.erase(vm.id);
@@ -753,11 +769,8 @@ void GroupManager::dispatch_linear_search(VmDescriptor vm,
       responder.respond(out);
       return;
     }
-    // Explicit rejection: no point retrying the same GM; jump to the next.
-    // Timeout (resp == nullptr): retry the same GM once before moving on.
-    const std::size_t next =
-        (resp != nullptr) ? (index / 2 + 1) * 2 : index + 1;
-    dispatch_linear_search(std::move(vm), std::move(candidates), next, responder);
+    // Rejected or retries exhausted: try the next candidate GM.
+    dispatch_linear_search(std::move(vm), std::move(candidates), index + 1, responder);
   });
 }
 

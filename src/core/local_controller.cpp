@@ -328,7 +328,14 @@ void LocalController::run_migration(hypervisor::VmId id, net::Address dest) {
     adopt->downtime_s = cost.downtime_s;
     adopt->remaining_lifetime_s =
         it->second.stop_at > 0.0 ? std::max(0.0, it->second.stop_at - now()) : 0.0;
-    endpoint_.call(dest, adopt, config_.rpc_timeout,
+    // The adopt confirmation is the commit point of the migration protocol:
+    // losing it would leave the destination running the VM while the source
+    // reverts to Running (two instances). Retry through transient loss; the
+    // destination's adopt handler is idempotent.
+    net::RetryPolicy adopt_policy;
+    adopt_policy.max_attempts = 3;
+    adopt_policy.base_backoff = 0.25;
+    endpoint_.call_with_retries(dest, adopt, config_.rpc_timeout, adopt_policy,
                    [this, id, dest](bool ok, const net::MsgPtr& reply) {
       const auto* resp2 = ok ? net::msg_cast<AdoptVmResponse>(reply) : nullptr;
       const bool adopted = resp2 != nullptr && resp2->ok;
@@ -364,6 +371,14 @@ void LocalController::run_migration(hypervisor::VmId id, net::Address dest) {
 
 void LocalController::handle_adopt(const AdoptVmRequest& req, net::Responder responder) {
   auto resp = std::make_shared<AdoptVmResponse>();
+  // Idempotency: if the VM already lives here, a previous adopt succeeded and
+  // only the confirmation was lost. Re-ack so the retrying source releases
+  // its copy instead of reverting it to Running (a duplicate instance).
+  if (host_.find(req.vm.id) != nullptr) {
+    resp->ok = true;
+    responder.respond(resp);
+    return;
+  }
   if (!host_.can_place(req.vm.requested)) {
     resp->ok = false;
     responder.respond(resp);

@@ -159,10 +159,15 @@ void SnoozeSystem::enable_auto_roles(std::size_t min_group_managers,
   // Self-rescheduling supervisor tick on the engine (the SnoozeSystem is the
   // framework here — in a fully symmetric deployment this logic would live
   // on every node, triggered by the same GL/GM heartbeat observations).
+  // The closure keeps only a weak reference to itself (the scheduled event
+  // owns the strong one) so the chain never forms a shared_ptr cycle.
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, check_period, tick] {
+  *tick = [this, check_period,
+           weak = std::weak_ptr<std::function<void()>>(tick)] {
     auto_role_check();
-    engine_.schedule(check_period, [tick_copy = tick] { (*tick_copy)(); });
+    if (auto self = weak.lock()) {
+      engine_.schedule(check_period, [self] { (*self)(); });
+    }
   };
   engine_.schedule(check_period, [tick] { (*tick)(); });
 }

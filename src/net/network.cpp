@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace snooze::net {
@@ -34,24 +35,32 @@ bool Network::blocked(Address from, Address to) const {
   return false;
 }
 
-bool Network::send(Address from, Address to, MsgPtr msg) {
-  assert(msg != nullptr);
-  if (down_.count(from)) return false;
-  ++stats_.messages_sent;
-  stats_.bytes_sent += msg->wire_size();
-  auto& sender = per_node_[from];
-  ++sender.messages_sent;
-  sender.bytes_sent += msg->wire_size();
-
-  if (down_.count(to) || blocked(from, to) ||
-      (drop_probability_ > 0.0 && engine_.rng().chance(drop_probability_))) {
-    ++stats_.messages_dropped;
-    ++per_node_[from].messages_dropped;
-    return true;  // sent but lost in transit
+LinkFaults Network::effective_faults(Address from, Address to) const {
+  LinkFaults out;
+  out.drop = drop_probability_;
+  out.reorder_delay = 0.0;
+  auto fold = [&out](const LinkFaults& f) {
+    // Independent loss processes compose; the strongest duplication /
+    // reordering knob wins; latency spikes stack.
+    out.drop = 1.0 - (1.0 - out.drop) * (1.0 - f.drop);
+    out.duplicate = std::max(out.duplicate, f.duplicate);
+    if (f.reorder > out.reorder ||
+        (f.reorder == out.reorder && f.reorder_delay > out.reorder_delay)) {
+      out.reorder = f.reorder;
+      out.reorder_delay = f.reorder_delay;
+    }
+    out.extra_latency += f.extra_latency;
+  };
+  if (const auto it = node_faults_.find(from); it != node_faults_.end()) fold(it->second);
+  if (const auto it = node_faults_.find(to); it != node_faults_.end()) fold(it->second);
+  if (const auto it = link_faults_.find({from, to}); it != link_faults_.end()) {
+    fold(it->second);
   }
+  return out;
+}
 
-  const sim::Time latency = latency_.sample(engine_.rng());
-  engine_.schedule(latency, [this, env = Envelope{from, to, std::move(msg)}]() mutable {
+void Network::deliver_after(sim::Time delay, Envelope env) {
+  engine_.schedule(delay, [this, env = std::move(env)]() {
     // Re-check at delivery time: the receiver may have crashed or detached
     // while the message was in flight.
     if (down_.count(env.to)) {
@@ -67,6 +76,38 @@ bool Network::send(Address from, Address to, MsgPtr msg) {
     ++per_node_[env.to].messages_delivered;
     it->second->on_message(env);
   });
+}
+
+bool Network::send(Address from, Address to, MsgPtr msg) {
+  assert(msg != nullptr);
+  if (down_.count(from)) return false;
+  ++stats_.messages_sent;
+  stats_.bytes_sent += msg->wire_size();
+  auto& sender = per_node_[from];
+  ++sender.messages_sent;
+  sender.bytes_sent += msg->wire_size();
+
+  const LinkFaults faults = effective_faults(from, to);
+  if (down_.count(to) || blocked(from, to) ||
+      (faults.drop > 0.0 && engine_.rng().chance(faults.drop))) {
+    ++stats_.messages_dropped;
+    ++per_node_[from].messages_dropped;
+    return true;  // sent but lost in transit
+  }
+
+  sim::Time latency = latency_.sample(engine_.rng()) + faults.extra_latency;
+  if (faults.reorder > 0.0 && engine_.rng().chance(faults.reorder)) {
+    // Bounded reordering: hold the message back so later sends overtake it.
+    latency += engine_.rng().uniform(0.0, faults.reorder_delay);
+  }
+  const bool duplicated =
+      faults.duplicate > 0.0 && engine_.rng().chance(faults.duplicate);
+  deliver_after(latency, Envelope{from, to, msg});
+  if (duplicated) {
+    ++stats_.messages_duplicated;
+    deliver_after(latency + latency_.sample(engine_.rng()),
+                  Envelope{from, to, std::move(msg)});
+  }
   return true;
 }
 
@@ -105,6 +146,42 @@ bool Network::node_up(Address addr) const { return down_.count(addr) == 0; }
 
 void Network::set_partitions(std::vector<std::set<Address>> partitions) {
   partitions_ = std::move(partitions);
+}
+
+bool Network::reachable(Address from, Address to) const {
+  return down_.count(from) == 0 && down_.count(to) == 0 && !blocked(from, to);
+}
+
+void Network::set_link_faults(Address from, Address to, LinkFaults faults) {
+  if (faults.clear()) {
+    link_faults_.erase({from, to});
+  } else {
+    link_faults_[{from, to}] = faults;
+  }
+}
+
+void Network::clear_link_faults(Address from, Address to) {
+  link_faults_.erase({from, to});
+}
+
+LinkFaults Network::link_faults(Address from, Address to) const {
+  const auto it = link_faults_.find({from, to});
+  return it == link_faults_.end() ? LinkFaults{} : it->second;
+}
+
+void Network::set_node_faults(Address node, LinkFaults faults) {
+  if (faults.clear()) {
+    node_faults_.erase(node);
+  } else {
+    node_faults_[node] = faults;
+  }
+}
+
+void Network::clear_node_faults(Address node) { node_faults_.erase(node); }
+
+void Network::clear_all_faults() {
+  link_faults_.clear();
+  node_faults_.clear();
 }
 
 TrafficStats Network::node_stats(Address addr) const {

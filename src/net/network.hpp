@@ -2,9 +2,10 @@
 //
 // Models unicast with a configurable latency distribution, multicast groups
 // (the heartbeat channels of the Snooze hierarchy), and fault injection:
-// node crashes (blackhole), probabilistic message loss, and partitions.
-// Also the accounting point for the control-traffic measurements of the
-// management-overhead experiment.
+// node crashes (blackhole), probabilistic message loss (global, per node and
+// per directed link), message duplication, bounded reordering, latency
+// spikes, and partitions. Also the accounting point for the control-traffic
+// measurements of the management-overhead experiment.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +13,7 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/message.hpp"
@@ -37,7 +39,24 @@ struct TrafficStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;  ///< extra copies created by faults
   std::uint64_t bytes_sent = 0;
+};
+
+/// Fault knobs applied to traffic on a node or a directed link. Several
+/// scopes may apply to one message (global, sender node, receiver node,
+/// link): drop probabilities compose independently, extra latencies add up,
+/// duplication/reordering use the strongest applicable knob.
+struct LinkFaults {
+  double drop = 0.0;            ///< probability a message is silently lost
+  double duplicate = 0.0;       ///< probability a second copy is delivered
+  double reorder = 0.0;         ///< probability of an extra reorder delay
+  sim::Time reorder_delay = 0.05;  ///< max extra delay when reordered (uniform)
+  sim::Time extra_latency = 0.0;   ///< deterministic added latency (spike)
+
+  [[nodiscard]] bool clear() const {
+    return drop == 0.0 && duplicate == 0.0 && reorder == 0.0 && extra_latency == 0.0;
+  }
 };
 
 class Network {
@@ -73,9 +92,27 @@ class Network {
   /// Probability in [0,1] that any given message is silently lost.
   void set_drop_probability(double p) { drop_probability_ = p; }
 
+  /// Fault knobs for one directed link (from -> to). Replaces any previous
+  /// setting for that link; a clear LinkFaults value removes the entry.
+  void set_link_faults(Address from, Address to, LinkFaults faults);
+  void clear_link_faults(Address from, Address to);
+  [[nodiscard]] LinkFaults link_faults(Address from, Address to) const;
+
+  /// Fault knobs applied to every message a node sends or receives.
+  void set_node_faults(Address node, LinkFaults faults);
+  void clear_node_faults(Address node);
+
+  /// Remove every per-link and per-node fault entry (global drop and
+  /// partitions are separate knobs and stay untouched).
+  void clear_all_faults();
+
   /// Partition the network into groups; traffic crosses partitions only if
   /// both ends are in the same group. Empty vector clears the partition.
   void set_partitions(std::vector<std::set<Address>> partitions);
+
+  /// True when traffic can flow from `from` to `to` right now (both nodes
+  /// up and no partition in between). Probabilistic loss is not considered.
+  [[nodiscard]] bool reachable(Address from, Address to) const;
 
   // --- accounting ---------------------------------------------------------
   [[nodiscard]] const TrafficStats& stats() const { return stats_; }
@@ -86,6 +123,9 @@ class Network {
 
  private:
   [[nodiscard]] bool blocked(Address from, Address to) const;
+  /// Combined fault view for one message (global + nodes + link).
+  [[nodiscard]] LinkFaults effective_faults(Address from, Address to) const;
+  void deliver_after(sim::Time delay, Envelope env);
 
   sim::Engine& engine_;
   LatencyModel latency_;
@@ -95,6 +135,8 @@ class Network {
   std::map<GroupId, std::set<Address>> groups_;
   std::vector<std::set<Address>> partitions_;
   double drop_probability_ = 0.0;
+  std::map<std::pair<Address, Address>, LinkFaults> link_faults_;
+  std::map<Address, LinkFaults> node_faults_;
   TrafficStats stats_;
   std::unordered_map<Address, TrafficStats> per_node_;
 };

@@ -1,8 +1,17 @@
 #include "net/rpc.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace snooze::net {
+
+sim::Time RetryPolicy::backoff(int attempt, util::Rng& rng) const {
+  sim::Time delay = base_backoff;
+  for (int i = 1; i < attempt; ++i) delay *= multiplier;
+  delay = std::min(delay, max_backoff);
+  if (jitter > 0.0) delay += rng.uniform(0.0, jitter * delay);
+  return delay;
+}
 
 void Responder::respond(MsgPtr reply) const {
   assert(reply != nullptr);
@@ -62,6 +71,35 @@ void RpcEndpoint::call(Address to, MsgPtr request, sim::Time timeout, ReplyCallb
   });
   pending_.emplace(id, std::move(pending));
   network_.send(address_, to, std::move(wrap));
+}
+
+void RpcEndpoint::call_with_retries(Address to, MsgPtr request, sim::Time timeout,
+                                    RetryPolicy policy, ReplyCallback cb) {
+  assert(policy.max_attempts >= 1);
+  attempt_call(to, std::move(request), timeout, policy, 1, std::move(cb));
+}
+
+void RpcEndpoint::attempt_call(Address to, MsgPtr request, sim::Time timeout,
+                               const RetryPolicy& policy, int attempt,
+                               ReplyCallback cb) {
+  call(to, request, timeout,
+       [this, to, request, timeout, policy, attempt,
+        cb = std::move(cb)](bool ok, const MsgPtr& reply) mutable {
+    if (ok || attempt >= policy.max_attempts) {
+      cb(ok, reply);
+      return;
+    }
+    const sim::Time delay = policy.backoff(attempt, engine_.rng());
+    auto token = alive_;
+    engine_.schedule(delay, [this, token, to, request = std::move(request), timeout,
+                             policy, attempt, cb = std::move(cb)]() mutable {
+      // Like go_down()'s pending-call semantics: a process that crashed
+      // between attempts never fires the callback.
+      if (!*token || !up_) return;
+      attempt_call(to, std::move(request), timeout, policy, attempt + 1,
+                   std::move(cb));
+    });
+  });
 }
 
 void RpcEndpoint::go_down() {

@@ -46,6 +46,20 @@ class Responder {
   std::uint64_t rpc_id_;
 };
 
+/// Backoff schedule for call_with_retries(): attempt n (1-based) failing by
+/// timeout waits base * multiplier^(n-1) plus a seeded uniform jitter of up
+/// to `jitter` times that backoff before the next attempt.
+struct RetryPolicy {
+  int max_attempts = 3;
+  sim::Time base_backoff = 0.5;
+  double multiplier = 2.0;
+  sim::Time max_backoff = 30.0;
+  double jitter = 0.5;
+
+  /// Delay before the attempt following failed attempt `attempt` (1-based).
+  [[nodiscard]] sim::Time backoff(int attempt, util::Rng& rng) const;
+};
+
 class RpcEndpoint final : public Endpoint {
  public:
   /// Handler for one-way messages.
@@ -77,6 +91,15 @@ class RpcEndpoint final : public Endpoint {
   /// Request/response with timeout. The callback always fires exactly once.
   void call(Address to, MsgPtr request, sim::Time timeout, ReplyCallback cb);
 
+  /// call() with automatic re-send on timeout: up to policy.max_attempts
+  /// tries separated by exponential backoff with seeded jitter (deterministic
+  /// per engine seed). The callback fires exactly once, with the first
+  /// successful reply or the final timeout. Replies — including explicit
+  /// rejections — never trigger a retry; only transport-level timeouts do,
+  /// so request handlers must stay idempotent under duplicated requests.
+  void call_with_retries(Address to, MsgPtr request, sim::Time timeout,
+                         RetryPolicy policy, ReplyCallback cb);
+
   /// Simulate a process crash: detach from the network and drop all pending
   /// calls *without* firing their callbacks (the process is gone).
   void go_down();
@@ -91,6 +114,9 @@ class RpcEndpoint final : public Endpoint {
     ReplyCallback cb;
     sim::EventId timeout_event = 0;
   };
+
+  void attempt_call(Address to, MsgPtr request, sim::Time timeout,
+                    const RetryPolicy& policy, int attempt, ReplyCallback cb);
 
   sim::Engine& engine_;
   Network& network_;

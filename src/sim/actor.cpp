@@ -28,12 +28,18 @@ void Actor::every(Time period, std::function<bool()> fn) {
   if (!*alive_) return;
   auto token = alive_;
   // Self-rescheduling closure; stops when the token dies or fn returns false.
+  // The closure holds only a weak reference to itself (each scheduled event
+  // owns the strong one), so ending the chain releases the closure instead
+  // of leaking a shared_ptr cycle.
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, token, period, fn = std::move(fn), tick] {
+  *tick = [this, token, period, fn = std::move(fn),
+           weak = std::weak_ptr<std::function<void()>>(tick)] {
     if (!*token) return;
     if (!fn()) return;
     if (!*token) return;  // fn may have crashed the actor
-    engine_.schedule(period, [tick_copy = tick] { (*tick_copy)(); });
+    if (auto self = weak.lock()) {
+      engine_.schedule(period, [self] { (*self)(); });
+    }
   };
   engine_.schedule(period, [tick] { (*tick)(); });
 }

@@ -1,6 +1,8 @@
 #include "sim/trace.hpp"
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
 namespace snooze::sim {
@@ -31,6 +33,28 @@ Time Trace::first_time(std::string_view kind, Time from) const {
     if (r.time >= from && r.kind == kind) return r.time;
   }
   return -1.0;
+}
+
+std::uint64_t Trace::hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix_byte = [&h](unsigned char b) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  };
+  auto mix_str = [&mix_byte](const std::string& s) {
+    for (const char c : s) mix_byte(static_cast<unsigned char>(c));
+    mix_byte(0xffU);  // field separator
+  };
+  for (const auto& r : records_) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(r.time));
+    std::memcpy(&bits, &r.time, sizeof(bits));
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<unsigned char>(bits >> (8 * i)));
+    mix_str(r.actor);
+    mix_str(r.kind);
+    mix_str(r.detail);
+  }
+  return h;
 }
 
 std::string Trace::dump() const {

@@ -2,6 +2,7 @@
 // records; tests and examples query or dump them.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -36,6 +37,11 @@ class Trace {
   [[nodiscard]] Time first_time(std::string_view kind, Time from = 0.0) const;
 
   void clear() { records_.clear(); }
+
+  /// Order-sensitive FNV-1a fingerprint over every record (time bits, actor,
+  /// kind, detail). Two runs with the same seed must produce the same hash;
+  /// chaos tests use this to assert determinism.
+  [[nodiscard]] std::uint64_t hash() const;
 
   /// Human-readable dump (for examples / debugging).
   [[nodiscard]] std::string dump() const;

@@ -1,0 +1,321 @@
+// Chaos subsystem tests: seeded schedule generation (determinism, healing
+// discipline, script round-trip), the script parser's error reporting, the
+// invariant checker's ability to actually catch violations, and end-to-end
+// seeded chaos runs — including the multi-seed soak required by the paper's
+// fault-tolerance claims and the trace-hash reproducibility guarantee.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <stdexcept>
+
+#include "chaos/invariants.hpp"
+#include "chaos/runner.hpp"
+#include "chaos/schedule.hpp"
+#include "core/snooze.hpp"
+
+namespace {
+
+using namespace snooze;
+using namespace snooze::chaos;
+
+// --- Schedule generator ------------------------------------------------------
+
+TEST(ScheduleGenerator, SameSeedSameSchedule) {
+  const ChaosSpec spec;
+  const Topology topo;
+  const auto a = generate_schedule(spec, topo, 7);
+  const auto b = generate_schedule(spec, topo, 7);
+  ASSERT_EQ(a.actions.size(), b.actions.size());
+  EXPECT_EQ(a.to_script(), b.to_script());
+}
+
+TEST(ScheduleGenerator, DifferentSeedsDiffer) {
+  const ChaosSpec spec;
+  const Topology topo;
+  EXPECT_NE(generate_schedule(spec, topo, 1).to_script(),
+            generate_schedule(spec, topo, 2).to_script());
+}
+
+TEST(ScheduleGenerator, ProducesFaultsAtDefaultRate) {
+  const auto schedule = generate_schedule(ChaosSpec{}, Topology{}, 3);
+  EXPECT_FALSE(schedule.actions.empty());
+}
+
+TEST(ScheduleGenerator, EveryWindowHealsWithinTheHorizon) {
+  const ChaosSpec spec;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto schedule = generate_schedule(spec, Topology{}, seed);
+    // Crash/isolate windows pair through ids; link windows pair through their
+    // endpoint quadruple; global loss closes with an explicit drop-0 action.
+    std::map<int, const FaultAction*> open;
+    std::multimap<std::array<int, 4>, const FaultAction*> open_links;
+    auto link_key = [](const FaultAction& a) {
+      return std::array<int, 4>{static_cast<int>(a.role), a.index,
+                                static_cast<int>(a.role2), a.index2};
+    };
+    double last_global_drop = 0.0;
+    for (const auto& action : schedule.actions) {
+      EXPECT_LE(action.at, schedule.duration) << "seed " << seed;
+      switch (action.kind) {
+        case ActionKind::kCrash:
+        case ActionKind::kIsolate:
+          ASSERT_NE(action.pair, 0) << "seed " << seed << ": unpaired window";
+          open[action.pair] = &action;
+          break;
+        case ActionKind::kRecover:
+        case ActionKind::kHeal: {
+          const auto it = open.find(action.pair);
+          ASSERT_NE(it, open.end()) << "seed " << seed << ": close without open";
+          // A window never closes before it opened.
+          EXPECT_GE(action.at, it->second->at) << "seed " << seed;
+          open.erase(it);
+          break;
+        }
+        case ActionKind::kLink:
+          open_links.emplace(link_key(action), &action);
+          break;
+        case ActionKind::kUnlink: {
+          const auto it = open_links.find(link_key(action));
+          ASSERT_NE(it, open_links.end())
+              << "seed " << seed << ": unlink without link";
+          EXPECT_GE(action.at, it->second->at) << "seed " << seed;
+          open_links.erase(it);
+          break;
+        }
+        case ActionKind::kGlobalDrop:
+          last_global_drop = action.drop;
+          break;
+        case ActionKind::kHealAll:
+          break;
+      }
+    }
+    EXPECT_TRUE(open.empty()) << "seed " << seed << ": window never healed";
+    EXPECT_TRUE(open_links.empty()) << "seed " << seed << ": link never unfaulted";
+    EXPECT_EQ(last_global_drop, 0.0) << "seed " << seed << ": loss left on";
+  }
+}
+
+TEST(ScheduleGenerator, RespectsCrashFloors) {
+  ChaosSpec spec;
+  spec.fault_rate = 0.5;  // dense schedule to stress the targeting floors
+  const Topology topo;
+  const auto schedule = generate_schedule(spec, topo, 11);
+  // Count concurrently open crash windows per role; the generator must keep
+  // at least min_live nodes of each role untouched at any instant.
+  std::map<int, const FaultAction*> open_by_pair;
+  std::map<NodeRole, int> open_crashes;
+  for (const auto& action : schedule.actions) {
+    if (action.kind == ActionKind::kCrash || action.kind == ActionKind::kIsolate) {
+      open_by_pair[action.pair] = &action;
+      ++open_crashes[action.role];
+      if (action.role == NodeRole::kGm || action.role == NodeRole::kGl) {
+        EXPECT_LE(open_crashes[NodeRole::kGm] + open_crashes[NodeRole::kGl],
+                  static_cast<int>(topo.group_managers - spec.min_live_gms));
+      }
+      if (action.role == NodeRole::kLc) {
+        EXPECT_LE(open_crashes[NodeRole::kLc],
+                  static_cast<int>(topo.local_controllers - spec.min_live_lcs));
+      }
+    } else if (action.kind == ActionKind::kRecover || action.kind == ActionKind::kHeal) {
+      const auto it = open_by_pair.find(action.pair);
+      if (it != open_by_pair.end()) {
+        --open_crashes[it->second->role];
+        open_by_pair.erase(it);
+      }
+    }
+  }
+}
+
+// --- Script round-trip and parser --------------------------------------------
+
+TEST(Script, RoundTripIsStable) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto schedule = generate_schedule(ChaosSpec{}, Topology{}, seed);
+    const std::string script = schedule.to_script();
+    const auto reparsed = parse_script(script);
+    EXPECT_EQ(reparsed.to_script(), script) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(reparsed.duration, schedule.duration);
+    EXPECT_EQ(reparsed.actions.size(), schedule.actions.size());
+  }
+}
+
+TEST(Script, ParsesHandWrittenSchedule) {
+  const auto schedule = parse_script(
+      "# warm-up, then kill the leader and flake a link\n"
+      "duration 60\n"
+      "10 crash gl #1\n"
+      "25 recover #1\n"
+      "30 link gm 0 lc 2 drop=0.3 dup=0.1 lat=0.05\n"
+      "45 unlink gm 0 lc 2\n"
+      "50 drop 0.02\n"
+      "55 drop 0\n"
+      "59 heal all\n");
+  EXPECT_DOUBLE_EQ(schedule.duration, 60.0);
+  ASSERT_EQ(schedule.actions.size(), 7u);
+  EXPECT_EQ(schedule.actions[0].kind, ActionKind::kCrash);
+  EXPECT_EQ(schedule.actions[0].role, NodeRole::kGl);
+  EXPECT_EQ(schedule.actions[0].pair, 1);
+  EXPECT_EQ(schedule.actions[2].kind, ActionKind::kLink);
+  EXPECT_DOUBLE_EQ(schedule.actions[2].faults.drop, 0.3);
+  EXPECT_DOUBLE_EQ(schedule.actions[2].faults.duplicate, 0.1);
+  EXPECT_DOUBLE_EQ(schedule.actions[2].faults.extra_latency, 0.05);
+  EXPECT_EQ(schedule.actions[6].kind, ActionKind::kHealAll);
+}
+
+TEST(Script, RejectsGarbageWithLineNumber) {
+  try {
+    (void)parse_script("duration 60\n10 explode lc 0\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Script, RejectsBadNumbers) {
+  EXPECT_THROW((void)parse_script("duration sixty\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_script("duration 60\nsoon crash lc 0\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_script("duration 60\n5 link gm 0 lc 1 drop=lots\n"),
+               std::runtime_error);
+}
+
+// --- Invariant checker actually catches violations ---------------------------
+
+TEST(Invariants, CleanRunHoldsEverything) {
+  core::SystemSpec spec;
+  spec.entry_points = 2;
+  spec.group_managers = 3;
+  spec.local_controllers = 9;
+  spec.seed = 42;
+  core::SnoozeSystem system(spec);
+  system.start();
+  ASSERT_TRUE(system.run_until_stable(60.0));
+  InvariantChecker checker(system);
+  checker.start();
+  system.engine().run_until(system.engine().now() + 120.0);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  EXPECT_TRUE(checker.final_check(60.0));
+  EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+TEST(Invariants, LostAcceptedVmIsReported) {
+  core::SystemSpec spec;
+  spec.seed = 42;
+  core::SnoozeSystem system(spec);
+  system.start();
+  ASSERT_TRUE(system.run_until_stable(60.0));
+  InvariantChecker checker(system);
+  checker.start();
+  checker.note_accepted(999999);  // never actually placed anywhere
+  EXPECT_TRUE(checker.final_check(60.0));
+  EXPECT_FALSE(checker.ok());
+  ASSERT_FALSE(checker.violations().empty());
+  EXPECT_NE(checker.violations().front().find("hosted"), std::string::npos);
+}
+
+TEST(Invariants, ExcusedVmIsNotReported) {
+  core::SystemSpec spec;
+  spec.seed = 42;
+  core::SnoozeSystem system(spec);
+  system.start();
+  ASSERT_TRUE(system.run_until_stable(60.0));
+  InvariantChecker checker(system);
+  checker.start();
+  checker.note_accepted(999999);
+  checker.excuse_vms({999999});
+  EXPECT_TRUE(checker.final_check(60.0));
+  EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+TEST(Invariants, DuplicateVmInstanceIsReported) {
+  core::SystemSpec spec;
+  spec.seed = 42;
+  spec.local_controllers = 4;
+  core::SnoozeSystem system(spec);
+  system.start();
+  ASSERT_TRUE(system.run_until_stable(60.0));
+
+  InvariantChecker::Options options;
+  options.duplicate_grace = 2.0;
+  InvariantChecker checker(system, options);
+  checker.start();
+
+  // Bypass the management hierarchy and start the same VM on two LCs
+  // directly — exactly the split-brain placement the checker must flag.
+  const auto vm = system.make_vm({0.1, 0.1, 0.1});
+  net::RpcEndpoint rogue(system.engine(), system.network(),
+                         system.network().allocate_address(), "rogue");
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto start = std::make_shared<core::StartVmRequest>();
+    start->vm = vm;
+    rogue.call(system.local_controllers()[i]->address(), start, 5.0,
+               [](bool, const net::MsgPtr&) {});
+  }
+  system.engine().run_until(system.engine().now() + 30.0);
+  EXPECT_FALSE(checker.ok());
+  ASSERT_FALSE(checker.violations().empty());
+  EXPECT_NE(checker.violations().front().find("duplicate"), std::string::npos)
+      << checker.violations().front();
+}
+
+// --- End-to-end seeded chaos runs --------------------------------------------
+
+TEST(ChaosRun, SingleSeedHoldsInvariantsAndReconverges) {
+  ChaosRunConfig cfg;
+  cfg.seed = 7;
+  const auto result = run_chaos(cfg);
+  EXPECT_TRUE(result.converged) << result.report;
+  EXPECT_TRUE(result.invariants_ok) << result.report;
+  EXPECT_GT(result.faults_injected, 0u);
+  EXPECT_GT(result.vms_accepted, 0u);
+  EXPECT_NE(result.trace_hash, 0u);
+}
+
+TEST(ChaosRun, SameSeedSameTraceHash) {
+  ChaosRunConfig cfg;
+  cfg.seed = 12;
+  const auto first = run_chaos(cfg);
+  const auto second = run_chaos(cfg);
+  EXPECT_EQ(first.trace_hash, second.trace_hash);
+  EXPECT_EQ(first.faults_injected, second.faults_injected);
+  EXPECT_EQ(first.messages_sent, second.messages_sent);
+  EXPECT_EQ(first.report, second.report);
+}
+
+TEST(ChaosRun, DifferentSeedsDifferentTraceHash) {
+  ChaosRunConfig a;
+  a.seed = 1;
+  ChaosRunConfig b;
+  b.seed = 2;
+  EXPECT_NE(run_chaos(a).trace_hash, run_chaos(b).trace_hash);
+}
+
+TEST(ChaosRun, ExplicitScriptRunsDeterministically) {
+  ChaosRunConfig cfg;
+  const auto schedule = parse_script(
+      "duration 40\n"
+      "5 crash gl #1\n"
+      "20 recover #1\n"
+      "10 isolate lc 3 #2\n"
+      "25 heal #2\n");
+  const auto first = run_chaos_schedule(cfg, schedule);
+  const auto second = run_chaos_schedule(cfg, schedule);
+  EXPECT_TRUE(first.ok()) << first.report;
+  EXPECT_EQ(first.trace_hash, second.trace_hash);
+  // Only the two inject actions count; the recover/heal closes do not.
+  EXPECT_EQ(first.faults_injected, 2u);
+}
+
+// The acceptance soak: >= 20 random seeds on the default 3-GM/9-LC cluster,
+// every run completing with all invariants holding.
+TEST(ChaosSoak, TwentySeedsAllInvariantsHold) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    ChaosRunConfig cfg;
+    cfg.seed = seed;
+    const auto result = run_chaos(cfg);
+    EXPECT_TRUE(result.ok()) << "seed " << seed << ":\n" << result.report;
+  }
+}
+
+}  // namespace

@@ -102,6 +102,24 @@ TEST(Partition, HierarchyStableAfterHeal) {
   EXPECT_EQ(system.client().succeeded(), 1u);
 }
 
+TEST(Partition, IsolatedLcRejoinsAfterHeal) {
+  SnoozeSystem system(base_spec());
+  system.start();
+  ASSERT_TRUE(system.run_until_stable(60.0));
+  auto& lc = *system.local_controllers()[0];
+  ASSERT_TRUE(lc.assigned());
+
+  // Cut the LC off long enough for its GM to declare it dead; the node
+  // itself keeps running (no crash, so no reboot on heal).
+  system.network().set_partitions({{lc.address()}});
+  system.engine().run_until(system.engine().now() + 60.0);
+
+  // After healing it must rediscover the hierarchy and get assigned again.
+  system.network().set_partitions({});
+  ASSERT_TRUE(system.run_until_stable(system.engine().now() + 120.0));
+  EXPECT_TRUE(lc.assigned());
+}
+
 // --- Message loss ---------------------------------------------------------------
 
 TEST(MessageLoss, HierarchyFormsUnderFivePercentLoss) {

@@ -386,4 +386,267 @@ TEST_F(RpcTest, WireSizeAccountsRpcOverhead) {
   EXPECT_EQ(network.stats().bytes_sent, 116u);
 }
 
+// --- Per-link / per-node fault knobs -----------------------------------------
+
+TEST_F(NetworkTest, LinkDropAffectsOnlyThatDirectedLink) {
+  Sink a, b, c;
+  network.attach(1, &a);
+  network.attach(2, &b);
+  network.attach(3, &c);
+  net::LinkFaults faults;
+  faults.drop = 1.0;
+  network.set_link_faults(1, 2, faults);
+  network.send(1, 2, ping());  // faulted link: lost
+  network.send(2, 1, ping());  // reverse direction: fine
+  network.send(1, 3, ping());  // other link from the same sender: fine
+  engine.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(c.received.size(), 1u);
+  EXPECT_EQ(network.stats().messages_dropped, 1u);
+}
+
+TEST_F(NetworkTest, NodeFaultsApplyToSendAndReceive) {
+  Sink a, b, c;
+  network.attach(1, &a);
+  network.attach(2, &b);
+  network.attach(3, &c);
+  net::LinkFaults faults;
+  faults.drop = 1.0;
+  network.set_node_faults(2, faults);
+  network.send(1, 2, ping());  // towards the faulty node: lost
+  network.send(2, 3, ping());  // from the faulty node: lost
+  network.send(1, 3, ping());  // not involving it: fine
+  engine.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(c.received.size(), 1u);
+  EXPECT_EQ(network.stats().messages_dropped, 2u);
+}
+
+TEST_F(NetworkTest, DuplicationDeliversTwiceAndCounts) {
+  Sink sink;
+  network.attach(10, &sink);
+  net::LinkFaults faults;
+  faults.duplicate = 1.0;
+  network.set_link_faults(20, 10, faults);
+  network.send(20, 10, ping(3));
+  engine.run();
+  ASSERT_EQ(sink.received.size(), 2u);
+  EXPECT_EQ(net::msg_cast<Ping>(sink.received[1].payload)->value, 3);
+  EXPECT_EQ(network.stats().messages_sent, 1u);
+  EXPECT_EQ(network.stats().messages_duplicated, 1u);
+  EXPECT_EQ(network.stats().messages_delivered, 2u);
+}
+
+TEST_F(NetworkTest, ReorderingLetsLaterSendOvertake) {
+  Sink sink;
+  network.attach(10, &sink);
+  net::LinkFaults faults;
+  faults.reorder = 1.0;
+  faults.reorder_delay = 10.0;  // hold the message back well past base latency
+  network.set_link_faults(20, 10, faults);
+  network.send(20, 10, ping(1));
+  network.clear_link_faults(20, 10);
+  network.send(20, 10, ping(2));
+  engine.run();
+  ASSERT_EQ(sink.received.size(), 2u);
+  EXPECT_EQ(net::msg_cast<Ping>(sink.received[0].payload)->value, 2);
+  EXPECT_EQ(net::msg_cast<Ping>(sink.received[1].payload)->value, 1);
+}
+
+TEST_F(NetworkTest, ExtraLatencySpikesStack) {
+  Sink sink;
+  network.attach(10, &sink);
+  net::LinkFaults node;
+  node.extra_latency = 0.2;
+  network.set_node_faults(20, node);
+  net::LinkFaults link;
+  link.extra_latency = 0.3;
+  network.set_link_faults(20, 10, link);
+  network.send(20, 10, ping());
+  engine.run();
+  EXPECT_DOUBLE_EQ(engine.now(), 0.5 + 1e-3);
+}
+
+TEST_F(NetworkTest, ClearAllFaultsRestoresDelivery) {
+  Sink sink;
+  network.attach(10, &sink);
+  net::LinkFaults faults;
+  faults.drop = 1.0;
+  network.set_link_faults(20, 10, faults);
+  network.set_node_faults(10, faults);
+  network.clear_all_faults();
+  network.send(20, 10, ping());
+  engine.run();
+  EXPECT_EQ(sink.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, MulticastSkipsDownMemberReachesLiveOnes) {
+  Sink a, b, c;
+  network.attach(1, &a);
+  network.attach(2, &b);
+  network.attach(3, &c);
+  network.join_group(7, 1);
+  network.join_group(7, 2);
+  network.join_group(7, 3);
+  network.set_node_up(3, false);
+  network.multicast(1, 7, ping());
+  engine.run();
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_TRUE(c.received.empty());
+}
+
+TEST_F(NetworkTest, ReachableReflectsCrashesAndPartitions) {
+  EXPECT_TRUE(network.reachable(1, 2));
+  network.set_partitions({{1}});
+  EXPECT_FALSE(network.reachable(1, 2));
+  EXPECT_FALSE(network.reachable(2, 1));
+  network.set_partitions({});
+  EXPECT_TRUE(network.reachable(1, 2));
+  network.set_node_up(2, false);
+  EXPECT_FALSE(network.reachable(1, 2));
+}
+
+// --- RPC edge cases ----------------------------------------------------------
+
+TEST_F(RpcTest, ResponderDoubleReplyIsNoop) {
+  server.set_request_handler([](const Envelope&, net::Responder r) {
+    auto first = std::make_shared<Pong>();
+    first->value = 1;
+    r.respond(first);
+    auto second = std::make_shared<Pong>();
+    second->value = 2;
+    r.respond(second);  // must be ignored at the caller
+  });
+  int callbacks = 0;
+  std::optional<int> got;
+  client.call(server.address(), ping(), 5.0, [&](bool ok, const MsgPtr& reply) {
+    ++callbacks;
+    ASSERT_TRUE(ok);
+    got = net::msg_cast<Pong>(reply)->value;
+  });
+  engine.run();
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(RpcTest, PendingCallDroppedByCrashEvenAfterRecovery) {
+  std::optional<net::Responder> held;
+  server.set_request_handler([&](const Envelope&, net::Responder r) { held = r; });
+  int callbacks = 0;
+  client.call(server.address(), ping(), 30.0, [&](bool, const MsgPtr&) { ++callbacks; });
+  engine.schedule(1.0, [&] {
+    client.go_down();  // crash wipes pending calls...
+    client.go_up();    // ...recovery must not resurrect them
+  });
+  engine.schedule(2.0, [&] {
+    if (held) held->respond(std::make_shared<Pong>());
+  });
+  engine.run();
+  EXPECT_EQ(callbacks, 0);
+}
+
+TEST_F(RpcTest, RetriesSucceedAfterTransientLoss) {
+  int handled = 0;
+  server.set_request_handler([&](const Envelope&, net::Responder r) {
+    ++handled;
+    r.respond(std::make_shared<Pong>());
+  });
+  net::LinkFaults faults;
+  faults.drop = 1.0;
+  network.set_link_faults(client.address(), server.address(), faults);
+  // Heal the link after the first attempt's timeout but before the retry.
+  engine.schedule(0.6, [&] {
+    network.clear_link_faults(client.address(), server.address());
+  });
+  int callbacks = 0;
+  std::optional<bool> result;
+  net::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff = 0.5;
+  client.call_with_retries(server.address(), ping(), 0.5, policy,
+                           [&](bool ok, const MsgPtr&) {
+                             ++callbacks;
+                             result = ok;
+                           });
+  engine.run();
+  EXPECT_EQ(result, true);
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(handled, 1);
+  EXPECT_GT(engine.now(), 0.5);  // the success came from a retry
+}
+
+TEST_F(RpcTest, RetriesExhaustAttemptsThenFailOnce) {
+  server.go_down();
+  int callbacks = 0;
+  std::optional<bool> result;
+  net::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff = 0.5;
+  client.call_with_retries(server.address(), ping(), 1.0, policy,
+                           [&](bool ok, const MsgPtr&) {
+                             ++callbacks;
+                             result = ok;
+                           });
+  engine.run();
+  EXPECT_EQ(result, false);
+  EXPECT_EQ(callbacks, 1);
+  // Three 1 s timeouts plus two backoff gaps of at least base_backoff each.
+  EXPECT_GE(engine.now(), 3.0 + 2 * 0.5);
+}
+
+TEST_F(RpcTest, ExplicitReplyIsNeverRetried) {
+  int handled = 0;
+  server.set_request_handler([&](const Envelope&, net::Responder r) {
+    ++handled;
+    auto rejection = std::make_shared<Pong>();
+    rejection->value = -1;  // an application-level "no" is still a reply
+    r.respond(rejection);
+  });
+  int callbacks = 0;
+  net::RetryPolicy policy;
+  policy.max_attempts = 5;
+  client.call_with_retries(server.address(), ping(), 1.0, policy,
+                           [&](bool ok, const MsgPtr& reply) {
+                             ++callbacks;
+                             EXPECT_TRUE(ok);
+                             EXPECT_EQ(net::msg_cast<Pong>(reply)->value, -1);
+                           });
+  engine.run();
+  EXPECT_EQ(handled, 1);
+  EXPECT_EQ(callbacks, 1);
+}
+
+TEST_F(RpcTest, RetryStopsWhenClientCrashesBetweenAttempts) {
+  server.go_down();
+  int callbacks = 0;
+  net::RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.base_backoff = 0.5;
+  client.call_with_retries(server.address(), ping(), 1.0, policy,
+                           [&](bool, const MsgPtr&) { ++callbacks; });
+  // Crash the client inside the first backoff window.
+  engine.schedule(1.1, [&] { client.go_down(); });
+  engine.run();
+  EXPECT_EQ(callbacks, 0);
+  // No further attempts were sent after the crash (1 request = 116 bytes).
+  EXPECT_EQ(network.stats().bytes_sent, 116u);
+}
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyAndClamps) {
+  util::Rng rng(1);
+  net::RetryPolicy policy;
+  policy.base_backoff = 1.0;
+  policy.multiplier = 2.0;
+  policy.max_backoff = 3.0;
+  policy.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(policy.backoff(1, rng), 1.0);
+  EXPECT_DOUBLE_EQ(policy.backoff(2, rng), 2.0);
+  EXPECT_DOUBLE_EQ(policy.backoff(3, rng), 3.0);  // 4.0 clamped to max
+  policy.jitter = 0.5;
+  const double jittered = policy.backoff(1, rng);
+  EXPECT_GE(jittered, 1.0);
+  EXPECT_LE(jittered, 1.5);
+}
+
 }  // namespace
