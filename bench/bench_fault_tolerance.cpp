@@ -15,6 +15,7 @@
 // whether the safety invariants held and the hierarchy reconverged.
 
 #include <cstdio>
+#include <string_view>
 
 #include "chaos/runner.hpp"
 #include "core/snooze.hpp"
@@ -107,8 +108,11 @@ int main(int argc, char** argv) {
   }
   system.client().submit_all(vms, 0.1);
   system.engine().run_until(system.engine().now() + 60.0);
-  std::printf("running VMs after submission: %zu/%zu\n", system.running_vm_count(),
-              n_vms);
+  auto& metrics = system.telemetry().metrics();
+  std::printf("running VMs after submission: %zu/%zu (%llu placements ok)\n",
+              system.running_vm_count(), n_vms,
+              static_cast<unsigned long long>(
+                  metrics.counter("gm.placements_ok").value()));
 
   // Throughput sampler: d(total useful work)/dt over fixed windows.
   double last_work = system.total_work();
@@ -188,6 +192,16 @@ int main(int argc, char** argv) {
   table.add_row({"steady state", util::Table::num(after, 2),
                  std::to_string(system.running_vm_count()), ""});
   table.print();
+
+  // Recovery machinery, straight from the always-on metrics registry.
+  const auto reg = [&metrics](std::string_view name) {
+    return static_cast<unsigned long long>(metrics.counter(name).value());
+  };
+  std::printf("\nrecovery activity: %llu elections won, %llu LC failures detected,\n"
+              "%llu VMs rescheduled, %llu RPC timeouts, %llu messages dropped\n",
+              reg("gm.elections_won"), reg("gm.lc_failures_detected"),
+              reg("gm.vms_rescheduled"), reg("rpc.timeouts"),
+              reg("net.messages_dropped"));
 
   std::printf("\nshape check: GL/GM rows stay at the baseline (management-layer\n"
               "failures never touch running VMs); only the LC row moves, by the\n"

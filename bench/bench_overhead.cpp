@@ -52,12 +52,17 @@ int main(int argc, char** argv) {
     system.client().submit_all(vms, 0.1);
     system.engine().run_until(system.engine().now() + 60.0);
 
-    system.network().reset_stats();
+    // Counters in the metrics registry are monotonic: sample before/after the
+    // measurement window instead of resetting shared state.
+    auto& metrics = system.telemetry().metrics();
+    const std::uint64_t msgs0 = metrics.counter("net.messages_sent").value();
+    const std::uint64_t bytes0 = metrics.counter("net.bytes_sent").value();
     const double t0 = system.engine().now();
     system.engine().run_until(t0 + window);
-    const auto stats = system.network().stats();
-    const double msgs_s = static_cast<double>(stats.messages_sent) / window;
-    const double bytes_s = static_cast<double>(stats.bytes_sent) / window;
+    const auto msgs = metrics.counter("net.messages_sent").value() - msgs0;
+    const auto bytes = metrics.counter("net.bytes_sent").value() - bytes0;
+    const double msgs_s = static_cast<double>(msgs) / window;
+    const double bytes_s = static_cast<double>(bytes) / window;
     table.add_row({std::to_string(lcs), std::to_string(gms),
                    std::to_string(system.running_vm_count()),
                    util::Table::num(msgs_s, 1), util::Table::num(bytes_s / 1024.0, 2),

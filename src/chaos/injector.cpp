@@ -1,5 +1,6 @@
 #include "chaos/injector.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace snooze::chaos {
@@ -27,7 +28,28 @@ void ChaosInjector::trace(std::string_view kind, std::string_view detail) {
   system_.trace().record(name(), kind, detail);
 }
 
+void ChaosInjector::count_fault() {
+  ++faults_injected_;
+  telemetry::count(tel(), "chaos.faults_injected");
+}
+
+telemetry::SpanContext ChaosInjector::begin_fault_span(std::string_view kind,
+                                                       std::string detail) {
+  return telemetry::begin_span(tel(), chaos_root_, std::string(kind), "chaos",
+                               std::move(detail));
+}
+
+void ChaosInjector::end_fault_span(telemetry::SpanContext& span, const char* status) {
+  telemetry::end_span(tel(), span, status);
+  span = {};
+}
+
 void ChaosInjector::start() {
+  if (auto* t = tel()) {
+    chaos_root_ = t->spans().begin(
+        t->spans().new_trace(), 0, "chaos.run", "chaos",
+        std::to_string(schedule_.actions.size()) + " actions");
+  }
   // Action times are relative to injection start (the cluster may have spent
   // arbitrary virtual time stabilizing before the chaos phase begins).
   for (const FaultAction& action : schedule_.actions) {
@@ -87,6 +109,13 @@ void ChaosInjector::execute(const FaultAction& action) {
       apply_partitions();
       system_.network().clear_all_faults();
       system_.network().set_drop_probability(0.0);
+      // Crashed nodes stay down (kHealAll only mends the network), so their
+      // fault windows stay open.
+      for (auto& [addr, span] : isolate_spans_) end_fault_span(span);
+      isolate_spans_.clear();
+      for (auto& [link, span] : link_spans_) end_fault_span(span);
+      link_spans_.clear();
+      if (drop_span_.valid()) end_fault_span(drop_span_);
       trace("chaos.heal", "all");
       break;
     case ActionKind::kLink:
@@ -97,7 +126,14 @@ void ChaosInjector::execute(const FaultAction& action) {
       break;
     case ActionKind::kGlobalDrop:
       system_.network().set_drop_probability(action.drop);
-      if (action.drop > 0.0) ++faults_injected_;
+      if (action.drop > 0.0) {
+        count_fault();
+        if (!drop_span_.valid()) {
+          drop_span_ = begin_fault_span("chaos.drop", std::to_string(action.drop));
+        }
+      } else if (drop_span_.valid()) {
+        end_fault_span(drop_span_);
+      }
       trace("chaos.drop", std::to_string(action.drop));
       break;
   }
@@ -116,7 +152,9 @@ void ChaosInjector::do_crash(const FaultAction& action) {
     }
     role = NodeRole::kGm;
     if (action.pair != 0) pair_targets_[action.pair] = {role, index};
-    ++faults_injected_;
+    count_fault();
+    crash_spans_[{role, index}] =
+        begin_fault_span("chaos.crash", "gl (gm-" + std::to_string(index) + ")");
     trace("chaos.crash", "gl (gm-" + std::to_string(index) + ")");
     return;
   }
@@ -158,7 +196,9 @@ void ChaosInjector::do_crash(const FaultAction& action) {
       trace("chaos.skip", "crash: bad target");
       return;
   }
-  ++faults_injected_;
+  count_fault();
+  crash_spans_[{role, index}] =
+      begin_fault_span("chaos.crash", target_label(role, index));
   trace("chaos.crash", target_label(role, index));
 }
 
@@ -204,6 +244,11 @@ void ChaosInjector::do_recover(const FaultAction& action) {
       trace("chaos.skip", "recover: bad target");
       return;
   }
+  const auto span_it = crash_spans_.find({role, index});
+  if (span_it != crash_spans_.end()) {
+    end_fault_span(span_it->second, "recovered");
+    crash_spans_.erase(span_it);
+  }
   trace("chaos.recover", target_label(role, index));
 }
 
@@ -226,7 +271,9 @@ void ChaosInjector::do_isolate(const FaultAction& action) {
   if (action.pair != 0) pair_isolated_[action.pair] = addr;
   if (!isolated_.insert(addr).second) return;  // already isolated
   apply_partitions();
-  ++faults_injected_;
+  count_fault();
+  isolate_spans_[addr] =
+      begin_fault_span("chaos.isolate", target_label(action.role, action.index));
   trace("chaos.isolate", target_label(action.role, action.index));
 }
 
@@ -248,6 +295,11 @@ void ChaosInjector::do_heal(const FaultAction& action) {
     return;
   }
   apply_partitions();
+  const auto span_it = isolate_spans_.find(addr);
+  if (span_it != isolate_spans_.end()) {
+    end_fault_span(span_it->second);
+    isolate_spans_.erase(span_it);
+  }
   trace("chaos.heal", target_label(action.role, action.index));
 }
 
@@ -258,18 +310,25 @@ void ChaosInjector::do_link(const FaultAction& action, bool install) {
     trace("chaos.skip", "link: bad endpoints");
     return;
   }
-  if (install) {
-    system_.network().set_link_faults(a, b, action.faults);
-    system_.network().set_link_faults(b, a, action.faults);
-    ++faults_injected_;
-  } else {
-    system_.network().clear_link_faults(a, b);
-    system_.network().clear_link_faults(b, a);
-  }
   std::ostringstream detail;
   detail << target_label(action.role, action.index) << " <-> "
          << target_label(action.role2, action.index2);
-  if (install) detail << " drop=" << action.faults.drop;
+  const std::pair<net::Address, net::Address> link_key = std::minmax(a, b);
+  if (install) {
+    system_.network().set_link_faults(a, b, action.faults);
+    system_.network().set_link_faults(b, a, action.faults);
+    count_fault();
+    detail << " drop=" << action.faults.drop;
+    link_spans_[link_key] = begin_fault_span("chaos.link", detail.str());
+  } else {
+    system_.network().clear_link_faults(a, b);
+    system_.network().clear_link_faults(b, a);
+    const auto span_it = link_spans_.find(link_key);
+    if (span_it != link_spans_.end()) {
+      end_fault_span(span_it->second);
+      link_spans_.erase(span_it);
+    }
+  }
   trace(install ? "chaos.link" : "chaos.unlink", detail.str());
 }
 
@@ -289,6 +348,14 @@ void ChaosInjector::heal_all_remaining() {
   apply_partitions();
   system_.network().clear_all_faults();
   system_.network().set_drop_probability(0.0);
+  for (auto& [key, span] : crash_spans_) end_fault_span(span, "recovered");
+  crash_spans_.clear();
+  for (auto& [addr, span] : isolate_spans_) end_fault_span(span);
+  isolate_spans_.clear();
+  for (auto& [link, span] : link_spans_) end_fault_span(span);
+  link_spans_.clear();
+  if (drop_span_.valid()) end_fault_span(drop_span_);
+  if (chaos_root_.valid()) end_fault_span(chaos_root_, "ok");
   trace("chaos.heal", "final");
 }
 

@@ -15,6 +15,7 @@
 #include "chaos/schedule.hpp"
 #include "core/system.hpp"
 #include "sim/actor.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace snooze::chaos {
 
@@ -48,6 +49,18 @@ class ChaosInjector final : public sim::Actor {
   [[nodiscard]] net::Address resolve_address(NodeRole role, int index);
   void trace(std::string_view kind, std::string_view detail = {});
 
+  /// Telemetry sink of the system under test (may be null).
+  [[nodiscard]] telemetry::Telemetry* tel() const {
+    return system_.network().telemetry();
+  }
+  /// Count one injected fault in both the legacy counter and the registry.
+  void count_fault();
+  /// Open a fault-window span (child of the chaos root) for an injected fault.
+  [[nodiscard]] telemetry::SpanContext begin_fault_span(std::string_view kind,
+                                                        std::string detail);
+  /// Close a fault-window span and invalidate the stored context.
+  void end_fault_span(telemetry::SpanContext& span, const char* status = "healed");
+
   core::SnoozeSystem& system_;
   FaultSchedule schedule_;
   InvariantChecker* checker_;
@@ -58,6 +71,14 @@ class ChaosInjector final : public sim::Actor {
   std::map<int, net::Address> pair_isolated_;
   std::set<net::Address> isolated_;
   std::size_t faults_injected_ = 0;
+
+  // Open fault windows, so each inject/heal pair shows up as one span whose
+  // duration is the window. Keyed the same way the heal actions look targets up.
+  telemetry::SpanContext chaos_root_;
+  std::map<std::pair<NodeRole, int>, telemetry::SpanContext> crash_spans_;
+  std::map<net::Address, telemetry::SpanContext> isolate_spans_;
+  std::map<std::pair<net::Address, net::Address>, telemetry::SpanContext> link_spans_;
+  telemetry::SpanContext drop_span_;
 };
 
 }  // namespace snooze::chaos

@@ -6,6 +6,7 @@
 
 #include "chaos/runner.hpp"
 #include "cli/dot_export.hpp"
+#include "telemetry/export.hpp"
 
 namespace snooze::cli {
 
@@ -45,6 +46,10 @@ std::string CliSession::help() {
          "  chaos seed <n> [duration]                  seeded chaos run + invariants\n"
          "  chaos script <file>                        run a fault-schedule script\n"
          "  chaos show <n> [duration]                  print the schedule for a seed\n"
+         "  metrics show                               telemetry counters/gauges/histograms\n"
+         "  metrics csv <file>                         export all metrics as CSV\n"
+         "  trace export <file>                        Chrome trace_event JSON (Perfetto)\n"
+         "  trace csv <file>                           span time series as CSV\n"
          "  help                                       this screen\n"
          "  quit                                       leave\n";
 }
@@ -63,6 +68,8 @@ CommandResult CliSession::execute(const std::string& line) {
   if (cmd == "stats") return cmd_stats();
   if (cmd == "fail") return cmd_fail(args);
   if (cmd == "chaos") return cmd_chaos(args);
+  if (cmd == "metrics") return cmd_metrics(args);
+  if (cmd == "trace") return cmd_trace(args);
   return {false, false, "unknown command '" + cmd + "' (try 'help')\n"};
 }
 
@@ -219,6 +226,45 @@ CommandResult CliSession::cmd_chaos(const std::vector<std::string>& args) {
     } catch (const std::exception& e) {
       return {false, false, std::string(e.what()) + "\n"};
     }
+  }
+  return {false, false, usage};
+}
+
+namespace {
+
+CommandResult write_file(const std::string& path, const std::string& content,
+                         const std::string& cmd) {
+  std::ofstream out(path);
+  if (!out) return {false, false, cmd + ": cannot open " + path + "\n"};
+  out << content;
+  return {true, false, "wrote " + path + "\n"};
+}
+
+}  // namespace
+
+CommandResult CliSession::cmd_metrics(const std::vector<std::string>& args) {
+  const std::string usage = "usage: metrics show | metrics csv <file>\n";
+  if (args.empty()) return {false, false, usage};
+  const auto& registry = system_->telemetry().metrics();
+  if (args[0] == "show") return {true, false, telemetry::metrics_table(registry)};
+  if (args[0] == "csv") {
+    if (args.size() < 2) return {false, false, usage};
+    return write_file(args[1], telemetry::metrics_csv(registry), "metrics csv");
+  }
+  return {false, false, usage};
+}
+
+CommandResult CliSession::cmd_trace(const std::vector<std::string>& args) {
+  const std::string usage = "usage: trace export <file> | trace csv <file>\n";
+  if (args.size() < 2) return {false, false, usage};
+  const auto& spans = system_->telemetry().spans();
+  if (args[0] == "export") {
+    return write_file(args[1],
+                      telemetry::chrome_trace_json(spans, system_->engine().now()),
+                      "trace export");
+  }
+  if (args[0] == "csv") {
+    return write_file(args[1], telemetry::spans_csv(spans), "trace csv");
   }
   return {false, false, usage};
 }

@@ -46,6 +46,8 @@ class CliSession {
   CommandResult cmd_stats();
   CommandResult cmd_fail(const std::vector<std::string>& args);
   CommandResult cmd_chaos(const std::vector<std::string>& args);
+  CommandResult cmd_metrics(const std::vector<std::string>& args);
+  CommandResult cmd_trace(const std::vector<std::string>& args);
 
   std::unique_ptr<core::SnoozeSystem> system_;
 };

@@ -28,9 +28,11 @@ std::string Service::parent_of(const std::string& path) {
 net::MsgPtr Service::handle(const net::Envelope& env) {
   const auto* req = net::msg_cast<Request>(env.payload);
   if (req == nullptr) return nullptr;
+  bump("coord.requests");
   auto resp = std::make_shared<Response>();
   switch (req->op) {
     case Op::kOpenSession: {
+      bump("coord.sessions_opened");
       const SessionId id = next_session_++;
       Session session;
       session.owner = env.from;
@@ -152,6 +154,7 @@ void Service::check_expiry() {
   }
   for (SessionId id : expired) {
     LOG_DEBUG << "coord: session " << id << " expired at t=" << now();
+    bump("coord.sessions_expired");
     expire_session(id);
   }
 }
@@ -170,6 +173,7 @@ void Service::fire_node_watches(const std::string& path, WatchEvent::Kind kind) 
   const std::set<net::Address> watchers = std::move(it->second);
   node_watches_.erase(it);
   for (net::Address w : watchers) {
+    bump("coord.watch_events");
     auto event = std::make_shared<WatchEvent>();
     event->path = path;
     event->kind = kind;
@@ -183,6 +187,7 @@ void Service::fire_child_watches(const std::string& parent) {
   const std::set<net::Address> watchers = std::move(it->second);
   child_watches_.erase(it);
   for (net::Address w : watchers) {
+    bump("coord.watch_events");
     auto event = std::make_shared<WatchEvent>();
     event->path = parent;
     event->kind = WatchEvent::Kind::kChildrenChanged;

@@ -14,6 +14,7 @@
 #include "coord/messages.hpp"
 #include "net/rpc.hpp"
 #include "sim/actor.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace snooze::coord {
 
@@ -51,6 +52,12 @@ class Service final : public sim::Actor {
   void fire_node_watches(const std::string& path, WatchEvent::Kind kind);
   void fire_child_watches(const std::string& parent);
   static std::string parent_of(const std::string& path);
+
+  /// Telemetry sink shared by every component on this network (may be null).
+  [[nodiscard]] telemetry::Telemetry* tel() const {
+    return endpoint_.network().telemetry();
+  }
+  void bump(std::string_view counter) { telemetry::count(tel(), counter); }
 
   net::RpcEndpoint endpoint_;
   std::map<std::string, Znode> nodes_;

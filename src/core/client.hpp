@@ -10,6 +10,7 @@
 #include "core/messages.hpp"
 #include "net/rpc.hpp"
 #include "sim/trace.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/stats.hpp"
 
 namespace snooze::core {
@@ -40,8 +41,14 @@ class Client final : public sim::Actor {
   [[nodiscard]] util::Percentiles& latencies() { return latencies_; }
 
  private:
-  void attempt(VmDescriptor vm, sim::Time started, int attempts_left, SubmitCb cb);
-  void discover_gl(std::size_t ep_index, std::function<void(net::Address)> cb);
+  void attempt(VmDescriptor vm, sim::Time started, int attempts_left,
+               telemetry::SpanContext root, SubmitCb cb);
+  void discover_gl(std::size_t ep_index, telemetry::SpanContext root,
+                   std::function<void(net::Address)> cb);
+
+  [[nodiscard]] telemetry::Telemetry* tel() const {
+    return endpoint_.network().telemetry();
+  }
 
   /// Backoff before the next discovery round, per RetryPolicy semantics.
   [[nodiscard]] sim::Time rediscover_backoff(int attempts_left);

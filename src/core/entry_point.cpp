@@ -1,5 +1,7 @@
 #include "core/entry_point.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 namespace snooze::core {
 
 EntryPoint::EntryPoint(sim::Engine& engine, net::Network& network,
@@ -11,6 +13,7 @@ EntryPoint::EntryPoint(sim::Engine& engine, net::Network& network,
       trace_(trace) {
   endpoint_.set_message_handler([this](const net::Envelope& env) {
     if (const auto* hb = net::msg_cast<GlHeartbeat>(env.payload)) {
+      telemetry::count(endpoint_.network().telemetry(), "ep.gl_heartbeats");
       if (hb->epoch >= epoch_) {
         epoch_ = hb->epoch;
         gl_ = hb->gl;
@@ -20,12 +23,16 @@ EntryPoint::EntryPoint(sim::Engine& engine, net::Network& network,
   });
   endpoint_.set_request_handler([this](const net::Envelope& env, net::Responder r) {
     if (net::msg_cast<GlQueryRequest>(env.payload) == nullptr) return;
+    auto* tel = endpoint_.network().telemetry();
+    telemetry::count(tel, "ep.gl_queries");
+    const auto span = telemetry::begin_span(tel, env.ctx, "ep.gl_query", this->name());
     auto resp = std::make_shared<GlQueryResponse>();
     // Only vouch for a GL we have heard from recently.
     const sim::Time window =
         config_.gl_heartbeat_period * config_.heartbeat_timeout_factor;
     resp->ok = gl_ != net::kNullAddress && now() - last_gl_heartbeat_ <= window;
     resp->gl = gl_;
+    telemetry::end_span(tel, span, resp->ok ? "ok" : "unknown_gl");
     r.respond(resp);
   });
 }

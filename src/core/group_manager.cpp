@@ -139,9 +139,9 @@ void GroupManager::handle_request(const net::Envelope& env, net::Responder respo
   } else if (const auto* assign = net::msg_cast<AssignLcRequest>(env.payload)) {
     handle_assign_lc(*assign, responder);
   } else if (const auto* submit = net::msg_cast<SubmitVmRequest>(env.payload)) {
-    handle_submit(*submit, responder);
+    handle_submit(*submit, env.ctx, responder);
   } else if (const auto* place = net::msg_cast<PlacementRequest>(env.payload)) {
-    handle_placement(*place, responder);
+    handle_placement(*place, env.ctx, responder);
   }
 }
 
@@ -150,6 +150,7 @@ void GroupManager::handle_request(const net::Envelope& env, net::Responder respo
 // ---------------------------------------------------------------------------
 
 void GroupManager::gm_tick_heartbeat() {
+  bump("gm.heartbeats");
   auto hb = std::make_shared<GmHeartbeat>();
   hb->gm = endpoint_.address();
   endpoint_.multicast(gm_group_, hb);
@@ -158,6 +159,7 @@ void GroupManager::gm_tick_heartbeat() {
 void GroupManager::gm_tick_summary() {
   if (leader_) return;  // the GL keeps no LCs and reports no summary
   if (current_gl_ == net::kNullAddress) return;
+  bump("gm.summaries");
   auto summary = std::make_shared<GmSummary>();
   summary->gm = endpoint_.address();
   for (const auto& [addr, lc] : lcs_) {
@@ -231,6 +233,7 @@ void GroupManager::on_lc_failed(net::Address lc) {
   const auto it = lcs_.find(lc);
   if (it == lcs_.end()) return;
   ++counters_.lc_failures_detected;
+  bump("gm.lc_failures_detected");
   trace_event("gm.lc_failed");
   // Paper §II.E: the LC's contact information is invalidated; its VMs are
   // terminated. With the snapshot feature enabled the GM reschedules them.
@@ -244,6 +247,7 @@ void GroupManager::on_lc_failed(net::Address lc) {
   waking_.erase(lc);
   for (const VmDescriptor& vm : to_reschedule) {
     ++counters_.vms_rescheduled;
+    bump("gm.vms_rescheduled");
     reschedule_vm(vm);
   }
 }
@@ -252,15 +256,20 @@ void GroupManager::reschedule_vm(const VmDescriptor& vm) {
   PlacementRequest req;
   req.vm = vm;
   // Run it through our own placement path; the responder goes nowhere.
-  handle_placement(req, net::Responder(&endpoint_.network(), endpoint_.address(),
-                                       endpoint_.address(), 0));
+  handle_placement(req, {},
+                   net::Responder(&endpoint_.network(), endpoint_.address(),
+                                  endpoint_.address(), 0));
 }
 
 // ---------------------------------------------------------------------------
 // GM role: placement
 // ---------------------------------------------------------------------------
 
-void GroupManager::handle_placement(const PlacementRequest& req, net::Responder responder) {
+void GroupManager::handle_placement(const PlacementRequest& req,
+                                    telemetry::SpanContext ctx,
+                                    net::Responder responder) {
+  const auto span = telemetry::begin_span(tel(), ctx, "gm.place", name(),
+                                          "vm=" + std::to_string(req.vm.id));
   // Idempotency: if we already host this VM (the GL's previous attempt whose
   // response got lost), report where it lives instead of starting a copy.
   for (const auto& [addr, lc_record] : lcs_) {
@@ -268,27 +277,30 @@ void GroupManager::handle_placement(const PlacementRequest& req, net::Responder 
       auto resp = std::make_shared<PlacementResponse>();
       resp->ok = true;
       resp->lc = addr;
+      telemetry::end_span(tel(), span, "replayed");
       responder.respond(resp);
       return;
     }
   }
   const net::Address lc = placement_policy_->choose(req.vm, lc_infos());
   if (lc != net::kNullAddress) {
-    place_on(lc, req.vm, responder);
+    place_on(lc, req.vm, span, responder);
     return;
   }
   if (config_.energy_savings) {
-    try_wakeup_then_place(req.vm, responder);
+    try_wakeup_then_place(req.vm, span, responder);
     return;
   }
   ++counters_.placements_failed;
+  bump("gm.placements_failed");
+  telemetry::end_span(tel(), span, "failed");
   auto resp = std::make_shared<PlacementResponse>();
   resp->ok = false;
   responder.respond(resp);
 }
 
 void GroupManager::place_on(net::Address lc, const VmDescriptor& vm,
-                            net::Responder responder) {
+                            telemetry::SpanContext span, net::Responder responder) {
   // Reserve optimistically at command time so concurrent placements in the
   // same scheduling window do not all pick the same LC; rolled back if the
   // LC refuses. The LC's own monitoring reports (which include booting VMs)
@@ -300,9 +312,10 @@ void GroupManager::place_on(net::Address lc, const VmDescriptor& vm,
   }
   auto start = std::make_shared<StartVmRequest>();
   start->vm = vm;
+  start->ctx = span;
   const sim::Time timeout = config_.vm_boot_time + config_.rpc_timeout;
   endpoint_.call(lc, start, timeout,
-                 [this, lc, vm, responder](bool ok, const net::MsgPtr& reply) {
+                 [this, lc, vm, span, responder](bool ok, const net::MsgPtr& reply) {
     const auto* resp = ok ? net::msg_cast<StartVmResponse>(reply) : nullptr;
     auto placement = std::make_shared<PlacementResponse>();
     const auto it = lcs_.find(lc);
@@ -310,6 +323,7 @@ void GroupManager::place_on(net::Address lc, const VmDescriptor& vm,
       placement->ok = true;
       placement->lc = lc;
       ++counters_.placements_ok;
+      bump("gm.placements_ok");
       if (it != lcs_.end()) {
         VmRecord record;
         record.requested = vm.requested;
@@ -320,9 +334,11 @@ void GroupManager::place_on(net::Address lc, const VmDescriptor& vm,
         it->second.idle_since = -1.0;
       }
       trace_event("gm.vm_placed");
+      telemetry::end_span(tel(), span, "ok");
     } else {
       placement->ok = false;
       ++counters_.placements_failed;
+      bump("gm.placements_failed");
       if (it != lcs_.end()) {
         it->second.reserved -= vm.requested;
         if (it->second.reserved.any_negative()) it->second.reserved = {};
@@ -335,12 +351,15 @@ void GroupManager::place_on(net::Address lc, const VmDescriptor& vm,
         stop->vm = vm.id;
         endpoint_.send(lc, stop);
       }
+      telemetry::end_span(tel(), span, "failed");
     }
     responder.respond(placement);
   });
 }
 
-void GroupManager::try_wakeup_then_place(const VmDescriptor& vm, net::Responder responder) {
+void GroupManager::try_wakeup_then_place(const VmDescriptor& vm,
+                                         telemetry::SpanContext span,
+                                         net::Responder responder) {
   // Find a suspended LC that could hold the VM once awake.
   net::Address target = net::kNullAddress;
   for (const auto& [addr, lc] : lcs_) {
@@ -353,19 +372,23 @@ void GroupManager::try_wakeup_then_place(const VmDescriptor& vm, net::Responder 
   }
   if (target == net::kNullAddress) {
     ++counters_.placements_failed;
+    bump("gm.placements_failed");
+    telemetry::end_span(tel(), span, "failed");
     auto resp = std::make_shared<PlacementResponse>();
     resp->ok = false;
     responder.respond(resp);
     return;
   }
   ++counters_.wakeups;
+  bump("gm.wakeups");
   waking_.insert(target);
   lcs_[target].power = LcPower::kWaking;
   trace_event("gm.wakeup");
   auto wake = std::make_shared<WakeupRequest>();
+  wake->ctx = span;
   const sim::Time timeout = 30.0 + config_.rpc_timeout;  // covers resume latency
   endpoint_.call(target, wake, timeout,
-                 [this, target, vm, responder](bool ok, const net::MsgPtr& reply) {
+                 [this, target, vm, span, responder](bool ok, const net::MsgPtr& reply) {
     waking_.erase(target);
     const auto* resp = ok ? net::msg_cast<WakeupResponse>(reply) : nullptr;
     const auto it = lcs_.find(target);
@@ -373,10 +396,12 @@ void GroupManager::try_wakeup_then_place(const VmDescriptor& vm, net::Responder 
       it->second.power = LcPower::kOn;
       it->second.last_heartbeat = now();
       it->second.idle_since = -1.0;
-      place_on(target, vm, responder);
+      place_on(target, vm, span, responder);
     } else {
       if (it != lcs_.end()) it->second.power = LcPower::kSuspended;
       ++counters_.placements_failed;
+      bump("gm.placements_failed");
+      telemetry::end_span(tel(), span, "wakeup_failed");
       auto placement = std::make_shared<PlacementResponse>();
       placement->ok = false;
       responder.respond(placement);
@@ -424,11 +449,13 @@ void GroupManager::handle_anomaly(const AnomalyEvent& event) {
   std::vector<RelocationMove> moves;
   if (event.kind == AnomalyEvent::Kind::kOverload) {
     ++counters_.overload_events;
+    bump("gm.overload_events");
     trace_event("gm.overload_event");
     moves = plan_overload_relocation(source, vm_loads(it->second), others,
                                      config_.overload_threshold);
   } else {
     ++counters_.underload_events;
+    bump("gm.underload_events");
     trace_event("gm.underload_event");
     moves = plan_underload_relocation(source, vm_loads(it->second), others,
                                       config_.underload_threshold,
@@ -440,6 +467,7 @@ void GroupManager::handle_anomaly(const AnomalyEvent& event) {
 void GroupManager::execute_moves(const std::vector<RelocationMove>& moves) {
   for (const RelocationMove& move : moves) {
     ++counters_.migrations_commanded;
+    bump("gm.migrations_commanded");
     auto req = std::make_shared<MigrateVmRequest>();
     req->vm = move.vm;
     req->destination = move.to;
@@ -464,6 +492,7 @@ void GroupManager::handle_migration_done(const MigrationDone& done) {
     return;
   }
   ++counters_.migrations_completed;
+  bump("gm.migrations_completed");
   trace_event("gm.migration_done");
   const auto from_it = lcs_.find(done.from);
   const auto to_it = lcs_.find(done.to);
@@ -542,6 +571,7 @@ void GroupManager::gm_reconfigure() {
   if (target.hosts_used() >= current.hosts_used()) return;  // not an improvement
 
   ++counters_.reconfigurations;
+  bump("gm.reconfigurations");
   trace_event("gm.reconfiguration");
   const auto plan = consolidation::diff_placements(current, target);
   std::vector<RelocationMove> moves;
@@ -578,6 +608,7 @@ void GroupManager::gm_energy_check() {
     if (now() - lc.idle_since < config_.idle_threshold) continue;
     // Idle past the administrator threshold: transition to low power.
     ++counters_.suspends;
+    bump("gm.suspends");
     lc.power = LcPower::kSuspended;  // optimistic; reverted on refusal
     trace_event("gm.suspend");
     auto req = std::make_shared<SuspendRequest>();
@@ -605,6 +636,7 @@ void GroupManager::become_leader() {
   if (leader_) return;
   leader_ = true;
   ++counters_.elections_won;
+  bump("gm.elections_won");
   my_epoch_ = epoch_from_node(election_.my_node());
   current_gl_ = endpoint_.address();
   trace_event("gm.elected_gl");
@@ -632,6 +664,7 @@ void GroupManager::become_leader() {
 
 void GroupManager::gl_tick_heartbeat() {
   if (!leader_) return;
+  bump("gl.heartbeats");
   auto hb = std::make_shared<GlHeartbeat>();
   hb->gl = endpoint_.address();
   hb->epoch = my_epoch_;
@@ -661,6 +694,7 @@ void GroupManager::gl_check_gm_liveness() {
     if (now() - it->second.last_summary > window) {
       // Gracefully remove the failed GM so no new VMs land on it.
       ++counters_.gm_failures_detected;
+      bump("gl.gm_failures_detected");
       trace_event("gl.gm_failed");
       it = gms_.erase(it);
     } else {
@@ -694,7 +728,8 @@ void GroupManager::handle_assign_lc(const AssignLcRequest& req, net::Responder r
   responder.respond(resp);
 }
 
-void GroupManager::handle_submit(const SubmitVmRequest& req, net::Responder responder) {
+void GroupManager::handle_submit(const SubmitVmRequest& req, telemetry::SpanContext ctx,
+                                 net::Responder responder) {
   auto fail = [&] {
     auto resp = std::make_shared<SubmitVmResponse>();
     resp->ok = false;
@@ -720,23 +755,31 @@ void GroupManager::handle_submit(const SubmitVmRequest& req, net::Responder resp
     return;
   }
   ++counters_.dispatches;
+  bump("gl.dispatches");
+  const auto span = telemetry::begin_span(tel(), ctx, "gl.dispatch", name(),
+                                          "vm=" + std::to_string(req.vm.id));
   std::vector<net::Address> candidates =
       dispatch_policy_->candidates(req.vm, gm_infos(), config_.max_dispatch_candidates);
   if (candidates.empty()) {
     ++counters_.dispatch_failures;
+    bump("gl.dispatch_failures");
+    telemetry::end_span(tel(), span, "no_candidates");
     fail();
     return;
   }
   inflight_submissions_.insert(req.vm.id);
-  dispatch_linear_search(req.vm, std::move(candidates), 0, responder);
+  dispatch_linear_search(req.vm, std::move(candidates), 0, span, responder);
 }
 
 void GroupManager::dispatch_linear_search(VmDescriptor vm,
                                           std::vector<net::Address> candidates,
-                                          std::size_t index, net::Responder responder) {
+                                          std::size_t index, telemetry::SpanContext span,
+                                          net::Responder responder) {
   if (index >= candidates.size()) {
     inflight_submissions_.erase(vm.id);
     ++counters_.dispatch_failures;
+    bump("gl.dispatch_failures");
+    telemetry::end_span(tel(), span, "failed");
     auto resp = std::make_shared<SubmitVmResponse>();
     resp->ok = false;
     responder.respond(resp);
@@ -751,17 +794,19 @@ void GroupManager::dispatch_linear_search(VmDescriptor vm,
   const net::Address gm = candidates[index];
   auto place = std::make_shared<PlacementRequest>();
   place->vm = vm;
+  place->ctx = span;
   net::RetryPolicy policy;
   policy.max_attempts = 2;
   policy.base_backoff = 0.25;
   endpoint_.call_with_retries(
       gm, place, config_.placement_rpc_timeout, policy,
-      [this, vm, candidates = std::move(candidates), index, gm,
+      [this, vm, candidates = std::move(candidates), index, gm, span,
        responder](bool ok, const net::MsgPtr& reply) mutable {
     const auto* resp = ok ? net::msg_cast<PlacementResponse>(reply) : nullptr;
     if (resp != nullptr && resp->ok) {
       inflight_submissions_.erase(vm.id);
       completed_submissions_[vm.id] = {resp->lc, gm};
+      telemetry::end_span(tel(), span, "ok");
       auto out = std::make_shared<SubmitVmResponse>();
       out->ok = true;
       out->lc = resp->lc;
@@ -770,7 +815,8 @@ void GroupManager::dispatch_linear_search(VmDescriptor vm,
       return;
     }
     // Rejected or retries exhausted: try the next candidate GM.
-    dispatch_linear_search(std::move(vm), std::move(candidates), index + 1, responder);
+    dispatch_linear_search(std::move(vm), std::move(candidates), index + 1, span,
+                           responder);
   });
 }
 

@@ -24,6 +24,7 @@
 #include "core/relocation.hpp"
 #include "net/rpc.hpp"
 #include "sim/trace.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace snooze::core {
 
@@ -117,9 +118,12 @@ class GroupManager final : public sim::Actor {
   void handle_anomaly(const AnomalyEvent& event);
   void handle_migration_done(const MigrationDone& done);
   void handle_vm_terminated(const VmTerminated& done);
-  void handle_placement(const PlacementRequest& req, net::Responder responder);
-  void place_on(net::Address lc, const VmDescriptor& vm, net::Responder responder);
-  void try_wakeup_then_place(const VmDescriptor& vm, net::Responder responder);
+  void handle_placement(const PlacementRequest& req, telemetry::SpanContext ctx,
+                        net::Responder responder);
+  void place_on(net::Address lc, const VmDescriptor& vm, telemetry::SpanContext span,
+                net::Responder responder);
+  void try_wakeup_then_place(const VmDescriptor& vm, telemetry::SpanContext span,
+                             net::Responder responder);
   void execute_moves(const std::vector<RelocationMove>& moves);
   void reschedule_vm(const VmDescriptor& vm);
   [[nodiscard]] std::vector<VmLoad> vm_loads(const LcRecord& record) const;
@@ -130,13 +134,22 @@ class GroupManager final : public sim::Actor {
   void gl_tick_heartbeat();
   void gl_check_gm_liveness();
   void handle_assign_lc(const AssignLcRequest& req, net::Responder responder);
-  void handle_submit(const SubmitVmRequest& req, net::Responder responder);
+  void handle_submit(const SubmitVmRequest& req, telemetry::SpanContext ctx,
+                     net::Responder responder);
   void dispatch_linear_search(VmDescriptor vm, std::vector<net::Address> candidates,
-                              std::size_t index, net::Responder responder);
+                              std::size_t index, telemetry::SpanContext span,
+                              net::Responder responder);
   void handle_gm_summary(const GmSummary& summary);
   void handle_gl_heartbeat(const GlHeartbeat& hb);
 
   void trace_event(std::string_view kind, std::string_view detail = {});
+
+  /// Telemetry sink shared by every component on this network (may be null).
+  [[nodiscard]] telemetry::Telemetry* tel() const {
+    return endpoint_.network().telemetry();
+  }
+  /// Mirror one of the Counters fields into the metrics registry.
+  void bump(std::string_view counter) { telemetry::count(tel(), counter); }
 
   net::RpcEndpoint endpoint_;
   coord::LeaderElection election_;

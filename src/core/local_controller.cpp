@@ -150,6 +150,7 @@ void LocalController::check_gm_liveness() {
 
 void LocalController::send_heartbeat() {
   if (state_ != State::kAssigned || !serving()) return;
+  bump("lc.heartbeats");
   auto hb = std::make_shared<LcHeartbeat>();
   hb->lc = endpoint_.address();
   endpoint_.send(gm_, hb);
@@ -158,6 +159,7 @@ void LocalController::send_heartbeat() {
 void LocalController::send_monitor_data() {
   host_.touch(now());  // keep the energy meter tracking the current draw
   if (state_ != State::kAssigned || !serving()) return;
+  bump("lc.monitor_reports");
   auto data = std::make_shared<LcMonitorData>();
   data->lc = endpoint_.address();
   data->capacity = host_.capacity();
@@ -189,6 +191,7 @@ void LocalController::check_anomalies() {
   event->kind = kind;
   event->utilization = utilization;
   endpoint_.send(gm_, event);
+  bump("lc.anomalies");
   trace_event(kind == AnomalyEvent::Kind::kOverload ? "lc.overload" : "lc.underload");
 }
 
@@ -201,7 +204,7 @@ void LocalController::handle_request(const net::Envelope& env, net::Responder re
     return;
   }
   if (const auto* start = net::msg_cast<StartVmRequest>(env.payload)) {
-    handle_start_vm(*start, responder);
+    handle_start_vm(*start, env.ctx, responder);
   } else if (const auto* migrate = net::msg_cast<MigrateVmRequest>(env.payload)) {
     handle_migrate(*migrate, responder);
   } else if (const auto* adopt = net::msg_cast<AdoptVmRequest>(env.payload)) {
@@ -215,10 +218,20 @@ void LocalController::handle_request(const net::Envelope& env, net::Responder re
   }
 }
 
-void LocalController::set_running_vms(double count) { running_vms_.set(now(), count); }
+void LocalController::set_running_vms(double count) {
+  // Mirror into the cluster-wide gauge before the local accumulator moves.
+  telemetry::gauge_add(tel(), "cluster.running_vms", count - running_vms_.current());
+  running_vms_.set(now(), count);
+}
 
-void LocalController::handle_start_vm(const StartVmRequest& req, net::Responder responder) {
+void LocalController::handle_start_vm(const StartVmRequest& req,
+                                      telemetry::SpanContext ctx,
+                                      net::Responder responder) {
+  const auto span = telemetry::begin_span(tel(), ctx, "lc.start_vm", name(),
+                                          "vm=" + std::to_string(req.vm.id));
   if (!host_.can_place(req.vm.requested)) {
+    bump("lc.starts_rejected");
+    telemetry::end_span(tel(), span, "rejected");
     auto resp = std::make_shared<StartVmResponse>();
     resp->ok = false;
     responder.respond(resp);
@@ -237,9 +250,12 @@ void LocalController::handle_start_vm(const StartVmRequest& req, net::Responder 
   vm_meta_[req.vm.id] = meta;
 
   const VmId id = req.vm.id;
-  after(config_.vm_boot_time, [this, id, responder] {
+  after(config_.vm_boot_time, [this, id, span, responder] {
     hypervisor::Vm* booted = host_.find(id);
-    if (booted == nullptr) return;  // evicted meanwhile
+    if (booted == nullptr) {  // evicted meanwhile
+      telemetry::end_span(tel(), span, "evicted");
+      return;
+    }
     booted->set_state(hypervisor::VmState::kRunning);
     set_running_vms(running_vms_.current() + 1.0);
     host_.touch(now());
@@ -252,6 +268,8 @@ void LocalController::handle_start_vm(const StartVmRequest& req, net::Responder 
     auto resp = std::make_shared<StartVmResponse>();
     resp->ok = true;
     responder.respond(resp);
+    bump("lc.vms_started");
+    telemetry::end_span(tel(), span, "ok");
     trace_event("lc.vm_started");
   });
 }
@@ -269,6 +287,7 @@ void LocalController::terminate_vm(hypervisor::VmId vm) {
   done->lc = endpoint_.address();
   done->vm = vm;
   endpoint_.send(gm_, done);
+  bump("lc.vms_terminated");
   trace_event("lc.vm_terminated");
 }
 
@@ -312,6 +331,7 @@ void LocalController::run_migration(hypervisor::VmId id, net::Address dest) {
   }
   const auto cost =
       migration_model_.cost(vm->spec().memory_mb, vm->spec().dirty_rate_mbps);
+  bump("lc.migrations_started");
   trace_event("lc.migration_start");
 
   // Pre-copy runs for cost.total_s; then the destination adopts the VM.
@@ -356,11 +376,13 @@ void LocalController::run_migration(hypervisor::VmId id, net::Address dest) {
           if (meta2->second.stop_event != 0) cancel(meta2->second.stop_event);
           vm_meta_.erase(meta2);
         }
+        bump("lc.migrations_done");
         trace_event("lc.migration_done");
       } else {
         // Abort: the VM keeps running here.
         if (vm2 != nullptr) vm2->set_state(hypervisor::VmState::kRunning);
         if (meta2 != vm_meta_.end()) meta2->second.migrating = false;
+        bump("lc.migrations_failed");
         trace_event("lc.migration_failed");
       }
       endpoint_.send(gm_, done);
@@ -404,6 +426,7 @@ void LocalController::handle_adopt(const AdoptVmRequest& req, net::Responder res
   host_.touch(now());
   resp->ok = true;
   responder.respond(resp);
+  bump("lc.vms_adopted");
   trace_event("lc.vm_adopted");
 }
 
@@ -419,6 +442,7 @@ void LocalController::handle_suspend(net::Responder responder) {
   resp->ok = true;
   responder.respond(resp);
   host_.set_power_state(now(), PowerState::kSuspending);
+  bump("lc.suspends");
   trace_event("lc.suspending");
   after(host_.spec().power.suspend_latency_s, [this] {
     if (power_state() != PowerState::kSuspending) return;
@@ -461,6 +485,7 @@ void LocalController::handle_wakeup(net::Responder responder) {
 
 void LocalController::finish_wakeup(net::Responder responder) {
   host_.set_power_state(now(), PowerState::kResuming);
+  bump("lc.wakeups");
   trace_event("lc.resuming");
   after(host_.spec().power.resume_latency_s, [this, responder] {
     if (power_state() != PowerState::kResuming) return;

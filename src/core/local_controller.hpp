@@ -19,6 +19,7 @@
 #include "net/rpc.hpp"
 #include "sim/actor.hpp"
 #include "sim/trace.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/stats.hpp"
 
 namespace snooze::core {
@@ -81,7 +82,8 @@ class LocalController final : public sim::Actor {
   void send_monitor_data();
   void check_anomalies();
 
-  void handle_start_vm(const StartVmRequest& req, net::Responder responder);
+  void handle_start_vm(const StartVmRequest& req, telemetry::SpanContext ctx,
+                       net::Responder responder);
   void handle_migrate(const MigrateVmRequest& req, net::Responder responder);
   void start_next_migration();
   void run_migration(hypervisor::VmId vm, net::Address dest);
@@ -96,6 +98,12 @@ class LocalController final : public sim::Actor {
     return power_state() == energy::PowerState::kOn;
   }
   void trace_event(std::string_view kind, std::string_view detail = {});
+
+  /// Telemetry sink shared by every component on this network (may be null).
+  [[nodiscard]] telemetry::Telemetry* tel() const {
+    return endpoint_.network().telemetry();
+  }
+  void bump(std::string_view counter) { telemetry::count(tel(), counter); }
 
   net::RpcEndpoint endpoint_;
   hypervisor::Host host_;

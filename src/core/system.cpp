@@ -9,7 +9,9 @@ namespace snooze::core {
 
 SnoozeSystem::SnoozeSystem(SystemSpec spec)
     : spec_(std::move(spec)), engine_(spec_.seed), network_(engine_, spec_.latency),
-      trace_(engine_) {
+      trace_(engine_), telemetry_(engine_) {
+  // Attach telemetry before any component exists so every endpoint sees it.
+  network_.set_telemetry(&telemetry_);
   coord_ = std::make_unique<coord::Service>(engine_, network_,
                                             network_.allocate_address());
 

@@ -17,6 +17,7 @@
 #include "net/network.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace snooze::core {
 
@@ -53,6 +54,7 @@ class SnoozeSystem {
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] net::Network& network() { return network_; }
   [[nodiscard]] sim::Trace& trace() { return trace_; }
+  [[nodiscard]] telemetry::Telemetry& telemetry() { return telemetry_; }
   [[nodiscard]] Client& client() { return *client_; }
   [[nodiscard]] const SystemSpec& spec() const { return spec_; }
 
@@ -111,6 +113,7 @@ class SnoozeSystem {
   sim::Engine engine_;
   net::Network network_;
   sim::Trace trace_;
+  telemetry::Telemetry telemetry_;
   std::unique_ptr<coord::Service> coord_;
   std::vector<std::unique_ptr<EntryPoint>> eps_;
   std::vector<std::unique_ptr<GroupManager>> gms_;

@@ -11,6 +11,8 @@
 #include <memory>
 #include <string_view>
 
+#include "telemetry/context.hpp"
+
 namespace snooze::net {
 
 /// Network address of a simulated node (EP/GL/GM/LC/client/service).
@@ -24,6 +26,10 @@ struct Message {
   [[nodiscard]] virtual std::string_view type() const = 0;
   /// Approximate serialized size in bytes (for overhead accounting).
   [[nodiscard]] virtual std::size_t wire_size() const { return 128; }
+
+  /// Causal trace context; set by the sender before the message is handed to
+  /// the network (a default/invalid context marks untraced traffic).
+  telemetry::SpanContext ctx;
 };
 
 using MsgPtr = std::shared_ptr<const Message>;
@@ -44,6 +50,10 @@ struct Envelope {
   Address from = kNullAddress;
   Address to = kNullAddress;
   MsgPtr payload;
+  /// Trace context the receiver should parent its spans under. For plain
+  /// sends this mirrors payload->ctx; for RPC requests RpcEndpoint rewrites
+  /// it to the per-attempt rpc span so retries stay distinguishable.
+  telemetry::SpanContext ctx;
 };
 
 /// Receiver interface registered with the Network.

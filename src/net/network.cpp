@@ -65,15 +65,18 @@ void Network::deliver_after(sim::Time delay, Envelope env) {
     // while the message was in flight.
     if (down_.count(env.to)) {
       ++stats_.messages_dropped;
+      if (counters_.dropped != nullptr) counters_.dropped->inc();
       return;
     }
     const auto it = endpoints_.find(env.to);
     if (it == endpoints_.end()) {
       ++stats_.messages_dropped;
+      if (counters_.dropped != nullptr) counters_.dropped->inc();
       return;
     }
     ++stats_.messages_delivered;
     ++per_node_[env.to].messages_delivered;
+    if (counters_.delivered != nullptr) counters_.delivered->inc();
     it->second->on_message(env);
   });
 }
@@ -81,17 +84,26 @@ void Network::deliver_after(sim::Time delay, Envelope env) {
 bool Network::send(Address from, Address to, MsgPtr msg) {
   assert(msg != nullptr);
   if (down_.count(from)) return false;
+  const std::size_t size = msg->wire_size();
   ++stats_.messages_sent;
-  stats_.bytes_sent += msg->wire_size();
+  stats_.bytes_sent += size;
   auto& sender = per_node_[from];
   ++sender.messages_sent;
-  sender.bytes_sent += msg->wire_size();
+  sender.bytes_sent += size;
+  auto& link = link_traffic_[link_key(from, to)];
+  ++link.messages;
+  link.bytes += size;
+  if (counters_.sent != nullptr) {
+    counters_.sent->inc();
+    counters_.bytes->inc(size);
+  }
 
   const LinkFaults faults = effective_faults(from, to);
   if (down_.count(to) || blocked(from, to) ||
       (faults.drop > 0.0 && engine_.rng().chance(faults.drop))) {
     ++stats_.messages_dropped;
     ++per_node_[from].messages_dropped;
+    if (counters_.dropped != nullptr) counters_.dropped->inc();
     return true;  // sent but lost in transit
   }
 
@@ -102,11 +114,12 @@ bool Network::send(Address from, Address to, MsgPtr msg) {
   }
   const bool duplicated =
       faults.duplicate > 0.0 && engine_.rng().chance(faults.duplicate);
-  deliver_after(latency, Envelope{from, to, msg});
+  Envelope env{from, to, msg, msg->ctx};
+  deliver_after(latency, env);
   if (duplicated) {
     ++stats_.messages_duplicated;
-    deliver_after(latency + latency_.sample(engine_.rng()),
-                  Envelope{from, to, std::move(msg)});
+    if (counters_.duplicated != nullptr) counters_.duplicated->inc();
+    deliver_after(latency + latency_.sample(engine_.rng()), std::move(env));
   }
   return true;
 }
@@ -192,6 +205,21 @@ TrafficStats Network::node_stats(Address addr) const {
 void Network::reset_stats() {
   stats_ = TrafficStats{};
   per_node_.clear();
+  link_traffic_.clear();
+}
+
+void Network::set_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) {
+    counters_ = {};
+    return;
+  }
+  auto& registry = telemetry_->metrics();
+  counters_.sent = &registry.counter("net.messages_sent");
+  counters_.delivered = &registry.counter("net.messages_delivered");
+  counters_.dropped = &registry.counter("net.messages_dropped");
+  counters_.duplicated = &registry.counter("net.messages_duplicated");
+  counters_.bytes = &registry.counter("net.bytes_sent");
 }
 
 }  // namespace snooze::net

@@ -18,6 +18,7 @@
 
 #include "net/message.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace snooze::net {
 
@@ -41,6 +42,13 @@ struct TrafficStats {
   std::uint64_t messages_dropped = 0;
   std::uint64_t messages_duplicated = 0;  ///< extra copies created by faults
   std::uint64_t bytes_sent = 0;
+};
+
+/// Offered traffic on one directed link (counted at the send point, before
+/// loss is decided, so it reflects what the sender put on the wire).
+struct LinkTraffic {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
 };
 
 /// Fault knobs applied to traffic on a node or a directed link. Several
@@ -117,7 +125,21 @@ class Network {
   // --- accounting ---------------------------------------------------------
   [[nodiscard]] const TrafficStats& stats() const { return stats_; }
   [[nodiscard]] TrafficStats node_stats(Address addr) const;
+  /// Offered traffic per directed link, keyed (from << 32) | to.
+  [[nodiscard]] const std::unordered_map<std::uint64_t, LinkTraffic>& link_traffic()
+      const {
+    return link_traffic_;
+  }
+  [[nodiscard]] static std::uint64_t link_key(Address from, Address to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
   void reset_stats();
+
+  /// Attach the telemetry sink all endpoints on this network report through.
+  /// The global traffic counters are mirrored into its MetricsRegistry from
+  /// the moment of attachment; pass nullptr to detach.
+  void set_telemetry(telemetry::Telemetry* telemetry);
+  [[nodiscard]] telemetry::Telemetry* telemetry() const { return telemetry_; }
 
   [[nodiscard]] sim::Engine& engine() const { return engine_; }
 
@@ -139,6 +161,18 @@ class Network {
   std::map<Address, LinkFaults> node_faults_;
   TrafficStats stats_;
   std::unordered_map<Address, TrafficStats> per_node_;
+  std::unordered_map<std::uint64_t, LinkTraffic> link_traffic_;
+
+  telemetry::Telemetry* telemetry_ = nullptr;
+  /// Cached registry handles: send() is the hottest path in the simulator,
+  /// so the name lookup happens once, at set_telemetry() time.
+  struct {
+    telemetry::Counter* sent = nullptr;
+    telemetry::Counter* delivered = nullptr;
+    telemetry::Counter* dropped = nullptr;
+    telemetry::Counter* duplicated = nullptr;
+    telemetry::Counter* bytes = nullptr;
+  } counters_;
 };
 
 }  // namespace snooze::net

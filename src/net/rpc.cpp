@@ -19,6 +19,7 @@ void Responder::respond(MsgPtr reply) const {
   wrap->rpc_id = rpc_id_;
   wrap->is_reply = true;
   wrap->inner = std::move(reply);
+  wrap->ctx = ctx_;  // the reply travels under the rpc-attempt span
   // Send through the network directly: if the responding node has crashed in
   // the meantime the network blackholes it (sender is in the down set).
   network_->send(self_, to_, std::move(wrap));
@@ -57,15 +58,29 @@ void RpcEndpoint::call(Address to, MsgPtr request, sim::Time timeout, ReplyCallb
   wrap->is_reply = false;
   wrap->inner = std::move(request);
 
+  // One rpc span per attempt (call_with_retries re-enters here), parented
+  // under the request's context — a retried RPC shows up as sibling attempt
+  // spans, the timed-out ones marked status=timeout.
+  telemetry::Telemetry* tel = network_.telemetry();
+  telemetry::count(tel, "rpc.calls");
+  const telemetry::SpanContext span = telemetry::begin_span(
+      tel, wrap->inner->ctx, "rpc:" + std::string(wrap->inner->type()), name_);
+  wrap->ctx = span.valid() ? span : wrap->inner->ctx;
+
   const std::uint64_t id = wrap->rpc_id;
   PendingCall pending;
   pending.cb = std::move(cb);
+  pending.span = span;
+  pending.started = engine_.now();
   auto token = alive_;
   pending.timeout_event = engine_.schedule(timeout, [this, token, id] {
     if (!*token) return;
     const auto it = pending_.find(id);
     if (it == pending_.end()) return;
     auto callback = std::move(it->second.cb);
+    telemetry::Telemetry* t = network_.telemetry();
+    telemetry::count(t, "rpc.timeouts");
+    telemetry::end_span(t, it->second.span, "timeout");
     pending_.erase(it);
     callback(false, nullptr);
   });
@@ -89,6 +104,7 @@ void RpcEndpoint::attempt_call(Address to, MsgPtr request, sim::Time timeout,
       cb(ok, reply);
       return;
     }
+    telemetry::count(network_.telemetry(), "rpc.retries");
     const sim::Time delay = policy.backoff(attempt, engine_.rng());
     auto token = alive_;
     engine_.schedule(delay, [this, token, to, request = std::move(request), timeout,
@@ -106,8 +122,12 @@ void RpcEndpoint::go_down() {
   if (!up_) return;
   up_ = false;
   network_.set_node_up(address_, false);
-  // A crashed process loses its in-flight calls silently.
-  for (auto& [id, pending] : pending_) engine_.cancel(pending.timeout_event);
+  // A crashed process loses its in-flight calls silently (spans are closed
+  // so the trace shows where the caller died mid-call).
+  for (auto& [id, pending] : pending_) {
+    engine_.cancel(pending.timeout_event);
+    telemetry::end_span(network_.telemetry(), pending.span, "caller_down");
+  }
   pending_.clear();
 }
 
@@ -126,14 +146,20 @@ void RpcEndpoint::on_message(const Envelope& env) {
   }
   if (!wrap->is_reply) {
     if (!on_request_) return;
-    Envelope inner_env{env.from, env.to, wrap->inner};
-    on_request_(inner_env, Responder(&network_, address_, env.from, wrap->rpc_id));
+    // Parent handler spans under the rpc-attempt span, not the sender's
+    // original context, so each delivery attempt hangs off its own attempt.
+    Envelope inner_env{env.from, env.to, wrap->inner, wrap->ctx};
+    on_request_(inner_env,
+                Responder(&network_, address_, env.from, wrap->rpc_id, wrap->ctx));
     return;
   }
   const auto it = pending_.find(wrap->rpc_id);
   if (it == pending_.end()) return;  // late reply after timeout
   engine_.cancel(it->second.timeout_event);
   auto callback = std::move(it->second.cb);
+  telemetry::Telemetry* tel = network_.telemetry();
+  telemetry::observe(tel, "rpc.latency", engine_.now() - it->second.started);
+  telemetry::end_span(tel, it->second.span, "ok");
   pending_.erase(it);
   callback(true, wrap->inner);
 }

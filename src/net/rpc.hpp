@@ -34,16 +34,21 @@ struct RpcWrap final : Message {
 /// caller (the first reply wins; the second finds no pending call).
 class Responder {
  public:
-  Responder(Network* network, Address self, Address to, std::uint64_t rpc_id)
-      : network_(network), self_(self), to_(to), rpc_id_(rpc_id) {}
+  Responder(Network* network, Address self, Address to, std::uint64_t rpc_id,
+            telemetry::SpanContext ctx = {})
+      : network_(network), self_(self), to_(to), rpc_id_(rpc_id), ctx_(ctx) {}
 
   void respond(MsgPtr reply) const;
+
+  /// Trace context of the request being answered (the rpc-attempt span).
+  [[nodiscard]] const telemetry::SpanContext& ctx() const { return ctx_; }
 
  private:
   Network* network_;
   Address self_;
   Address to_;
   std::uint64_t rpc_id_;
+  telemetry::SpanContext ctx_;
 };
 
 /// Backoff schedule for call_with_retries(): attempt n (1-based) failing by
@@ -113,6 +118,8 @@ class RpcEndpoint final : public Endpoint {
   struct PendingCall {
     ReplyCallback cb;
     sim::EventId timeout_event = 0;
+    telemetry::SpanContext span;  ///< per-attempt rpc span (invalid if untraced)
+    sim::Time started = 0.0;
   };
 
   void attempt_call(Address to, MsgPtr request, sim::Time timeout,

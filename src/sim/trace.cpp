@@ -10,6 +10,19 @@ namespace snooze::sim {
 void Trace::record(std::string_view actor, std::string_view kind, std::string_view detail) {
   records_.push_back(TraceRecord{engine_.now(), std::string(actor), std::string(kind),
                                  std::string(detail)});
+  if (max_records_ != 0 && records_.size() >= 2 * max_records_) trim();
+}
+
+void Trace::set_max_records(std::size_t n) {
+  max_records_ = n;
+  if (max_records_ != 0 && records_.size() > max_records_) trim();
+}
+
+void Trace::trim() {
+  const std::size_t excess = records_.size() - max_records_;
+  records_.erase(records_.begin(),
+                 records_.begin() + static_cast<std::ptrdiff_t>(excess));
+  dropped_ += excess;
 }
 
 std::vector<TraceRecord> Trace::of_kind(std::string_view kind) const {

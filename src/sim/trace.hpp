@@ -26,6 +26,19 @@ class Trace {
 
   [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
 
+  /// Bound memory for long soak runs: keep (at least) the newest `n` records,
+  /// discarding the oldest. 0 (the default) keeps everything. Trimming is
+  /// amortized O(1): the buffer is allowed to grow to 2n before the oldest n
+  /// records are dropped in one chunk, so `records()` may transiently hold up
+  /// to 2n-1 entries — the newest n are always present. Note that `hash()`
+  /// covers only retained records; determinism comparisons must use the same
+  /// capacity on both runs.
+  void set_max_records(std::size_t n);
+  [[nodiscard]] std::size_t max_records() const { return max_records_; }
+
+  /// Records discarded so far by the ring-buffer cap.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
   /// All records of the given kind, in time order.
   [[nodiscard]] std::vector<TraceRecord> of_kind(std::string_view kind) const;
 
@@ -36,7 +49,10 @@ class Trace {
   /// negative value if none exists.
   [[nodiscard]] Time first_time(std::string_view kind, Time from = 0.0) const;
 
-  void clear() { records_.clear(); }
+  void clear() {
+    records_.clear();
+    dropped_ = 0;
+  }
 
   /// Order-sensitive FNV-1a fingerprint over every record (time bits, actor,
   /// kind, detail). Two runs with the same seed must produce the same hash;
@@ -47,8 +63,12 @@ class Trace {
   [[nodiscard]] std::string dump() const;
 
  private:
+  void trim();
+
   Engine& engine_;
   std::vector<TraceRecord> records_;
+  std::size_t max_records_ = 0;  ///< 0 = unbounded
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace snooze::sim

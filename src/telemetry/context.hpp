@@ -1,0 +1,29 @@
+// Causal trace identity carried on wire messages.
+//
+// A SpanContext names one node of one request's span tree. It is minted at
+// VM submission (the root span), stamped onto outgoing net::Message payloads
+// by the sender, copied onto RPC envelopes by RpcEndpoint, and used by the
+// receiving component to parent its own span — so one submission's full path
+// (client -> EP -> GL dispatch -> GM placement -> LC start, including retries
+// and timeouts) is reconstructable from the SpanCollector.
+//
+// This header is deliberately dependency-free so net/message.hpp can embed a
+// context in every Message without pulling in the rest of the telemetry
+// subsystem.
+#pragma once
+
+#include <cstdint>
+
+namespace snooze::telemetry {
+
+/// trace_id == 0 means "not part of any trace": instrumentation sites treat
+/// such a context as absent and record nothing, which keeps untraced traffic
+/// (heartbeats, summaries, monitoring) at zero telemetry cost.
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  [[nodiscard]] bool valid() const { return trace_id != 0; }
+};
+
+}  // namespace snooze::telemetry

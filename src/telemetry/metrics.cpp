@@ -1,0 +1,97 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+
+namespace snooze::telemetry {
+
+int Histogram::bucket_index(double value) {
+  if (!(value >= kMinValue)) return 0;  // underflow; also catches NaN
+  const int i =
+      1 + static_cast<int>(std::floor(std::log10(value / kMinValue) *
+                                      static_cast<double>(kBucketsPerDecade)));
+  return std::min(i, kNumBuckets - 1);
+}
+
+double Histogram::bucket_lower(int i) {
+  if (i <= 0) return 0.0;
+  return kMinValue *
+         std::pow(10.0, static_cast<double>(i - 1) / static_cast<double>(kBucketsPerDecade));
+}
+
+double Histogram::bucket_upper(int i) {
+  return kMinValue *
+         std::pow(10.0, static_cast<double>(i) / static_cast<double>(kBucketsPerDecade));
+}
+
+void Histogram::observe(double value) {
+  ++buckets_[static_cast<std::size_t>(bucket_index(value))];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double Histogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target rank in [1, count]; walk the cumulative distribution and
+  // interpolate linearly inside the bucket containing the rank.
+  const double target = std::max(1.0, q * static_cast<double>(count_));
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const std::uint64_t in_bucket = buckets_[static_cast<std::size_t>(i)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      const double fraction =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      const double lower = bucket_lower(i);
+      const double upper = bucket_upper(i);
+      return std::clamp(lower + fraction * (upper - lower), min_, max_);
+    }
+    cumulative += in_bucket;
+  }
+  return max_;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>(engine_))
+              .first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+              .first->second;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace snooze::telemetry

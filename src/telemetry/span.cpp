@@ -1,0 +1,50 @@
+#include "telemetry/span.hpp"
+
+namespace snooze::telemetry {
+
+SpanContext SpanCollector::begin(std::uint64_t trace_id, std::uint64_t parent_span,
+                                 std::string_view name, std::string_view actor,
+                                 std::string_view detail) {
+  if (trace_id == 0) return {};
+  SpanRecord record;
+  record.trace_id = trace_id;
+  record.span_id = spans_.size() + 1;
+  record.parent_id = parent_span;
+  record.name = name;
+  record.actor = actor;
+  record.detail = detail;
+  record.start = engine_.now();
+  spans_.push_back(std::move(record));
+  return {trace_id, spans_.back().span_id};
+}
+
+void SpanCollector::end(const SpanContext& ctx, std::string_view status) {
+  if (!ctx.valid() || ctx.span_id == 0 || ctx.span_id > spans_.size()) return;
+  SpanRecord& record = spans_[ctx.span_id - 1];
+  if (!record.open()) return;  // the first end() wins
+  record.end = engine_.now();
+  record.status = status;
+}
+
+const SpanRecord* SpanCollector::find(std::uint64_t span_id) const {
+  if (span_id == 0 || span_id > spans_.size()) return nullptr;
+  return &spans_[span_id - 1];
+}
+
+std::vector<const SpanRecord*> SpanCollector::trace_spans(std::uint64_t trace_id) const {
+  std::vector<const SpanRecord*> out;
+  for (const SpanRecord& record : spans_) {
+    if (record.trace_id == trace_id) out.push_back(&record);
+  }
+  return out;
+}
+
+std::vector<const SpanRecord*> SpanCollector::children_of(std::uint64_t span_id) const {
+  std::vector<const SpanRecord*> out;
+  for (const SpanRecord& record : spans_) {
+    if (record.parent_id == span_id) out.push_back(&record);
+  }
+  return out;
+}
+
+}  // namespace snooze::telemetry

@@ -1,0 +1,73 @@
+// Span collection for causal request tracing.
+//
+// A span is one timed operation on one actor ("client.submit", "rpc:core.
+// placement_request", "lc.start_vm"); spans of one trace form a tree through
+// parent_id. The collector is append-only and passive: begin()/end() read
+// the virtual clock and never touch the RNG or the event queue, so enabling
+// tracing cannot perturb a deterministic run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "telemetry/context.hpp"
+
+namespace snooze::telemetry {
+
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 = root of its trace
+  std::string name;
+  std::string actor;
+  std::string detail;           ///< free-form annotation ("vm=7")
+  std::string status;           ///< empty while open; "ok", "timeout", ...
+  sim::Time start = 0.0;
+  sim::Time end = -1.0;         ///< < 0 while the span is open
+
+  [[nodiscard]] bool open() const { return end < 0.0; }
+  [[nodiscard]] sim::Time duration(sim::Time now) const {
+    return (open() ? now : end) - start;
+  }
+};
+
+class SpanCollector {
+ public:
+  explicit SpanCollector(sim::Engine& engine) : engine_(engine) {}
+
+  SpanCollector(const SpanCollector&) = delete;
+  SpanCollector& operator=(const SpanCollector&) = delete;
+
+  /// Mint a fresh trace id (one per root operation, e.g. one VM submission).
+  std::uint64_t new_trace() { return next_trace_id_++; }
+
+  /// Open a span. parent_span == 0 makes it the root of its trace. Returns
+  /// an invalid context (and records nothing) when trace_id == 0.
+  SpanContext begin(std::uint64_t trace_id, std::uint64_t parent_span,
+                    std::string_view name, std::string_view actor,
+                    std::string_view detail = {});
+
+  /// Close a span; idempotent (the first end() wins), no-op on an invalid
+  /// or unknown context.
+  void end(const SpanContext& ctx, std::string_view status = "ok");
+
+  [[nodiscard]] const std::vector<SpanRecord>& spans() const { return spans_; }
+  [[nodiscard]] std::size_t size() const { return spans_.size(); }
+
+  /// Lookup by span id; nullptr when unknown.
+  [[nodiscard]] const SpanRecord* find(std::uint64_t span_id) const;
+  /// All spans of one trace, in begin() order.
+  [[nodiscard]] std::vector<const SpanRecord*> trace_spans(std::uint64_t trace_id) const;
+  /// Direct children of one span, in begin() order.
+  [[nodiscard]] std::vector<const SpanRecord*> children_of(std::uint64_t span_id) const;
+
+ private:
+  sim::Engine& engine_;
+  std::uint64_t next_trace_id_ = 1;
+  std::vector<SpanRecord> spans_;  // span_id == index + 1 (O(1) end())
+};
+
+}  // namespace snooze::telemetry

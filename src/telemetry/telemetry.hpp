@@ -1,0 +1,60 @@
+// Telemetry bundle: one MetricsRegistry plus one SpanCollector, owned by the
+// system under observation (SnoozeSystem) and reachable from every component
+// through Network::telemetry(). Components must tolerate a null Telemetry*
+// (unit tests build networks without one); the free helpers below fold that
+// null check and the invalid-context check into the call site.
+#pragma once
+
+#include "sim/engine.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+
+namespace snooze::telemetry {
+
+class Telemetry {
+ public:
+  explicit Telemetry(sim::Engine& engine) : metrics_(engine), spans_(engine) {}
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] SpanCollector& spans() { return spans_; }
+  [[nodiscard]] const SpanCollector& spans() const { return spans_; }
+
+ private:
+  MetricsRegistry metrics_;
+  SpanCollector spans_;
+};
+
+// --- null-safe instrumentation helpers -------------------------------------
+
+inline void count(Telemetry* t, std::string_view name, std::uint64_t delta = 1) {
+  if (t != nullptr) t->metrics().counter(name).inc(delta);
+}
+
+inline void observe(Telemetry* t, std::string_view name, double value) {
+  if (t != nullptr) t->metrics().histogram(name).observe(value);
+}
+
+inline void gauge_add(Telemetry* t, std::string_view name, double delta) {
+  if (t != nullptr) t->metrics().gauge(name).add(delta);
+}
+
+inline void gauge_set(Telemetry* t, std::string_view name, double value) {
+  if (t != nullptr) t->metrics().gauge(name).set(value);
+}
+
+/// Open a child span of `parent`; no-op (invalid context) without telemetry
+/// or when the parent context carries no trace.
+inline SpanContext begin_span(Telemetry* t, const SpanContext& parent,
+                              std::string_view name, std::string_view actor,
+                              std::string_view detail = {}) {
+  if (t == nullptr || !parent.valid()) return {};
+  return t->spans().begin(parent.trace_id, parent.span_id, name, actor, detail);
+}
+
+inline void end_span(Telemetry* t, const SpanContext& ctx,
+                     std::string_view status = "ok") {
+  if (t != nullptr && ctx.valid()) t->spans().end(ctx, status);
+}
+
+}  // namespace snooze::telemetry

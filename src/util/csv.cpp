@@ -9,7 +9,9 @@ CsvWriter::CsvWriter(const std::string& path) : out_(path) {
 }
 
 std::string CsvWriter::escape(const std::string& field) {
-  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  // A bare CR would be swallowed (or merged into a row break) by \r\n-aware
+  // readers, so it forces quoting just like LF does.
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
   std::string quoted = "\"";
   for (char c : field) {
     if (c == '"') quoted += '"';
@@ -20,11 +22,78 @@ std::string CsvWriter::escape(const std::string& field) {
 }
 
 void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  out_ << csv_row(fields) << '\n';
+}
+
+std::string csv_row(const std::vector<std::string>& fields) {
+  std::string out;
   for (std::size_t i = 0; i < fields.size(); ++i) {
-    if (i) out_ << ',';
-    out_ << escape(fields[i]);
+    if (i) out += ',';
+    out += CsvWriter::escape(fields[i]);
   }
-  out_ << '\n';
+  return out;
+}
+
+std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // distinguishes "" (one empty field) from nothing
+
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      field_started = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      row.push_back(std::move(field));
+      field.clear();
+      field_started = false;
+      ++i;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+      ++i;
+      if (!row.empty() || !field.empty() || field_started) {
+        row.push_back(std::move(field));
+        field.clear();
+        field_started = false;
+        rows.push_back(std::move(row));
+        row.clear();
+      }
+      continue;
+    }
+    field += c;
+    field_started = true;
+    ++i;
+  }
+  if (in_quotes) throw std::runtime_error("parse_csv: unterminated quoted field");
+  if (!row.empty() || !field.empty() || field_started) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 }  // namespace snooze::util

@@ -4,11 +4,12 @@
 
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace snooze::util {
 
-/// Minimal CSV writer. Fields containing commas/quotes/newlines are quoted.
+/// Minimal CSV writer. Fields containing commas, quotes, CR or LF are quoted.
 class CsvWriter {
  public:
   /// Opens `path` for writing; throws std::runtime_error on failure.
@@ -22,5 +23,14 @@ class CsvWriter {
  private:
   std::ofstream out_;
 };
+
+/// Format one row (escaped fields joined by commas, no trailing newline).
+[[nodiscard]] std::string csv_row(const std::vector<std::string>& fields);
+
+/// RFC 4180 parser for the writer's output: handles quoted fields with
+/// embedded commas, escaped quotes ("") and embedded CR/LF, and accepts
+/// both \n and \r\n row terminators. A trailing newline does not produce an
+/// empty final row. Throws std::runtime_error on an unterminated quote.
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(std::string_view text);
 
 }  // namespace snooze::util

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 #include "cli/commands.hpp"
 #include "cli/dot_export.hpp"
@@ -188,6 +189,69 @@ TEST(DotExport, CommandWithoutFilePrints) {
   const auto r = s->execute("export-dot");
   EXPECT_TRUE(r.ok);
   EXPECT_NE(r.output.find("digraph"), std::string::npos);
+}
+
+TEST(Cli, MetricsShowListsCounters) {
+  auto s = session();
+  s->execute("submit 2");
+  const auto r = s->execute("metrics show");
+  EXPECT_TRUE(r.ok);
+  EXPECT_NE(r.output.find("client.successes"), std::string::npos);
+  EXPECT_NE(r.output.find("net.messages_sent"), std::string::npos);
+  EXPECT_NE(r.output.find("rpc.latency"), std::string::npos);
+}
+
+TEST(Cli, MetricsCsvWritesFile) {
+  auto s = session();
+  s->execute("submit 1");
+  const std::string path = testing::TempDir() + "/snooze_metrics.csv";
+  const auto r = s->execute("metrics csv " + path);
+  EXPECT_TRUE(r.ok) << r.output;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("kind"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, TraceExportWritesChromeJson) {
+  auto s = session();
+  s->execute("submit 1");
+  const std::string path = testing::TempDir() + "/snooze_trace.json";
+  const auto r = s->execute("trace export " + path);
+  EXPECT_TRUE(r.ok) << r.output;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("client.submit"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, TraceCsvWritesSpans) {
+  auto s = session();
+  s->execute("submit 1");
+  const std::string path = testing::TempDir() + "/snooze_spans.csv";
+  const auto r = s->execute("trace csv " + path);
+  EXPECT_TRUE(r.ok) << r.output;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("span_id"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, MetricsAndTraceValidateArguments) {
+  auto s = session();
+  EXPECT_FALSE(s->execute("metrics").ok);
+  EXPECT_FALSE(s->execute("metrics bogus").ok);
+  EXPECT_FALSE(s->execute("metrics csv").ok);
+  EXPECT_FALSE(s->execute("trace").ok);
+  EXPECT_FALSE(s->execute("trace export").ok);
+  EXPECT_FALSE(s->execute("trace bogus x").ok);
 }
 
 }  // namespace

@@ -255,6 +255,41 @@ TEST(Trace, FirstTimeHonoursFromBound) {
   EXPECT_LT(trace.first_time("missing"), 0.0);
 }
 
+TEST(Trace, RingBufferKeepsNewestRecords) {
+  sim::Engine engine;
+  sim::Trace trace(engine);
+  trace.set_max_records(10);
+  for (int i = 0; i < 100; ++i) {
+    trace.record("a", "k", std::to_string(i));
+  }
+  // Amortized trimming: never more than 2x the cap retained, never fewer
+  // than the cap, and the newest records always survive.
+  EXPECT_GE(trace.records().size(), 10u);
+  EXPECT_LT(trace.records().size(), 20u);
+  EXPECT_EQ(trace.records().size() + trace.dropped(), 100u);
+  EXPECT_EQ(trace.records().back().detail, "99");
+}
+
+TEST(Trace, SetMaxRecordsTrimsExisting) {
+  sim::Engine engine;
+  sim::Trace trace(engine);
+  for (int i = 0; i < 8; ++i) trace.record("a", "k", std::to_string(i));
+  trace.set_max_records(3);
+  ASSERT_EQ(trace.records().size(), 3u);
+  EXPECT_EQ(trace.records().front().detail, "5");
+  EXPECT_EQ(trace.dropped(), 5u);
+  trace.clear();
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(Trace, UnboundedByDefault) {
+  sim::Engine engine;
+  sim::Trace trace(engine);
+  for (int i = 0; i < 5000; ++i) trace.record("a", "k");
+  EXPECT_EQ(trace.records().size(), 5000u);
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
 TEST(Trace, DumpContainsRecords) {
   sim::Engine engine;
   sim::Trace trace(engine);

@@ -1,0 +1,360 @@
+// Tests for the telemetry subsystem: metrics (counters, time-weighted
+// gauges, log-bucket histograms), causal spans, exporters, and — the
+// acceptance-critical part — the end-to-end span tree of one VM submission
+// crossing client → EP → GL → GM → LC, including a retried RPC.
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+#include "chaos/runner.hpp"
+#include "core/system.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using namespace snooze;
+
+// --- metrics -----------------------------------------------------------------------
+
+TEST(Counter, AccumulatesDeltas) {
+  telemetry::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, TimeWeightedIntegralAndAverage) {
+  sim::Engine engine;
+  telemetry::MetricsRegistry registry(engine);
+  auto& g = registry.gauge("vms");
+  g.set(2.0);  // t = 0
+  engine.schedule(10.0, [&] { g.set(4.0); });
+  engine.schedule(15.0, [] {});  // advance the clock past the change
+  engine.run();
+  ASSERT_DOUBLE_EQ(engine.now(), 15.0);
+  // 2 for 10s + 4 for 5s.
+  EXPECT_DOUBLE_EQ(g.current(), 4.0);
+  EXPECT_DOUBLE_EQ(g.integral(), 40.0);
+  EXPECT_DOUBLE_EQ(g.average(), 40.0 / 15.0);
+}
+
+TEST(Gauge, AddIsRelativeToCurrent) {
+  sim::Engine engine;
+  telemetry::MetricsRegistry registry(engine);
+  auto& g = registry.gauge("g");
+  g.add(3.0);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.current(), 2.0);
+}
+
+TEST(Histogram, EmptyReportsZeroes) {
+  telemetry::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, IdenticalSamplesClampToExactValue) {
+  telemetry::Histogram h;
+  for (int i = 0; i < 10; ++i) h.observe(1e-3);
+  EXPECT_EQ(h.count(), 10u);
+  // Interpolation inside the bucket is clamped to the observed [min, max].
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1e-3);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 1e-3);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1e-3);
+  EXPECT_DOUBLE_EQ(h.mean(), 1e-3);
+}
+
+TEST(Histogram, PercentilesOnBimodalDistribution) {
+  telemetry::Histogram h;
+  for (int i = 0; i < 75; ++i) h.observe(1e-3);
+  for (int i = 0; i < 25; ++i) h.observe(0.1);
+  // p50 lands in the 1ms bucket, p99 in the 100ms bucket.
+  EXPECT_GE(h.percentile(0.5), 1e-3);
+  EXPECT_LT(h.percentile(0.5), 1.3e-3);
+  EXPECT_DOUBLE_EQ(h.percentile(0.9), 0.1);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.1);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-3);
+  EXPECT_DOUBLE_EQ(h.max(), 0.1);
+}
+
+TEST(Histogram, UnderflowAndOverflowBucketsClampToObservedRange) {
+  telemetry::Histogram under;
+  under.observe(0.0);
+  under.observe(1e-9);
+  EXPECT_EQ(under.bucket_count(0), 2u);  // both below kMinValue
+  EXPECT_LE(under.percentile(0.5), 1e-9);
+  EXPECT_DOUBLE_EQ(under.min(), 0.0);
+
+  telemetry::Histogram over;
+  over.observe(1e12);  // far past the last finite bucket
+  EXPECT_DOUBLE_EQ(over.percentile(0.5), 1e12);
+  EXPECT_DOUBLE_EQ(over.max(), 1e12);
+}
+
+TEST(MetricsRegistry, CreateOnFirstUseAndFind) {
+  sim::Engine engine;
+  telemetry::MetricsRegistry registry(engine);
+  EXPECT_EQ(registry.find_counter("c"), nullptr);
+  EXPECT_EQ(registry.find_gauge("g"), nullptr);
+  EXPECT_EQ(registry.find_histogram("h"), nullptr);
+
+  auto& c = registry.counter("c");
+  c.inc();
+  // Same name resolves to the same metric; references stay valid.
+  EXPECT_EQ(&registry.counter("c"), &c);
+  EXPECT_EQ(registry.find_counter("c"), &c);
+  registry.gauge("g");
+  registry.histogram("h");
+  EXPECT_NE(registry.find_gauge("g"), nullptr);
+  EXPECT_NE(registry.find_histogram("h"), nullptr);
+  EXPECT_EQ(registry.counters().size(), 1u);
+}
+
+// --- spans -------------------------------------------------------------------------
+
+TEST(SpanCollector, BuildsTreeWithParentLinks) {
+  sim::Engine engine;
+  telemetry::SpanCollector spans(engine);
+  const auto trace = spans.new_trace();
+  const auto root = spans.begin(trace, 0, "root", "client");
+  const auto child1 = spans.begin(trace, root.span_id, "child1", "gm");
+  const auto child2 = spans.begin(trace, root.span_id, "child2", "gm");
+  const auto grand = spans.begin(trace, child1.span_id, "grand", "lc");
+  spans.end(grand, "ok");
+  spans.end(child1, "timeout");
+
+  EXPECT_EQ(spans.size(), 4u);
+  const auto kids = spans.children_of(root.span_id);
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(kids[0]->name, "child1");
+  EXPECT_EQ(kids[1]->name, "child2");
+  EXPECT_EQ(spans.trace_spans(trace).size(), 4u);
+
+  const auto* g = spans.find(grand.span_id);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->status, "ok");
+  EXPECT_EQ(g->parent_id, child1.span_id);
+  EXPECT_FALSE(g->open());
+  EXPECT_EQ(spans.find(child1.span_id)->status, "timeout");
+  EXPECT_TRUE(spans.find(child2.span_id)->open());
+}
+
+TEST(SpanCollector, EndIsIdempotentFirstStatusWins) {
+  sim::Engine engine;
+  telemetry::SpanCollector spans(engine);
+  const auto ctx = spans.begin(spans.new_trace(), 0, "op", "a");
+  spans.end(ctx, "ok");
+  spans.end(ctx, "failed");
+  EXPECT_EQ(spans.find(ctx.span_id)->status, "ok");
+}
+
+TEST(SpanCollector, UntracedContextRecordsNothing) {
+  sim::Engine engine;
+  telemetry::SpanCollector spans(engine);
+  const auto ctx = spans.begin(0, 0, "op", "a");  // trace_id 0 = untraced
+  EXPECT_FALSE(ctx.valid());
+  EXPECT_EQ(spans.size(), 0u);
+  spans.end(ctx, "ok");  // no-op, must not crash
+  EXPECT_EQ(spans.find(1), nullptr);
+}
+
+TEST(SpanCollector, NullSafeHelpersTolerateMissingTelemetry) {
+  telemetry::count(nullptr, "c");
+  telemetry::observe(nullptr, "h", 1.0);
+  telemetry::gauge_add(nullptr, "g", 1.0);
+  const auto ctx = telemetry::begin_span(nullptr, telemetry::SpanContext{}, "s", "a");
+  EXPECT_FALSE(ctx.valid());
+  telemetry::end_span(nullptr, ctx);
+}
+
+// --- exporters ---------------------------------------------------------------------
+
+TEST(Export, ChromeTraceJsonHasMetadataAndCompleteEvents) {
+  sim::Engine engine;
+  telemetry::SpanCollector spans(engine);
+  const auto trace = spans.new_trace();
+  const auto root = spans.begin(trace, 0, "client.submit", "client", "vm=1");
+  const auto child = spans.begin(trace, root.span_id, "gl.dispatch", "gm-0");
+  spans.end(child, "ok");  // root stays open
+
+  const std::string json = telemetry::chrome_trace_json(spans, engine.now());
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);  // actor metadata
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"client.submit\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"open\""), std::string::npos);
+  EXPECT_NE(json.find("\"detail\":\"vm=1\""), std::string::npos);
+}
+
+TEST(Export, SpansCsvRoundTripsThroughParser) {
+  sim::Engine engine;
+  telemetry::SpanCollector spans(engine);
+  const auto trace = spans.new_trace();
+  // Detail with CSV metacharacters must survive the quoting.
+  const auto ctx = spans.begin(trace, 0, "op", "actor", "k=\"a,b\"\nrest");
+  spans.end(ctx, "ok");
+
+  const auto rows = util::parse_csv(telemetry::spans_csv(spans));
+  ASSERT_EQ(rows.size(), 2u);  // header + one span
+  ASSERT_EQ(rows[0].size(), 9u);
+  EXPECT_EQ(rows[0][3], "name");
+  EXPECT_EQ(rows[1][3], "op");
+  EXPECT_EQ(rows[1][8], "k=\"a,b\"\nrest");
+}
+
+TEST(Export, MetricsCsvListsEveryKind) {
+  sim::Engine engine;
+  telemetry::MetricsRegistry registry(engine);
+  registry.counter("c").inc(3);
+  registry.gauge("g").set(1.5);
+  registry.histogram("h").observe(0.5);
+
+  const auto rows = util::parse_csv(telemetry::metrics_csv(registry));
+  ASSERT_EQ(rows.size(), 4u);  // header + counter + gauge + histogram
+  ASSERT_EQ(rows[0].size(), 11u);
+  EXPECT_EQ(rows[1][0], "counter");
+  EXPECT_EQ(rows[1][2], "3");
+  EXPECT_EQ(rows[2][0], "gauge");
+  EXPECT_EQ(rows[3][0], "histogram");
+  EXPECT_EQ(rows[3][3], "1");  // count
+
+  const std::string table = telemetry::metrics_table(registry);
+  EXPECT_NE(table.find("c"), std::string::npos);
+  EXPECT_NE(table.find("histogram"), std::string::npos);
+}
+
+// --- end-to-end span tree ----------------------------------------------------------
+
+const telemetry::SpanRecord* child_named(const telemetry::SpanCollector& spans,
+                                         std::uint64_t parent,
+                                         std::string_view name) {
+  for (const auto* s : spans.children_of(parent)) {
+    if (s->name == name) return s;
+  }
+  return nullptr;
+}
+
+// One VM submission must leave a single connected span tree crossing every
+// layer — client → EP (GL discovery) → GL (dispatch) → GM (placement) → LC
+// (start) — with each rpc attempt as its own span. A directed link fault
+// forces the GL's first placement RPC to time out, so the tree also shows a
+// retried RPC as sibling attempt spans (timeout, then ok).
+TEST(TelemetrySystem, SubmissionSpanTreeLinksAllLayersAcrossRetry) {
+  core::SystemSpec spec;
+  spec.entry_points = 2;
+  spec.group_managers = 2;
+  spec.local_controllers = 4;
+  spec.seed = 7;
+  core::SnoozeSystem system(spec);
+  system.start();
+  ASSERT_TRUE(system.run_until_stable(300.0));
+
+  auto* gl = system.leader();
+  ASSERT_NE(gl, nullptr);
+  core::GroupManager* managing = nullptr;
+  for (auto& gm : system.group_managers()) {
+    if (gm->alive() && !gm->is_leader() && gm->lc_count() > 0) managing = gm.get();
+  }
+  ASSERT_NE(managing, nullptr);
+
+  // Drop everything the GL sends to the managing GM, so the first placement
+  // RPC times out (20s); heal just after the timeout so the retry succeeds.
+  system.network().set_link_faults(gl->address(), managing->address(),
+                                   net::LinkFaults{.drop = 1.0});
+  bool ok = false;
+  system.client().submit(system.make_vm({0.125, 0.125, 0.125}),
+                         [&](bool success, net::Address, sim::Time) { ok = success; });
+  system.engine().schedule(20.1, [&] {
+    system.network().clear_link_faults(gl->address(), managing->address());
+  });
+  system.engine().run_until(system.engine().now() + 120.0);
+  ASSERT_TRUE(ok);
+
+  const auto& spans = system.telemetry().spans();
+  const telemetry::SpanRecord* root = nullptr;
+  for (const auto& s : spans.spans()) {
+    if (s.name == "client.submit") root = &s;
+  }
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->parent_id, 0u);
+  EXPECT_EQ(root->status, "ok");
+
+  // client → EP: GL discovery.
+  const auto* rpc_query = child_named(spans, root->span_id, "rpc:ep.gl_query");
+  ASSERT_NE(rpc_query, nullptr);
+  const auto* ep_handle = child_named(spans, rpc_query->span_id, "ep.gl_query");
+  ASSERT_NE(ep_handle, nullptr);
+  EXPECT_EQ(ep_handle->actor.rfind("ep-", 0), 0u);
+
+  // client → GL: submission, handled as a dispatch span on the leader.
+  const auto* rpc_submit = child_named(spans, root->span_id, "rpc:gl.submit_vm");
+  ASSERT_NE(rpc_submit, nullptr);
+  EXPECT_EQ(rpc_submit->status, "ok");
+  const auto* dispatch = child_named(spans, rpc_submit->span_id, "gl.dispatch");
+  ASSERT_NE(dispatch, nullptr);
+  EXPECT_EQ(dispatch->actor, gl->name());
+  EXPECT_EQ(dispatch->status, "ok");
+
+  // GL → GM: the blocked link makes attempt #1 time out; attempt #2 lands.
+  std::vector<const telemetry::SpanRecord*> attempts;
+  for (const auto* s : spans.children_of(dispatch->span_id)) {
+    if (s->name == "rpc:gm.place_vm") attempts.push_back(s);
+  }
+  ASSERT_EQ(attempts.size(), 2u);
+  EXPECT_EQ(attempts[0]->status, "timeout");
+  EXPECT_EQ(attempts[1]->status, "ok");
+
+  // The placement hangs off the attempt that was actually delivered.
+  const auto* place = child_named(spans, attempts[1]->span_id, "gm.place");
+  ASSERT_NE(place, nullptr);
+  EXPECT_EQ(place->actor, managing->name());
+  EXPECT_EQ(place->status, "ok");
+
+  // GM → LC: the VM start.
+  const auto* rpc_start = child_named(spans, place->span_id, "rpc:lc.start_vm");
+  ASSERT_NE(rpc_start, nullptr);
+  EXPECT_EQ(rpc_start->status, "ok");
+  const auto* start = child_named(spans, rpc_start->span_id, "lc.start_vm");
+  ASSERT_NE(start, nullptr);
+  EXPECT_EQ(start->actor.rfind("lc-", 0), 0u);
+  EXPECT_EQ(start->status, "ok");
+
+  // Every hop shares the root's trace id: the path is one connected tree.
+  for (const auto* s : {rpc_query, ep_handle, rpc_submit, dispatch, attempts[0],
+                        attempts[1], place, rpc_start, start}) {
+    EXPECT_EQ(s->trace_id, root->trace_id);
+  }
+
+  // The registry mirrors the transport stats exactly.
+  EXPECT_EQ(system.telemetry().metrics().counter("net.messages_sent").value(),
+            system.network().stats().messages_sent);
+  EXPECT_GE(system.telemetry().metrics().counter("rpc.timeouts").value(), 1u);
+  EXPECT_DOUBLE_EQ(
+      system.telemetry().metrics().gauge("cluster.running_vms").current(),
+      static_cast<double>(system.running_vm_count()));
+}
+
+// --- determinism -------------------------------------------------------------------
+
+// Telemetry is always on and must stay passive: two chaos runs with the same
+// seed produce bit-identical trace fingerprints.
+TEST(TelemetryDeterminism, SameSeedChaosRunsShareTraceHash) {
+  chaos::ChaosRunConfig cfg;
+  cfg.seed = 20260806;
+  cfg.spec.duration = 60.0;
+  const auto a = chaos::run_chaos(cfg);
+  const auto b = chaos::run_chaos(cfg);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+}
+
+}  // namespace

@@ -51,6 +51,43 @@ TEST(RunningStats, SingleSampleHasZeroVariance) {
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
 }
 
+TEST(RunningStats, MergeMatchesSequentialAdds) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (const double x : {1.0, 4.0, 9.0}) {
+    a.add(x);
+    all.add(x);
+  }
+  for (const double x : {-2.0, 16.0, 25.0, 3.5}) {
+    b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyEitherSide) {
+  RunningStats a;
+  a.add(2.0);
+  a.add(6.0);
+  RunningStats empty;
+  RunningStats copy = a;
+  copy.merge(empty);  // no-op
+  EXPECT_EQ(copy.count(), 2u);
+  EXPECT_DOUBLE_EQ(copy.mean(), 4.0);
+  empty.merge(a);  // adopt
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 2.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 6.0);
+}
+
 TEST(RunningStats, ClearResets) {
   RunningStats s;
   s.add(1.0);
@@ -91,6 +128,47 @@ TEST(Percentiles, MeanAndEmptyBehaviour) {
   EXPECT_DOUBLE_EQ(p.mean(), 3.0);
 }
 
+TEST(Percentiles, SingleSampleEveryQuantile) {
+  Percentiles p;
+  p.add(7.5);
+  EXPECT_DOUBLE_EQ(p.percentile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(p.percentile(0.5), 7.5);
+  EXPECT_DOUBLE_EQ(p.percentile(0.99), 7.5);
+  EXPECT_DOUBLE_EQ(p.percentile(1.0), 7.5);
+}
+
+TEST(Percentiles, QuantileClampedToValidRange) {
+  Percentiles p;
+  p.add(1.0);
+  p.add(2.0);
+  EXPECT_DOUBLE_EQ(p.percentile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(p.percentile(2.0), 2.0);
+}
+
+TEST(Percentiles, MergeCombinesSamples) {
+  Percentiles a;
+  a.add(1.0);
+  a.add(3.0);
+  Percentiles b;
+  b.add(2.0);
+  b.add(4.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.median(), 2.5);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+}
+
+TEST(Percentiles, MergeEmptyIsNoop) {
+  Percentiles a;
+  a.add(5.0);
+  Percentiles empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.median(), 5.0);
+}
+
 TEST(Percentiles, QueryThenAddThenQuery) {
   Percentiles p;
   p.add(1.0);
@@ -118,6 +196,20 @@ TEST(TimeWeighted, NonZeroStartTime) {
   tw.set(12.0, 0.0);
   EXPECT_DOUBLE_EQ(tw.integral(20.0), 8.0);
   EXPECT_DOUBLE_EQ(tw.average(20.0), 0.8);
+}
+
+TEST(TimeWeighted, ZeroLengthIntervalAddsNothing) {
+  TimeWeighted w(0.0, 5.0);
+  w.set(2.0, 3.0);
+  w.set(2.0, 9.0);  // same instant: no area accrues for the overwritten value
+  EXPECT_DOUBLE_EQ(w.integral(2.0), 10.0);
+  EXPECT_DOUBLE_EQ(w.current(), 9.0);
+  EXPECT_DOUBLE_EQ(w.integral(3.0), 19.0);
+}
+
+TEST(TimeWeighted, AverageOverZeroSpanIsCurrentValue) {
+  TimeWeighted w(4.0, 2.5);
+  EXPECT_DOUBLE_EQ(w.average(4.0), 2.5);
 }
 
 TEST(TimeWeighted, CurrentValueTracksLastSet) {
@@ -257,6 +349,61 @@ TEST(Csv, WritesRows) {
 
 TEST(Csv, ThrowsOnBadPath) {
   EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv"), std::runtime_error);
+}
+
+TEST(Csv, EscapesCarriageReturnAndNewline) {
+  EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+  EXPECT_EQ(CsvWriter::escape("a\rb"), "\"a\rb\"");
+}
+
+TEST(Csv, RowFormatsAndParsesBack) {
+  const std::vector<std::string> fields = {"plain", "with,comma", "say \"hi\"",
+                                           "multi\nline", "cr\rhere", ""};
+  const std::string text = csv_row(fields) + "\n";
+  const auto rows = parse_csv(text);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], fields);
+}
+
+TEST(Csv, ParsesMultipleRowsWithCrLf) {
+  const auto rows = parse_csv("a,b\r\n\"1,5\",2\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1,5", "2"}));
+}
+
+TEST(Csv, ParsesEmptyQuotedFieldDistinctFromMissing) {
+  const auto rows = parse_csv("\"\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"", "x"}));
+}
+
+TEST(Csv, ParseThrowsOnUnterminatedQuote) {
+  EXPECT_THROW(parse_csv("\"oops,1\n"), std::runtime_error);
+}
+
+TEST(Csv, RandomFieldsRoundTrip) {
+  // Deterministic pseudo-random torture: every special character mixed in.
+  const std::string alphabet = "ab,\"\n\r;x ";
+  std::uint64_t state = 0x12345678u;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::size_t>(state >> 33);
+  };
+  std::vector<std::vector<std::string>> table;
+  std::string text;
+  for (int r = 0; r < 20; ++r) {
+    std::vector<std::string> row;
+    for (int c = 0; c < 4; ++c) {
+      std::string field;
+      const std::size_t len = next() % 6;
+      for (std::size_t i = 0; i < len; ++i) field += alphabet[next() % alphabet.size()];
+      row.push_back(std::move(field));
+    }
+    text += csv_row(row) + "\n";
+    table.push_back(std::move(row));
+  }
+  EXPECT_EQ(parse_csv(text), table);
 }
 
 // --- Args ------------------------------------------------------------------------
