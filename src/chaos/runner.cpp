@@ -72,6 +72,7 @@ ChaosRunResult run_chaos_schedule(const ChaosRunConfig& cfg,
   mix(stats.messages_duplicated);
   mix(stats.bytes_sent);
   result.trace_hash = h;
+  if (cfg.capture_trace) result.trace_records = system.trace().records();
 
   std::ostringstream report;
   report << "chaos run: seed=" << cfg.seed << " faults=" << result.faults_injected

@@ -13,6 +13,7 @@
 #include "chaos/invariants.hpp"
 #include "chaos/schedule.hpp"
 #include "core/config.hpp"
+#include "sim/trace.hpp"
 
 namespace snooze::chaos {
 
@@ -31,6 +32,9 @@ struct ChaosRunConfig {
   /// assignment.
   sim::Time converge_bound = 150.0;
   InvariantChecker::Options invariants{};
+  /// Copy the full event trace into ChaosRunResult::trace_records (the
+  /// golden-trace suite diffs individual records, not just the hash).
+  bool capture_trace = false;
 };
 
 struct ChaosRunResult {
@@ -38,6 +42,7 @@ struct ChaosRunResult {
   bool invariants_ok = false;  ///< no invariant violation at any point
   std::vector<std::string> violations;
   std::uint64_t trace_hash = 0;  ///< deterministic run fingerprint
+  std::vector<sim::TraceRecord> trace_records;  ///< filled when capture_trace
   std::size_t faults_injected = 0;
   std::size_t vms_accepted = 0;
   std::size_t vms_excused = 0;

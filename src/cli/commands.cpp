@@ -245,6 +245,8 @@ CommandResult write_file(const std::string& path, const std::string& content,
 CommandResult CliSession::cmd_metrics(const std::vector<std::string>& args) {
   const std::string usage = "usage: metrics show | metrics csv <file>\n";
   if (args.empty()) return {false, false, usage};
+  // Engine gauges are pull-sampled so observation never schedules events.
+  system_->telemetry().sample_engine(system_->engine());
   const auto& registry = system_->telemetry().metrics();
   if (args[0] == "show") return {true, false, telemetry::metrics_table(registry)};
   if (args[0] == "csv") {

@@ -5,6 +5,7 @@
 
 #include "consolidation/greedy.hpp"
 #include "consolidation/migration_plan.hpp"
+#include "net/pool.hpp"
 #include "util/logging.hpp"
 
 namespace snooze::core {
@@ -151,7 +152,7 @@ void GroupManager::handle_request(const net::Envelope& env, net::Responder respo
 
 void GroupManager::gm_tick_heartbeat() {
   bump("gm.heartbeats");
-  auto hb = std::make_shared<GmHeartbeat>();
+  auto hb = net::make_message<GmHeartbeat>();
   hb->gm = endpoint_.address();
   endpoint_.multicast(gm_group_, hb);
 }
@@ -160,7 +161,7 @@ void GroupManager::gm_tick_summary() {
   if (leader_) return;  // the GL keeps no LCs and reports no summary
   if (current_gl_ == net::kNullAddress) return;
   bump("gm.summaries");
-  auto summary = std::make_shared<GmSummary>();
+  auto summary = net::make_message<GmSummary>();
   summary->gm = endpoint_.address();
   for (const auto& [addr, lc] : lcs_) {
     if (lc.power != LcPower::kOn) continue;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/pool.hpp"
 #include "util/logging.hpp"
 
 namespace snooze::core {
@@ -151,7 +152,7 @@ void LocalController::check_gm_liveness() {
 void LocalController::send_heartbeat() {
   if (state_ != State::kAssigned || !serving()) return;
   bump("lc.heartbeats");
-  auto hb = std::make_shared<LcHeartbeat>();
+  auto hb = net::make_message<LcHeartbeat>();
   hb->lc = endpoint_.address();
   endpoint_.send(gm_, hb);
 }
@@ -160,7 +161,7 @@ void LocalController::send_monitor_data() {
   host_.touch(now());  // keep the energy meter tracking the current draw
   if (state_ != State::kAssigned || !serving()) return;
   bump("lc.monitor_reports");
-  auto data = std::make_shared<LcMonitorData>();
+  auto data = net::make_message<LcMonitorData>();
   data->lc = endpoint_.address();
   data->capacity = host_.capacity();
   data->reserved = host_.reserved();

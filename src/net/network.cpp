@@ -60,25 +60,43 @@ LinkFaults Network::effective_faults(Address from, Address to) const {
 }
 
 void Network::deliver_after(sim::Time delay, Envelope env) {
-  engine_.schedule(delay, [this, env = std::move(env)]() {
-    // Re-check at delivery time: the receiver may have crashed or detached
-    // while the message was in flight.
-    if (down_.count(env.to)) {
-      ++stats_.messages_dropped;
-      if (counters_.dropped != nullptr) counters_.dropped->inc();
-      return;
-    }
-    const auto it = endpoints_.find(env.to);
-    if (it == endpoints_.end()) {
-      ++stats_.messages_dropped;
-      if (counters_.dropped != nullptr) counters_.dropped->inc();
-      return;
-    }
-    ++stats_.messages_delivered;
-    ++per_node_[env.to].messages_delivered;
-    if (counters_.delivered != nullptr) counters_.delivered->inc();
-    it->second->on_message(env);
-  });
+  std::uint32_t index;
+  if (delivery_free_ != kNoDelivery) {
+    index = delivery_free_;
+    delivery_free_ = deliveries_[index].next_free;
+    deliveries_[index].env = std::move(env);
+  } else {
+    index = static_cast<std::uint32_t>(deliveries_.size());
+    deliveries_.push_back(PendingDelivery{std::move(env), kNoDelivery});
+  }
+  engine_.schedule(delay, [this, index] { complete_delivery(index); });
+}
+
+void Network::complete_delivery(std::uint32_t index) {
+  // Take the envelope and recycle the slab entry up front: on_message may
+  // send (and thus park) new deliveries.
+  Envelope env = std::move(deliveries_[index].env);
+  deliveries_[index].env = Envelope{};
+  deliveries_[index].next_free = delivery_free_;
+  delivery_free_ = index;
+
+  // Re-check at delivery time: the receiver may have crashed or detached
+  // while the message was in flight.
+  if (down_.count(env.to)) {
+    ++stats_.messages_dropped;
+    if (counters_.dropped != nullptr) counters_.dropped->inc();
+    return;
+  }
+  const auto it = endpoints_.find(env.to);
+  if (it == endpoints_.end()) {
+    ++stats_.messages_dropped;
+    if (counters_.dropped != nullptr) counters_.dropped->inc();
+    return;
+  }
+  ++stats_.messages_delivered;
+  ++per_node_[env.to].messages_delivered;
+  if (counters_.delivered != nullptr) counters_.delivered->inc();
+  it->second->on_message(env);
 }
 
 bool Network::send(Address from, Address to, MsgPtr msg) {
@@ -98,11 +116,17 @@ bool Network::send(Address from, Address to, MsgPtr msg) {
     counters_.bytes->inc(size);
   }
 
-  const LinkFaults faults = effective_faults(from, to);
+  LinkFaults faults;
+  if (any_faults_) {
+    faults = effective_faults(from, to);
+  } else {
+    faults.drop = 0.0;
+    faults.reorder_delay = 0.0;
+  }
   if (down_.count(to) || blocked(from, to) ||
       (faults.drop > 0.0 && engine_.rng().chance(faults.drop))) {
     ++stats_.messages_dropped;
-    ++per_node_[from].messages_dropped;
+    ++sender.messages_dropped;
     if (counters_.dropped != nullptr) counters_.dropped->inc();
     return true;  // sent but lost in transit
   }
@@ -127,9 +151,13 @@ bool Network::send(Address from, Address to, MsgPtr msg) {
 void Network::multicast(Address from, GroupId group, const MsgPtr& msg) {
   const auto it = groups_.find(group);
   if (it == groups_.end()) return;
-  // Copy membership: delivery callbacks may mutate the group.
-  const std::vector<Address> members(it->second.begin(), it->second.end());
-  for (Address member : members) {
+  // Snapshot membership into the reused scratch buffer: deliveries are
+  // always asynchronous (send() only schedules), so the group cannot mutate
+  // inside this loop, but join/leave between batched sends must not
+  // invalidate iteration. One buffer serves every multicast — the per-call
+  // vector allocation was measurable at heartbeat fan-out scale.
+  multicast_scratch_.assign(it->second.begin(), it->second.end());
+  for (Address member : multicast_scratch_) {
     if (member == from) continue;
     send(from, member, msg);
   }
@@ -165,16 +193,23 @@ bool Network::reachable(Address from, Address to) const {
   return down_.count(from) == 0 && down_.count(to) == 0 && !blocked(from, to);
 }
 
+void Network::update_fault_flag() {
+  any_faults_ =
+      drop_probability_ > 0.0 || !link_faults_.empty() || !node_faults_.empty();
+}
+
 void Network::set_link_faults(Address from, Address to, LinkFaults faults) {
   if (faults.clear()) {
     link_faults_.erase({from, to});
   } else {
     link_faults_[{from, to}] = faults;
   }
+  update_fault_flag();
 }
 
 void Network::clear_link_faults(Address from, Address to) {
   link_faults_.erase({from, to});
+  update_fault_flag();
 }
 
 LinkFaults Network::link_faults(Address from, Address to) const {
@@ -188,13 +223,18 @@ void Network::set_node_faults(Address node, LinkFaults faults) {
   } else {
     node_faults_[node] = faults;
   }
+  update_fault_flag();
 }
 
-void Network::clear_node_faults(Address node) { node_faults_.erase(node); }
+void Network::clear_node_faults(Address node) {
+  node_faults_.erase(node);
+  update_fault_flag();
+}
 
 void Network::clear_all_faults() {
   link_faults_.clear();
   node_faults_.clear();
+  update_fault_flag();
 }
 
 TrafficStats Network::node_stats(Address addr) const {

@@ -98,7 +98,10 @@ class Network {
   [[nodiscard]] bool node_up(Address addr) const;
 
   /// Probability in [0,1] that any given message is silently lost.
-  void set_drop_probability(double p) { drop_probability_ = p; }
+  void set_drop_probability(double p) {
+    drop_probability_ = p;
+    update_fault_flag();
+  }
 
   /// Fault knobs for one directed link (from -> to). Replaces any previous
   /// setting for that link; a clear LinkFaults value removes the entry.
@@ -144,10 +147,23 @@ class Network {
   [[nodiscard]] sim::Engine& engine() const { return engine_; }
 
  private:
+  static constexpr std::uint32_t kNoDelivery = 0xFFFFFFFFu;
+
+  /// In-flight message parked in the delivery slab until its engine event
+  /// fires. Pooling the envelope here keeps the scheduled closure down to
+  /// (this, index) — small and trivially copyable, so std::function stores
+  /// it inline instead of heap-allocating per delivery.
+  struct PendingDelivery {
+    Envelope env;
+    std::uint32_t next_free = kNoDelivery;
+  };
+
   [[nodiscard]] bool blocked(Address from, Address to) const;
   /// Combined fault view for one message (global + nodes + link).
   [[nodiscard]] LinkFaults effective_faults(Address from, Address to) const;
   void deliver_after(sim::Time delay, Envelope env);
+  void complete_delivery(std::uint32_t index);
+  void update_fault_flag();
 
   sim::Engine& engine_;
   LatencyModel latency_;
@@ -159,6 +175,14 @@ class Network {
   double drop_probability_ = 0.0;
   std::map<std::pair<Address, Address>, LinkFaults> link_faults_;
   std::map<Address, LinkFaults> node_faults_;
+  /// True while any probabilistic fault source is configured; when false,
+  /// send() skips the per-message fault fold entirely (the common case on
+  /// the 10k-LC scaling path).
+  bool any_faults_ = false;
+  std::vector<PendingDelivery> deliveries_;
+  std::uint32_t delivery_free_ = kNoDelivery;
+  /// Reused multicast membership snapshot (one allocation, not one per send).
+  std::vector<Address> multicast_scratch_;
   TrafficStats stats_;
   std::unordered_map<Address, TrafficStats> per_node_;
   std::unordered_map<std::uint64_t, LinkTraffic> link_traffic_;

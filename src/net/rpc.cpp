@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "net/pool.hpp"
+
 namespace snooze::net {
 
 sim::Time RetryPolicy::backoff(int attempt, util::Rng& rng) const {
@@ -15,7 +17,7 @@ sim::Time RetryPolicy::backoff(int attempt, util::Rng& rng) const {
 
 void Responder::respond(MsgPtr reply) const {
   assert(reply != nullptr);
-  auto wrap = std::make_shared<RpcWrap>();
+  auto wrap = make_message<RpcWrap>();
   wrap->rpc_id = rpc_id_;
   wrap->is_reply = true;
   wrap->inner = std::move(reply);
@@ -53,7 +55,7 @@ void RpcEndpoint::multicast(GroupId group, MsgPtr msg) {
 void RpcEndpoint::call(Address to, MsgPtr request, sim::Time timeout, ReplyCallback cb) {
   assert(cb);
   if (!up_) return;
-  auto wrap = std::make_shared<RpcWrap>();
+  auto wrap = make_message<RpcWrap>();
   wrap->rpc_id = next_rpc_id_++;
   wrap->is_reply = false;
   wrap->inner = std::move(request);

@@ -1,6 +1,9 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
+#include <chrono>
 
 namespace snooze::sim {
 
@@ -11,40 +14,229 @@ EventId Engine::schedule(Time delay, std::function<void()> fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
+std::uint32_t Engine::alloc_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Engine::free_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = nullptr;  // release the closure eagerly (it may pin shared state)
+  s.state = SlotState::kFree;
+  ++s.generation;  // outstanding handles to this event become stale
+  s.next_free = free_head_;
+  free_head_ = slot;
+  --pending_;
+}
+
+void Engine::sift_up(std::vector<Entry>& bucket, std::size_t i) {
+  const Entry e = bucket[i];
+  while (i > 0) {
+    const std::size_t p = (i - 1) / 2;
+    if (!Later{}(bucket[p], e)) break;
+    bucket[i] = bucket[p];
+    slots_[bucket[i].slot].pos = static_cast<std::uint32_t>(i);
+    i = p;
+  }
+  bucket[i] = e;
+  slots_[e.slot].pos = static_cast<std::uint32_t>(i);
+}
+
+void Engine::sift_down(std::vector<Entry>& bucket, std::size_t i) {
+  const std::size_t n = bucket.size();
+  const Entry e = bucket[i];
+  for (;;) {
+    std::size_t c = 2 * i + 1;
+    if (c >= n) break;
+    if (c + 1 < n && Later{}(bucket[c], bucket[c + 1])) ++c;
+    if (!Later{}(e, bucket[c])) break;
+    bucket[i] = bucket[c];
+    slots_[bucket[i].slot].pos = static_cast<std::uint32_t>(i);
+    i = c;
+  }
+  bucket[i] = e;
+  slots_[e.slot].pos = static_cast<std::uint32_t>(i);
+}
+
+void Engine::bucket_push(std::vector<Entry>& bucket, const Entry& entry) {
+  bucket.push_back(entry);
+  sift_up(bucket, bucket.size() - 1);
+}
+
+void Engine::bucket_remove(std::vector<Entry>& bucket, std::size_t i) {
+  const Entry moved = bucket.back();
+  bucket.pop_back();
+  if (i == bucket.size()) return;  // removed the tail entry itself
+  bucket[i] = moved;
+  slots_[moved.slot].pos = static_cast<std::uint32_t>(i);
+  sift_down(bucket, i);
+  // If sift_down left it in place it may still beat its parent.
+  if (slots_[moved.slot].pos == i) sift_up(bucket, i);
+}
+
+void Engine::mark_occupied(std::uint64_t abs_bucket) {
+  const std::size_t p = abs_bucket & kBucketMask;
+  occupied_[p >> 6] |= std::uint64_t{1} << (p & 63);
+}
+
+void Engine::clear_occupied(std::uint64_t abs_bucket) {
+  const std::size_t p = abs_bucket & kBucketMask;
+  occupied_[p >> 6] &= ~(std::uint64_t{1} << (p & 63));
+}
+
 EventId Engine::schedule_at(Time t, std::function<void()> fn) {
   assert(t >= now_);
-  const EventId id = next_id_++;
-  queue_.push(Event{t, id, std::move(fn)});
-  return id;
+  const std::uint64_t seq = next_seq_++;
+  const std::uint32_t slot = alloc_slot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.time = t;
+  s.seq = seq;
+
+  const std::uint64_t b = bucket_of(t);
+  if (b < cursor_ + kNumBuckets) {
+    s.state = SlotState::kNear;
+    auto& bucket = buckets_[b & kBucketMask];
+    if (bucket.empty()) mark_occupied(b);
+    bucket_push(bucket, Entry{t, seq, slot});
+    ++near_count_;
+    if (b < scan_hint_) scan_hint_ = b;
+  } else {
+    s.state = SlotState::kFar;
+    far_.emplace(std::make_pair(t, seq), slot);
+    ++stats_.overflowed;
+  }
+  ++pending_;
+  ++stats_.scheduled;
+  stats_.peak_pending = std::max(stats_.peak_pending, pending_);
+  return (static_cast<std::uint64_t>(slot) + 1) << 32 | s.generation;
 }
 
 bool Engine::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  return cancelled_.insert(id).second;
+  const std::uint64_t hi = id >> 32;
+  if (hi == 0 || hi > slots_.size()) return false;
+  const std::uint32_t slot = static_cast<std::uint32_t>(hi - 1);
+  Slot& s = slots_[slot];
+  if (s.state == SlotState::kFree ||
+      s.generation != static_cast<std::uint32_t>(id & 0xFFFFFFFFu)) {
+    return false;  // already fired or cancelled
+  }
+
+  if (s.state == SlotState::kNear) {
+    const std::uint64_t b = bucket_of(s.time);
+    auto& bucket = buckets_[b & kBucketMask];
+    // The slot knows its heap position, so removal is a targeted O(log b)
+    // sift — bucket occupancy grows with cluster size, and every successful
+    // RPC lands here, so an O(b) scan would dominate 10k-LC runs.
+    bucket_remove(bucket, s.pos);
+    if (bucket.empty()) clear_occupied(b);
+    --near_count_;
+  } else {
+    far_.erase(std::make_pair(s.time, s.seq));
+  }
+  free_slot(slot);
+  ++stats_.cancelled;
+  return true;
+}
+
+void Engine::promote_far() {
+  const std::uint64_t horizon = cursor_ + kNumBuckets;
+  while (!far_.empty()) {
+    const auto it = far_.begin();
+    const std::uint64_t b = bucket_of(it->first.first);
+    if (b >= horizon) break;
+    const std::uint32_t slot = it->second;
+    Slot& s = slots_[slot];
+    s.state = SlotState::kNear;
+    auto& bucket = buckets_[b & kBucketMask];
+    if (bucket.empty()) mark_occupied(b);
+    bucket_push(bucket, Entry{s.time, s.seq, slot});
+    ++near_count_;
+    if (b < scan_hint_) scan_hint_ = b;
+    far_.erase(it);
+    ++stats_.promoted;
+  }
+}
+
+bool Engine::peek(Time& time, std::uint64_t& abs_bucket) {
+  if (near_count_ > 0) {
+    // A near event always precedes every far event (far buckets lie beyond
+    // the near window), so the first occupied bucket holds the winner.
+    std::uint64_t b = std::max(scan_hint_, cursor_);
+    for (;;) {
+      assert(b < cursor_ + kNumBuckets);
+      const std::size_t p = b & kBucketMask;
+      const std::uint64_t word = occupied_[p >> 6] >> (p & 63);
+      if (word != 0) {
+        b += static_cast<std::uint64_t>(std::countr_zero(word));
+        break;
+      }
+      b += 64 - (p & 63);  // jump to the next bitmap word
+    }
+    scan_hint_ = b;
+    time = buckets_[b & kBucketMask].front().time;
+    abs_bucket = b;
+    return true;
+  }
+  time = far_.begin()->first.first;
+  abs_bucket = bucket_of(time);
+  return false;
 }
 
 std::size_t Engine::run_until(Time until) {
   stopped_ = false;
+  const auto wall_start = std::chrono::steady_clock::now();
   std::size_t fired = 0;
-  while (!queue_.empty() && !stopped_) {
-    const Event& top = queue_.top();
-    if (top.time > until) break;
-    Event ev{top.time, top.id, std::move(const_cast<Event&>(top).fn)};
-    queue_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
+  while (pending_ > 0 && !stopped_) {
+    Time t = 0.0;
+    std::uint64_t b = 0;
+    const bool near = peek(t, b);
+    if (t > until) break;
+
+    std::uint32_t slot;
+    if (near) {
+      auto& bucket = buckets_[b & kBucketMask];
+      slot = bucket.front().slot;
+      bucket_remove(bucket, 0);
+      if (bucket.empty()) clear_occupied(b);
+      --near_count_;
+    } else {
+      slot = far_.begin()->second;
+      far_.erase(far_.begin());
     }
-    now_ = ev.time;
-    ev.fn();
+    // Advancing the cursor widens the near window; pull far events that the
+    // new horizon now covers before the callback schedules against it.
+    cursor_ = b;
+    scan_hint_ = std::max(scan_hint_, b);
+    now_ = t;
+    promote_far();
+
+    auto fn = std::move(slots_[slot].fn);
+    free_slot(slot);
+    fn();
     ++fired;
     ++processed_;
+    ++stats_.fired;
   }
-  if (queue_.empty() && until != kTimeInfinity && now_ < until) {
+  if (pending_ == 0 && until != kTimeInfinity && now_ < until) {
     // Advance the clock to the horizon so callers can rely on now()==until.
     now_ = until;
   }
+  stats_.run_wall_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
   return fired;
+}
+
+std::size_t Engine::queued_entries() const {
+  std::size_t n = far_.size();
+  for (const auto& bucket : buckets_) n += bucket.size();
+  return n;
 }
 
 }  // namespace snooze::sim

@@ -4,13 +4,30 @@
 // two events scheduled for the same instant fire in scheduling order. All
 // components of the simulated Snooze deployment (network, coordination
 // service, controllers) run on one engine; virtual time is in seconds.
+//
+// The event queue is an indexed calendar queue sized for 10k-LC topologies:
+//
+//   - near events (within ~64 s of the drain cursor) live in fixed-width
+//     time buckets, each a small binary heap of 24-byte POD entries, so
+//     schedule/pop touch a handful of cache lines instead of sifting a
+//     global heap of closures;
+//   - far events overflow into an ordered map and are promoted in bulk as
+//     the cursor advances;
+//   - callbacks are stored once in a slab of pooled slots; EventId encodes
+//     (slot, generation), making cancel() a true O(1) removal — the entry
+//     is taken out of its bucket immediately, no tombstone ever reaches the
+//     hot pop path. Every successful RPC cancels its timeout this way.
+//
+// Determinism contract: events pop in exactly (time ascending, scheduling
+// sequence ascending) order — byte-identical to the original binary-heap
+// engine, which the golden-trace suite (tests/golden_trace_test.cpp) pins.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <queue>
-#include <unordered_set>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -22,7 +39,9 @@ using Time = double;
 
 constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
 
-/// Handle identifying a scheduled event; usable to cancel it.
+/// Handle identifying a scheduled event; usable to cancel it. Encodes the
+/// slab slot and a generation counter, so handles of fired/cancelled events
+/// are recognized as stale. 0 is never a valid handle.
 using EventId = std::uint64_t;
 
 class Engine {
@@ -40,8 +59,9 @@ class Engine {
   /// Schedule `fn` at absolute virtual time `t` (t >= now()).
   EventId schedule_at(Time t, std::function<void()> fn);
 
-  /// Cancel a pending event. Returns false if it already fired or was
-  /// cancelled. Cancellation is O(1); the queue entry is skipped lazily.
+  /// Cancel a pending event: the entry is physically removed from the queue
+  /// and its slot recycled. Returns false if it already fired or was
+  /// cancelled (stale handles are detected via the generation counter).
   bool cancel(EventId id);
 
   /// Run until the event queue is empty or `until` is reached (whichever is
@@ -54,31 +74,128 @@ class Engine {
   /// Abort the current run_until loop after the current event returns.
   void stop() { stopped_ = true; }
 
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  [[nodiscard]] std::size_t pending_events() const { return pending_; }
   [[nodiscard]] std::size_t processed_events() const { return processed_; }
+
+  /// Physical entries held by the queue (buckets + overflow). Always equals
+  /// pending_events(): cancellation removes entries instead of tombstoning
+  /// them. The leak tests assert on exactly this equality.
+  [[nodiscard]] std::size_t queued_entries() const;
+
+  /// Queue/throughput counters. Cheap enough to maintain unconditionally;
+  /// telemetry mirrors them into the metrics registry on demand
+  /// (Telemetry::sample_engine) so sampling never schedules events.
+  struct Stats {
+    std::uint64_t scheduled = 0;    ///< total schedule()/schedule_at() calls
+    std::uint64_t fired = 0;        ///< events whose callback ran
+    std::uint64_t cancelled = 0;    ///< events removed by cancel()
+    std::uint64_t overflowed = 0;   ///< events that entered the far map
+    std::uint64_t promoted = 0;     ///< far events moved into near buckets
+    std::size_t peak_pending = 0;   ///< high-water mark of pending events
+    double run_wall_seconds = 0.0;  ///< wall-clock time spent inside run_until
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Fired events per wall-clock second across all run_until calls so far
+  /// (0 before the first run).
+  [[nodiscard]] double events_per_second() const {
+    return stats_.run_wall_seconds > 0.0
+               ? static_cast<double>(stats_.fired) / stats_.run_wall_seconds
+               : 0.0;
+  }
 
   /// The engine-global RNG; fork() it for per-component streams.
   util::Rng& rng() { return rng_; }
 
  private:
-  struct Event {
+  // Calendar geometry: 16384 buckets of 1/256 s cover a 64 s near window —
+  // heartbeats, RPC timeouts and retry backoffs all land in buckets; only
+  // long-lived timers (VM lifetimes, soak horizons) take the far map. The
+  // narrow width keeps per-bucket occupancy (and thus sift depth) low even
+  // with 10k LCs heartbeating: fewer scattered position updates per event.
+  static constexpr double kBucketWidth = 1.0 / 256.0;
+  static constexpr double kInvBucketWidth = 256.0;
+  static constexpr std::size_t kNumBuckets = 16384;
+  static constexpr std::size_t kBucketMask = kNumBuckets - 1;
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  /// Bucket-heap element; PODs this small make sift operations cache-cheap.
+  struct Entry {
     Time time;
-    EventId id;
-    std::function<void()> fn;
+    std::uint64_t seq;
+    std::uint32_t slot;
   };
+  /// Min-heap order on (time, seq) — the engine-wide determinism contract.
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
+      return a.seq > b.seq;
     }
   };
 
+  enum class SlotState : std::uint8_t { kFree, kNear, kFar };
+
+  /// Callback storage; stable address for the event's lifetime.
+  struct Slot {
+    std::function<void()> fn;
+    Time time = 0.0;
+    std::uint64_t seq = 0;
+    std::uint32_t generation = 1;
+    std::uint32_t next_free = kNoSlot;
+    /// Index of this event's Entry within its bucket heap (near events
+    /// only). Maintained by the sift routines so cancel() jumps straight to
+    /// the entry instead of scanning the bucket — at 10k LCs buckets hold
+    /// dozens of entries and a linear scan per cancel dominates the run.
+    std::uint32_t pos = 0;
+    SlotState state = SlotState::kFree;
+  };
+
+  [[nodiscard]] static std::uint64_t bucket_of(Time t) {
+    const double scaled = t * kInvBucketWidth;
+    // Clamp anything beyond the representable horizon (including +inf) into
+    // the far map; the cast below would otherwise be UB.
+    if (scaled >= 9.2e18) return std::numeric_limits<std::uint64_t>::max();
+    return static_cast<std::uint64_t>(scaled);
+  }
+
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t slot);
+  void mark_occupied(std::uint64_t abs_bucket);
+  void clear_occupied(std::uint64_t abs_bucket);
+  // Position-tracking binary-heap primitives over one bucket; every entry
+  // move updates slots_[entry.slot].pos.
+  void bucket_push(std::vector<Entry>& bucket, const Entry& entry);
+  void bucket_remove(std::vector<Entry>& bucket, std::size_t i);
+  void sift_up(std::vector<Entry>& bucket, std::size_t i);
+  void sift_down(std::vector<Entry>& bucket, std::size_t i);
+  /// Move far events whose bucket is now inside the near window.
+  void promote_far();
+  /// Locate the next pending event without consuming it. Returns false when
+  /// the queue is empty; otherwise fills (time, abs_bucket) of the winner.
+  bool peek(Time& time, std::uint64_t& abs_bucket);
+
   Time now_ = 0.0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::size_t processed_ = 0;
+  std::size_t pending_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  Stats stats_;
+
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+
+  /// Drain cursor: absolute index of the bucket of the last popped event.
+  /// Every pending near event lives in [cursor_, cursor_ + kNumBuckets).
+  std::uint64_t cursor_ = 0;
+  /// First absolute bucket that may be occupied (scan hint; always >= valid).
+  std::uint64_t scan_hint_ = 0;
+  std::vector<std::vector<Entry>> buckets_{kNumBuckets};
+  std::vector<std::uint64_t> occupied_ = std::vector<std::uint64_t>(kNumBuckets / 64, 0);
+  std::size_t near_count_ = 0;
+
+  /// Far events, ordered by (time, seq); key order == pop order.
+  std::map<std::pair<Time, std::uint64_t>, std::uint32_t> far_;
+
   util::Rng rng_;
 };
 

@@ -20,6 +20,28 @@ class Telemetry {
   [[nodiscard]] SpanCollector& spans() { return spans_; }
   [[nodiscard]] const SpanCollector& spans() const { return spans_; }
 
+  /// Mirror the engine's queue counters into the registry. Pull-based by
+  /// design: exporters and the CLI call this right before reading metrics,
+  /// so observation never schedules events (a periodic sampler would perturb
+  /// the event stream and break the golden-trace determinism contract).
+  void sample_engine(const sim::Engine& engine) {
+    const sim::Engine::Stats& st = engine.stats();
+    const auto mirror = [this](std::string_view name, std::uint64_t value) {
+      Counter& c = metrics_.counter(name);
+      if (value > c.value()) c.inc(value - c.value());
+    };
+    mirror("engine.events_scheduled", st.scheduled);
+    mirror("engine.events_fired", st.fired);
+    mirror("engine.events_cancelled", st.cancelled);
+    mirror("engine.events_overflowed", st.overflowed);
+    mirror("engine.events_promoted", st.promoted);
+    metrics_.gauge("engine.queue_depth")
+        .set(static_cast<double>(engine.pending_events()));
+    metrics_.gauge("engine.peak_queue_depth")
+        .set(static_cast<double>(st.peak_pending));
+    metrics_.gauge("engine.events_per_sec_wall").set(engine.events_per_second());
+  }
+
  private:
   MetricsRegistry metrics_;
   SpanCollector spans_;

@@ -1,0 +1,25 @@
+// The acceptance soak: >= 20 random seeds on the default 3-GM/9-LC cluster,
+// every run completing with all invariants holding.
+//
+// Lives in its own binary, labeled `soak` in ctest, so the tier-1 suite
+// (`ctest -LE soak`) stays fast while CI still runs the full sweep in a
+// dedicated step.
+#include <gtest/gtest.h>
+
+#include "chaos/runner.hpp"
+
+namespace {
+
+using namespace snooze;
+using namespace snooze::chaos;
+
+TEST(ChaosSoak, TwentySeedsAllInvariantsHold) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    ChaosRunConfig cfg;
+    cfg.seed = seed;
+    const auto result = run_chaos(cfg);
+    EXPECT_TRUE(result.ok()) << "seed " << seed << ":\n" << result.report;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// Consolidation invariant property tests.
+//
+// Every packing algorithm in the repository — the greedy family, the
+// centralized ACO and the distributed (sharded) ACO — must produce a
+// placement that assigns every VM exactly once without exceeding any host
+// capacity, on any instance that is packable at all (one host per VM makes
+// that trivially true here). The migration plans derived from any pair of
+// such placements must apply cleanly: each move's source matches the current
+// placement, and the applied result is exactly the target.
+//
+// 50 seeded random instances of varying size and demand skew; failures
+// report the seed, so any regression reproduces with a one-line repro.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "consolidation/aco.hpp"
+#include "consolidation/distributed_aco.hpp"
+#include "consolidation/greedy.hpp"
+#include "consolidation/instance.hpp"
+#include "consolidation/migration_plan.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace snooze;
+using consolidation::Instance;
+using consolidation::kUnassigned;
+using consolidation::Placement;
+
+/// Random homogeneous instance; skews the demand band by seed so the suite
+/// covers loose (many tiny VMs per host) and tight (near-half-host VMs,
+/// two-per-host at best) packings.
+Instance make_instance(std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::size_t n_vms = rng.uniform_int<std::size_t>(10, 60);
+  const double lo = rng.uniform(0.02, 0.15);
+  const double hi = rng.uniform(lo + 0.05, 0.48);
+  std::vector<consolidation::ResourceVector> demands;
+  demands.reserve(n_vms);
+  for (std::size_t i = 0; i < n_vms; ++i) {
+    demands.emplace_back(rng.uniform(lo, hi), rng.uniform(lo, hi),
+                         rng.uniform(lo, hi));
+  }
+  return Instance::homogeneous(std::move(demands), n_vms);
+}
+
+/// Full structural check: complete, every assignment in range, feasible.
+void expect_valid(const Placement& placement, const Instance& instance,
+                  const char* solver) {
+  ASSERT_EQ(placement.vm_count(), instance.vm_count()) << solver;
+  for (std::size_t vm = 0; vm < placement.vm_count(); ++vm) {
+    const auto host = placement.host_of(vm);
+    ASSERT_NE(host, kUnassigned) << solver << ": vm " << vm << " unplaced";
+    ASSERT_LT(static_cast<std::size_t>(host), instance.host_count())
+        << solver << ": vm " << vm << " on out-of-range host " << host;
+  }
+  EXPECT_TRUE(placement.complete()) << solver;
+  EXPECT_TRUE(placement.feasible(instance)) << solver << ": capacity exceeded";
+  EXPECT_GE(placement.hosts_used(), instance.lower_bound_hosts()) << solver;
+}
+
+/// Apply `plan` to a copy of `current`, checking each move's precondition.
+Placement apply_plan(const consolidation::MigrationPlan& plan,
+                     const Placement& current) {
+  Placement applied = current;
+  for (const auto& m : plan.migrations) {
+    EXPECT_EQ(applied.host_of(m.vm), m.from)
+        << "migration source does not match the current placement for vm "
+        << m.vm;
+    EXPECT_NE(m.from, m.to) << "no-op migration for vm " << m.vm;
+    applied.assign(m.vm, m.to);
+  }
+  return applied;
+}
+
+TEST(ConsolidationProperty, AllSolversProduceFeasiblePlacements) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const Instance instance = make_instance(seed);
+
+    const Placement ff = consolidation::first_fit(instance);
+    const Placement ffd = consolidation::first_fit_decreasing(instance);
+    const Placement bfd = consolidation::best_fit_decreasing(instance);
+    const Placement dot = consolidation::dot_product_fit(instance);
+    expect_valid(ff, instance, "first_fit");
+    expect_valid(ffd, instance, "first_fit_decreasing");
+    expect_valid(bfd, instance, "best_fit_decreasing");
+    expect_valid(dot, instance, "dot_product_fit");
+
+    consolidation::AcoParams aco_params;
+    aco_params.ants = 4;
+    aco_params.cycles = 3;
+    aco_params.seed = seed;
+    const auto aco = consolidation::AcoConsolidation(aco_params).solve(instance);
+    EXPECT_TRUE(aco.feasible) << "aco declared its own result infeasible";
+    expect_valid(aco.placement, instance, "aco");
+    EXPECT_EQ(aco.hosts_used, aco.placement.hosts_used()) << "aco";
+
+    consolidation::DistributedAcoParams daco_params;
+    daco_params.shards = 2;
+    daco_params.colony = aco_params;
+    const auto daco =
+        consolidation::DistributedAcoConsolidation(daco_params).solve(instance);
+    EXPECT_TRUE(daco.feasible) << "distributed aco declared itself infeasible";
+    expect_valid(daco.placement, instance, "distributed_aco");
+
+    // The decreasing greedy variants must never do worse than the lower
+    // bound says is possible; ACO must never do worse than its own greedy
+    // fallback guarantees (first-fit completeness).
+    EXPECT_LE(aco.hosts_used, instance.host_count());
+  }
+}
+
+TEST(ConsolidationProperty, MigrationPlansApplyCleanly) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const Instance instance = make_instance(seed);
+
+    // A typical reconfiguration: the system is running the quick greedy
+    // placement and the optimizer proposes a tighter one.
+    const Placement current = consolidation::first_fit(instance);
+    consolidation::AcoParams params;
+    params.ants = 4;
+    params.cycles = 3;
+    params.seed = seed;
+    const Placement target =
+        consolidation::AcoConsolidation(params).solve(instance).placement;
+
+    const auto plan = consolidation::diff_placements(current, target);
+    const Placement applied = apply_plan(plan, current);
+    EXPECT_EQ(applied, target) << "applying the plan must yield the target";
+    EXPECT_TRUE(applied.feasible(instance));
+
+    // A placement diffed against itself must be a no-op plan.
+    EXPECT_TRUE(consolidation::diff_placements(current, current).empty());
+  }
+}
+
+}  // namespace

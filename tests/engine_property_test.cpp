@@ -1,0 +1,454 @@
+// Property-based tests for the calendar-queue event engine.
+//
+// The engine promises exactly one observable ordering: events fire in
+// (time ascending, scheduling-sequence ascending) order, cancellation
+// physically removes entries, and stale handles are rejected. These tests
+// drive randomized schedule/cancel/run sequences against a trivially correct
+// reference model (an ordered map keyed by (time, insertion sequence)) and
+// compare the full firing order. A failing sequence is shrunk by repeatedly
+// deleting chunks (halving) before being reported, so the output is a
+// near-minimal reproduction, not 400 opaque operations.
+//
+// Also here: the dead-timeout leak tests — every successful RPC cancels its
+// timeout, and cancellation must leave no physical residue in the queue
+// (queued_entries() == pending_events(), no tombstones).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/rpc.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace snooze;
+using sim::EventId;
+using sim::Time;
+
+// --- operation vocabulary ---------------------------------------------------
+
+struct Op {
+  enum class Kind {
+    kNear,         // schedule within the bucket window (delay < 2 s)
+    kTie,          // schedule_at the exact time of a pending event (FIFO tie)
+    kZero,         // schedule with zero delay
+    kFar,          // schedule far beyond the 64 s near window (overflow path)
+    kChain,        // event whose callback schedules a follow-up
+    kCancel,       // cancel a tracked handle (pending or already fired)
+    kCancelStale,  // cancel a handle that is known dead (must return false)
+    kRun,          // run_until(now + value)
+  };
+  Kind kind;
+  double value = 0.0;    // delay / horizon increment
+  std::size_t pick = 0;  // selects a handle for cancel ops
+};
+
+const char* kind_name(Op::Kind k) {
+  switch (k) {
+    case Op::Kind::kNear: return "near";
+    case Op::Kind::kTie: return "tie";
+    case Op::Kind::kZero: return "zero";
+    case Op::Kind::kFar: return "far";
+    case Op::Kind::kChain: return "chain";
+    case Op::Kind::kCancel: return "cancel";
+    case Op::Kind::kCancelStale: return "cancel-stale";
+    case Op::Kind::kRun: return "run";
+  }
+  return "?";
+}
+
+std::vector<Op> generate_ops(std::uint64_t seed, std::size_t count) {
+  util::Rng rng(seed);
+  std::vector<Op> ops;
+  ops.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const int roll = rng.uniform_int(0, 99);
+    Op op{};
+    if (roll < 35) {
+      op = {Op::Kind::kNear, rng.uniform(0.0, 2.0), 0};
+    } else if (roll < 45) {
+      op = {Op::Kind::kTie, 0.0, rng.uniform_int<std::size_t>(0, 1u << 16)};
+    } else if (roll < 50) {
+      op = {Op::Kind::kZero, 0.0, 0};
+    } else if (roll < 60) {
+      op = {Op::Kind::kFar, rng.uniform(100.0, 50000.0), 0};
+    } else if (roll < 65) {
+      op = {Op::Kind::kChain, rng.uniform(0.0, 2.0), 0};
+    } else if (roll < 80) {
+      op = {Op::Kind::kCancel, 0.0, rng.uniform_int<std::size_t>(0, 1u << 16)};
+    } else if (roll < 85) {
+      op = {Op::Kind::kCancelStale, 0.0, rng.uniform_int<std::size_t>(0, 1u << 16)};
+    } else {
+      // Mostly short runs; occasionally jump far enough to drain overflow.
+      const double dt = rng.chance(0.2) ? rng.uniform(100.0, 20000.0)
+                                        : rng.uniform(0.1, 5.0);
+      op = {Op::Kind::kRun, dt, 0};
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+// --- interpreter + reference model ------------------------------------------
+
+/// Runs `ops` against a fresh engine and the reference model in lockstep.
+/// Returns std::nullopt on success, otherwise a human-readable divergence
+/// report. Pure function of `ops` — required for deterministic shrinking.
+std::optional<std::string> run_ops(const std::vector<Op>& ops) {
+  sim::Engine engine(42);
+
+  // Reference: key order IS the contract. Sequence numbers are allocated in
+  // the same relative order as the engine's (schedules outside runs happen in
+  // op order; chain schedules happen in pop order, which matches inductively).
+  using Key = std::pair<Time, std::uint64_t>;
+  struct ModelEvent {
+    int token;
+    bool chain;
+  };
+  std::map<Key, ModelEvent> model;
+  std::uint64_t model_seq = 1;
+
+  std::vector<int> fired;     // tokens in engine firing order
+  std::vector<int> expected;  // tokens in model order
+  int next_token = 0;
+
+  struct Tracked {
+    EventId id;
+    Key key;
+  };
+  std::vector<Tracked> tracked;     // cancellable op-level events
+  std::vector<EventId> dead;        // ids known fired or cancelled
+  std::uint64_t cancels_issued = 0;
+
+  constexpr double kChainDelay = 0.375;  // exactly representable, lands near
+
+  // Engine-side callback factory. Chain follow-ups reuse the parent token
+  // offset by a large constant so both sides derive the same token without
+  // sharing a counter across the engine/model boundary.
+  std::function<void(int, bool)> fire = [&](int token, bool chain) {
+    fired.push_back(token);
+    if (chain) {
+      engine.schedule(kChainDelay,
+                      [&fire, token] { fire(token + 1'000'000, false); });
+    }
+  };
+
+  auto schedule_both = [&](Time at, bool chain) {
+    const int token = next_token++;
+    const EventId id =
+        engine.schedule_at(at, [&fire, token, chain] { fire(token, chain); });
+    const Key key{at, model_seq++};
+    model.emplace(key, ModelEvent{token, chain});
+    tracked.push_back({id, key});
+  };
+
+  auto fail = [&](const std::string& what) -> std::optional<std::string> {
+    std::ostringstream out;
+    out << what << "\n  fired " << fired.size() << " events, expected "
+        << expected.size() << " at t=" << engine.now();
+    const std::size_t n = std::min(fired.size(), expected.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fired[i] != expected[i]) {
+        out << "\n  first divergence at event " << i << ": engine fired token "
+            << fired[i] << ", model expected token " << expected[i];
+        break;
+      }
+    }
+    return out.str();
+  };
+
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case Op::Kind::kNear:
+      case Op::Kind::kChain:
+        schedule_both(engine.now() + op.value, op.kind == Op::Kind::kChain);
+        break;
+      case Op::Kind::kZero:
+        schedule_both(engine.now(), false);
+        break;
+      case Op::Kind::kFar:
+        schedule_both(engine.now() + op.value, false);
+        break;
+      case Op::Kind::kTie: {
+        if (model.empty()) break;  // nothing pending to tie with
+        auto it = model.begin();
+        std::advance(it, static_cast<long>(op.pick % model.size()));
+        schedule_both(it->first.first, false);
+        break;
+      }
+      case Op::Kind::kCancel: {
+        if (tracked.empty()) break;
+        const std::size_t i = op.pick % tracked.size();
+        const Tracked target = tracked[i];
+        const bool pending = model.count(target.key) > 0;
+        const bool cancelled = engine.cancel(target.id);
+        if (cancelled != pending) {
+          return fail(pending ? "cancel of pending event returned false"
+                              : "cancel of fired event returned true");
+        }
+        if (pending) {
+          model.erase(target.key);
+          ++cancels_issued;
+        }
+        tracked.erase(tracked.begin() + static_cast<long>(i));
+        dead.push_back(target.id);
+        break;
+      }
+      case Op::Kind::kCancelStale: {
+        if (dead.empty()) break;
+        if (engine.cancel(dead[op.pick % dead.size()])) {
+          return fail("stale handle cancel returned true");
+        }
+        break;
+      }
+      case Op::Kind::kRun: {
+        const Time horizon = engine.now() + op.value;
+        engine.run_until(horizon);
+        // Mirror: pop every model event due by the horizon, in key order.
+        while (!model.empty() && model.begin()->first.first <= horizon) {
+          const auto [key, ev] = *model.begin();
+          model.erase(model.begin());
+          expected.push_back(ev.token);
+          if (ev.chain) {
+            model.emplace(Key{key.first + kChainDelay, model_seq++},
+                          ModelEvent{ev.token + 1'000'000, false});
+          }
+        }
+        if (fired != expected) return fail("firing order diverged");
+        if (engine.pending_events() != model.size()) {
+          return fail("pending_events() != model size (" +
+                      std::to_string(engine.pending_events()) + " vs " +
+                      std::to_string(model.size()) + ")");
+        }
+        if (engine.queued_entries() != engine.pending_events()) {
+          return fail("queued_entries() != pending_events() — tombstone leak");
+        }
+        break;
+      }
+    }
+  }
+
+  // Drain both sides completely.
+  engine.run();
+  while (!model.empty()) {
+    const auto [key, ev] = *model.begin();
+    model.erase(model.begin());
+    expected.push_back(ev.token);
+    if (ev.chain) {
+      model.emplace(Key{key.first + kChainDelay, model_seq++},
+                    ModelEvent{ev.token + 1'000'000, false});
+    }
+  }
+  if (fired != expected) return fail("firing order diverged after drain");
+  if (engine.pending_events() != 0) return fail("events left after full drain");
+  if (engine.queued_entries() != 0) return fail("entries left after full drain");
+  if (engine.stats().cancelled != cancels_issued) {
+    return fail("stats().cancelled disagrees with successful cancel count");
+  }
+  if (engine.stats().fired != fired.size()) {
+    return fail("stats().fired disagrees with observed firings");
+  }
+  return std::nullopt;
+}
+
+// --- shrinking ---------------------------------------------------------------
+
+/// Delete chunks of halving size while the sequence still fails; classic
+/// delta-debugging. The result is locally minimal w.r.t. chunk removal.
+std::vector<Op> shrink(std::vector<Op> ops) {
+  for (std::size_t chunk = ops.size() / 2; chunk >= 1; chunk /= 2) {
+    std::size_t start = 0;
+    while (start + chunk <= ops.size()) {
+      std::vector<Op> candidate;
+      candidate.reserve(ops.size() - chunk);
+      candidate.insert(candidate.end(), ops.begin(),
+                       ops.begin() + static_cast<long>(start));
+      candidate.insert(candidate.end(),
+                       ops.begin() + static_cast<long>(start + chunk), ops.end());
+      if (run_ops(candidate).has_value()) {
+        ops = std::move(candidate);  // still fails without the chunk: keep cut
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return ops;
+}
+
+std::string dump_ops(const std::vector<Op>& ops) {
+  std::ostringstream out;
+  for (const Op& op : ops) {
+    out << "  {" << kind_name(op.kind) << ", value=" << op.value
+        << ", pick=" << op.pick << "}\n";
+  }
+  return out.str();
+}
+
+class EngineProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineProperty, MatchesReferenceModel) {
+  const std::uint64_t seed = GetParam();
+  const auto ops = generate_ops(seed, 400);
+  const auto failure = run_ops(ops);
+  if (!failure.has_value()) return;
+  const auto minimal = shrink(ops);
+  FAIL() << "seed " << seed << ": " << *run_ops(minimal) << "\n"
+         << "minimal reproduction (" << minimal.size() << " ops):\n"
+         << dump_ops(minimal);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineProperty,
+                         testing::Range<std::uint64_t>(1, 31));
+
+// --- targeted determinism corners -------------------------------------------
+
+TEST(EngineOrdering, SameTimestampFifo) {
+  sim::Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    engine.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EngineOrdering, FarEventsPromoteInOrder) {
+  sim::Engine engine;
+  std::vector<int> order;
+  // All well beyond the 64 s near window, interleaved with near events.
+  engine.schedule(5000.0, [&] { order.push_back(2); });
+  engine.schedule(200.0, [&] { order.push_back(1); });
+  engine.schedule(0.5, [&] { order.push_back(0); });
+  engine.schedule(5000.0, [&] { order.push_back(3); });  // FIFO tie in far map
+  EXPECT_GE(engine.stats().overflowed, 3u);
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  // The tied 5000 s event is promoted when its twin's pop advances the
+  // cursor; far events the cursor lands on directly pop without promotion.
+  EXPECT_GE(engine.stats().promoted, 1u);
+}
+
+TEST(EngineOrdering, CancelIsPhysicalRemoval) {
+  sim::Engine engine;
+  int fired = 0;
+  const auto a = engine.schedule(1.0, [&] { ++fired; });
+  const auto b = engine.schedule(2.0, [&] { ++fired; });
+  const auto c = engine.schedule(100.0, [&] { ++fired; });  // far map
+  EXPECT_EQ(engine.queued_entries(), 3u);
+  EXPECT_TRUE(engine.cancel(b));
+  EXPECT_TRUE(engine.cancel(c));
+  EXPECT_EQ(engine.queued_entries(), 1u);  // no tombstones anywhere
+  EXPECT_EQ(engine.pending_events(), 1u);
+  EXPECT_FALSE(engine.cancel(b)) << "double cancel must fail";
+  engine.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(engine.cancel(a)) << "cancel after firing must fail";
+}
+
+TEST(EngineOrdering, ZeroDelayFiresAtCurrentTime) {
+  sim::Engine engine;
+  engine.schedule(1.0, [&] {
+    const double t = engine.now();
+    engine.schedule(0.0, [&engine, t] { EXPECT_DOUBLE_EQ(engine.now(), t); });
+  });
+  EXPECT_EQ(engine.run(), 2u);
+}
+
+TEST(EngineOrdering, SlotReuseInvalidatesOldHandles) {
+  sim::Engine engine;
+  const auto a = engine.schedule(1.0, [] {});
+  ASSERT_TRUE(engine.cancel(a));
+  // The freed slot is recycled by the next schedule; the old handle's
+  // generation no longer matches and must not cancel the new event.
+  const auto b = engine.schedule(2.0, [] {});
+  EXPECT_FALSE(engine.cancel(a));
+  EXPECT_EQ(engine.pending_events(), 1u);
+  EXPECT_TRUE(engine.cancel(b));
+}
+
+// --- dead-timeout leak tests -------------------------------------------------
+
+struct Ping final : net::Message {
+  [[nodiscard]] std::string_view type() const override { return "ping"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 64; }
+};
+
+struct Pong final : net::Message {
+  [[nodiscard]] std::string_view type() const override { return "pong"; }
+};
+
+TEST(TimeoutLeak, SuccessfulRpcsLeaveNoTimeoutResidue) {
+  sim::Engine engine;
+  net::Network network(engine);
+  net::RpcEndpoint server(engine, network, network.allocate_address(), "server");
+  net::RpcEndpoint client(engine, network, network.allocate_address(), "client");
+  server.set_request_handler(
+      [](const net::Envelope&, net::Responder r) { r.respond(std::make_shared<Pong>()); });
+
+  constexpr int kCalls = 500;
+  constexpr double kTimeout = 5.0;
+  int ok = 0;
+  for (int i = 0; i < kCalls; ++i) {
+    engine.schedule(0.01 * i, [&] {
+      client.call(server.address(), std::make_shared<Ping>(), kTimeout,
+                  [&ok](bool success, const net::MsgPtr&) { ok += success ? 1 : 0; });
+    });
+  }
+  // Run past the last reply but well before the earliest timeout horizon:
+  // every timeout event must already have been cancelled — and cancelled
+  // means physically gone, not tombstoned.
+  engine.run_until(0.01 * kCalls + 1.0);
+  EXPECT_EQ(ok, kCalls);
+  EXPECT_EQ(engine.pending_events(), 0u) << "dead timeout events left pending";
+  EXPECT_EQ(engine.queued_entries(), 0u) << "tombstones left in the queue";
+  EXPECT_GE(engine.stats().cancelled, static_cast<std::uint64_t>(kCalls));
+  // Nothing may fire between here and the timeout horizon.
+  const auto processed = engine.processed_events();
+  engine.run_until(0.01 * kCalls + kTimeout + 10.0);
+  EXPECT_EQ(engine.processed_events(), processed);
+}
+
+TEST(TimeoutLeak, RetriedRpcsDrainCompletely) {
+  sim::Engine engine;
+  net::Network network(engine);
+  net::RpcEndpoint server(engine, network, network.allocate_address(), "server");
+  net::RpcEndpoint client(engine, network, network.allocate_address(), "client");
+  server.set_request_handler(
+      [](const net::Envelope&, net::Responder r) { r.respond(std::make_shared<Pong>()); });
+  // Half the requests vanish: timeouts fire, backoff timers run, retries go
+  // out. Whatever mix of fired/cancelled timers results, the queue must end
+  // physically empty — any residue is a leak at 10k-LC heartbeat scale.
+  net::LinkFaults lossy;
+  lossy.drop = 0.5;
+  network.set_link_faults(client.address(), server.address(), lossy);
+
+  constexpr int kCalls = 200;
+  net::RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.base_backoff = 0.2;
+  int done = 0;
+  for (int i = 0; i < kCalls; ++i) {
+    engine.schedule(0.05 * i, [&] {
+      client.call_with_retries(server.address(), std::make_shared<Ping>(), 0.5,
+                               policy,
+                               [&done](bool, const net::MsgPtr&) { ++done; });
+    });
+  }
+  engine.run();
+  EXPECT_EQ(done, kCalls) << "every call must complete exactly once";
+  EXPECT_EQ(engine.pending_events(), 0u);
+  EXPECT_EQ(engine.queued_entries(), 0u);
+  EXPECT_GT(engine.stats().cancelled, 0u);
+}
+
+}  // namespace

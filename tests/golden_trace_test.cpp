@@ -1,0 +1,206 @@
+// Golden-trace regression suite.
+//
+// Ten fixed (seed, topology, chaos-script) scenarios, each pinned to a
+// recorded trace in tests/golden/<name>.txt. The goldens were generated with
+// the original binary-heap event queue; any engine change that perturbs event
+// order — a different same-timestamp tie-break, a lost or duplicated event, a
+// shifted RNG draw — shows up as a first-divergence diff against them. The
+// suite is the determinism contract for the DES core (DESIGN.md, "Event
+// queue").
+//
+// Refreshing goldens (only after an *intentional* trace change):
+//
+//   SNOOZE_UPDATE_GOLDEN=1 ./build/tests/golden_trace_test
+//
+// then review the diff of tests/golden/ like any other code change.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos/runner.hpp"
+#include "chaos/schedule.hpp"
+
+namespace {
+
+using namespace snooze;
+
+struct Scenario {
+  const char* name;
+  std::uint64_t seed;
+  chaos::Topology topology;
+  std::size_t vms;
+  const char* script;  ///< chaos script (see chaos/schedule.hpp grammar)
+};
+
+// Scenarios cover the fault vocabulary (GL/GM/LC crashes, isolation, lossy /
+// duplicating / reordering links, global drop, heal-all) across three
+// topology sizes and distinct seeds. Durations are short so the golden files
+// stay reviewable.
+const Scenario kScenarios[] = {
+    {"quiet_small", 101, {2, 4, 1}, 4,
+     "duration 30\n"},
+    {"quiet_medium", 202, {3, 9, 2}, 8,
+     "duration 30\n"},
+    {"gl_crash", 303, {3, 6, 2}, 6,
+     "duration 40\n"
+     "5 crash gl #1\n"
+     "20 recover #1\n"},
+    {"gm_crash_pair", 404, {3, 6, 2}, 6,
+     "duration 40\n"
+     "4 crash gm 1 #1\n"
+     "9 crash gm 2 #2\n"
+     "22 recover #1\n"
+     "26 recover #2\n"},
+    {"lc_churn", 505, {2, 8, 1}, 8,
+     "duration 45\n"
+     "3 crash lc 0 #1\n"
+     "6 crash lc 3 #2\n"
+     "12 recover #1\n"
+     "18 recover #2\n"
+     "20 crash lc 5 #3\n"
+     "30 recover #3\n"},
+    {"gl_isolation", 606, {3, 6, 2}, 6,
+     "duration 40\n"
+     "6 isolate gl #1\n"
+     "18 heal #1\n"},
+    {"lossy_links", 707, {2, 6, 1}, 6,
+     "duration 40\n"
+     "2 link gm 0 lc 1 drop=0.4 dup=0.2\n"
+     "5 link gm 1 lc 4 drop=0.3 reorder=0.25 rdelay=0.08\n"
+     "25 unlink gm 0 lc 1\n"
+     "25 unlink gm 1 lc 4\n"},
+    {"global_drop", 808, {2, 6, 1}, 6,
+     "duration 40\n"
+     "3 drop 0.05\n"
+     "24 drop 0\n"},
+    {"mixed_storm", 909, {3, 9, 2}, 9,
+     "duration 50\n"
+     "2 link gm 0 gm 1 drop=0.2 dup=0.1\n"
+     "4 crash lc 2 #1\n"
+     "7 isolate gm 1 #2\n"
+     "10 drop 0.03\n"
+     "15 link gm 0 lc 0 drop=0.5 lat=0.05\n"
+     "28 heal all\n"
+     "32 recover #1\n"},
+    {"big_quiet", 1010, {4, 16, 2}, 10,
+     "duration 30\n"},
+};
+
+chaos::ChaosRunConfig make_config(const Scenario& sc) {
+  chaos::ChaosRunConfig cfg;
+  cfg.seed = sc.seed;
+  cfg.topology = sc.topology;
+  cfg.vms = sc.vms;
+  cfg.capture_trace = true;
+  return cfg;
+}
+
+std::string golden_path(const Scenario& sc) {
+  return std::string(SNOOZE_GOLDEN_DIR) + "/" + sc.name + ".txt";
+}
+
+/// One trace record as a stable single line. Times are serialized as the raw
+/// IEEE-754 bits so the round trip is exact.
+std::string format_record(const sim::TraceRecord& rec) {
+  std::ostringstream line;
+  line << std::hex << std::bit_cast<std::uint64_t>(rec.time) << std::dec << '\t'
+       << rec.actor << '\t' << rec.kind << '\t' << rec.detail;
+  return line.str();
+}
+
+std::string format_time(const std::string& line) {
+  const auto tab = line.find('\t');
+  if (tab == std::string::npos) return "?";
+  const double t = std::bit_cast<double>(
+      std::stoull(line.substr(0, tab), nullptr, 16));
+  std::ostringstream out;
+  out << t;
+  return out.str();
+}
+
+struct GoldenFile {
+  std::uint64_t hash = 0;
+  std::vector<std::string> lines;
+};
+
+bool read_golden(const std::string& path, GoldenFile& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("hash ", 0) == 0) {
+      out.hash = std::stoull(line.substr(5), nullptr, 16);
+    } else {
+      out.lines.push_back(line);
+    }
+  }
+  return true;
+}
+
+void write_golden(const std::string& path, const Scenario& sc,
+                  const chaos::ChaosRunResult& result) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out) << "cannot write " << path;
+  out << "# golden trace: scenario=" << sc.name << " seed=" << sc.seed
+      << " gms=" << sc.topology.group_managers
+      << " lcs=" << sc.topology.local_controllers
+      << " eps=" << sc.topology.entry_points << " vms=" << sc.vms << "\n"
+      << "# format: <time-bits-hex>\\t<actor>\\t<kind>\\t<detail>\n"
+      << "hash " << std::hex << result.trace_hash << std::dec << "\n";
+  for (const auto& rec : result.trace_records) out << format_record(rec) << "\n";
+}
+
+class GoldenTrace : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(GoldenTrace, MatchesRecordedTrace) {
+  const Scenario& sc = GetParam();
+  const chaos::ChaosRunResult result =
+      chaos::run_chaos_schedule(make_config(sc), chaos::parse_script(sc.script));
+
+  if (std::getenv("SNOOZE_UPDATE_GOLDEN") != nullptr) {
+    write_golden(golden_path(sc), sc, result);
+    GTEST_SKIP() << "golden refreshed: " << golden_path(sc);
+  }
+
+  GoldenFile golden;
+  ASSERT_TRUE(read_golden(golden_path(sc), golden))
+      << "missing golden " << golden_path(sc)
+      << " — run with SNOOZE_UPDATE_GOLDEN=1 to record it";
+
+  // Diff record-by-record before comparing the hash: a failed run should
+  // print *where* the trace diverged, not just that it did.
+  const std::size_t n = result.trace_records.size();
+  for (std::size_t i = 0; i < n && i < golden.lines.size(); ++i) {
+    const std::string got = format_record(result.trace_records[i]);
+    if (got != golden.lines[i]) {
+      FAIL() << "scenario '" << sc.name << "': first divergence at record " << i
+             << " of " << golden.lines.size() << " (t=" << format_time(golden.lines[i])
+             << ")\n  want: " << golden.lines[i] << "\n   got: " << got
+             << (i > 0 ? "\n  prev: " + golden.lines[i - 1] : "");
+    }
+  }
+  ASSERT_EQ(n, golden.lines.size())
+      << "scenario '" << sc.name << "': trace length changed (common prefix "
+      << "matches; first extra record: "
+      << (n > golden.lines.size() ? format_record(result.trace_records[golden.lines.size()])
+                                  : golden.lines[n])
+      << ")";
+  EXPECT_EQ(result.trace_hash, golden.hash)
+      << "scenario '" << sc.name
+      << "': every trace record matches but the run fingerprint differs — "
+         "the network traffic counters folded into the hash must have changed";
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, GoldenTrace, ::testing::ValuesIn(kScenarios),
+                         [](const ::testing::TestParamInfo<Scenario>& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace
