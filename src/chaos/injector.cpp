@@ -59,34 +59,45 @@ void ChaosInjector::start() {
 }
 
 net::Address ChaosInjector::resolve_address(NodeRole role, int index) {
+  const std::vector<net::Address> addrs = resolve_addresses(role, index);
+  return addrs.empty() ? net::kNullAddress : addrs.front();
+}
+
+std::vector<net::Address> ChaosInjector::resolve_addresses(NodeRole role, int index) {
   switch (role) {
-    case NodeRole::kGl:
-      return system_.gl_address();
+    case NodeRole::kGl: {
+      const net::Address gl = system_.gl_address();
+      if (gl == net::kNullAddress) return {};
+      for (auto& gm : system_.group_managers()) {
+        if (gm->address() == gl) return gm->network_addresses();
+      }
+      return {gl};
+    }
     case NodeRole::kGm: {
       auto& gms = system_.group_managers();
       if (index < 0 || static_cast<std::size_t>(index) >= gms.size()) {
-        return net::kNullAddress;
+        return {};
       }
-      return gms[static_cast<std::size_t>(index)]->address();
+      return gms[static_cast<std::size_t>(index)]->network_addresses();
     }
     case NodeRole::kLc: {
       auto& lcs = system_.local_controllers();
       if (index < 0 || static_cast<std::size_t>(index) >= lcs.size()) {
-        return net::kNullAddress;
+        return {};
       }
-      return lcs[static_cast<std::size_t>(index)]->address();
+      return {lcs[static_cast<std::size_t>(index)]->address()};
     }
     case NodeRole::kEp: {
       auto& eps = system_.entry_points();
       if (index < 0 || static_cast<std::size_t>(index) >= eps.size()) {
-        return net::kNullAddress;
+        return {};
       }
-      return eps[static_cast<std::size_t>(index)]->address();
+      return {eps[static_cast<std::size_t>(index)]->address()};
     }
     case NodeRole::kNone:
       break;
   }
-  return net::kNullAddress;
+  return {};
 }
 
 void ChaosInjector::execute(const FaultAction& action) {
@@ -253,26 +264,30 @@ void ChaosInjector::do_recover(const FaultAction& action) {
 }
 
 void ChaosInjector::apply_partitions() {
-  // Isolation islands: every isolated address forms a singleton partition
-  // group; per Network::blocked() semantics, grouped nodes cannot reach any
-  // node outside their group, while ungrouped nodes keep talking normally.
+  // Isolation islands: all addresses of an isolated node form one partition
+  // group (its own endpoints stay mutually reachable); per Network::blocked()
+  // semantics, grouped nodes cannot reach any node outside their group, while
+  // ungrouped nodes keep talking normally.
   std::vector<std::set<net::Address>> partitions;
   partitions.reserve(isolated_.size());
-  for (const net::Address addr : isolated_) partitions.push_back({addr});
+  for (const auto& [primary, island] : isolated_) partitions.push_back(island);
   system_.network().set_partitions(std::move(partitions));
 }
 
 void ChaosInjector::do_isolate(const FaultAction& action) {
-  const net::Address addr = resolve_address(action.role, action.index);
-  if (addr == net::kNullAddress) {
+  const std::vector<net::Address> addrs =
+      resolve_addresses(action.role, action.index);
+  if (addrs.empty()) {
     trace("chaos.skip", "isolate " + target_label(action.role, action.index));
     return;
   }
-  if (action.pair != 0) pair_isolated_[action.pair] = addr;
-  if (!isolated_.insert(addr).second) return;  // already isolated
+  const net::Address primary = addrs.front();
+  if (action.pair != 0) pair_isolated_[action.pair] = primary;
+  if (isolated_.count(primary) > 0) return;  // already isolated
+  isolated_[primary] = std::set<net::Address>(addrs.begin(), addrs.end());
   apply_partitions();
   count_fault();
-  isolate_spans_[addr] =
+  isolate_spans_[primary] =
       begin_fault_span("chaos.isolate", target_label(action.role, action.index));
   trace("chaos.isolate", target_label(action.role, action.index));
 }

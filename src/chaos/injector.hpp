@@ -10,6 +10,7 @@
 
 #include <map>
 #include <set>
+#include <vector>
 
 #include "chaos/invariants.hpp"
 #include "chaos/schedule.hpp"
@@ -47,6 +48,12 @@ class ChaosInjector final : public sim::Actor {
   void apply_partitions();
   /// Live target of (role, index); kNullAddress when it cannot be resolved.
   [[nodiscard]] net::Address resolve_address(NodeRole role, int index);
+  /// Every address the target owns (main endpoint first, then auxiliary
+  /// endpoints such as a GM's coordination client). Isolation must cut the
+  /// whole set at once: partitioning only the main endpoint would leave the
+  /// GL's election session alive, so no successor is ever elected and the
+  /// failover path silently goes unexercised. Empty when unresolvable.
+  [[nodiscard]] std::vector<net::Address> resolve_addresses(NodeRole role, int index);
   void trace(std::string_view kind, std::string_view detail = {});
 
   /// Telemetry sink of the system under test (may be null).
@@ -67,9 +74,11 @@ class ChaosInjector final : public sim::Actor {
 
   /// pair id -> concrete (role, index) fixed at injection time.
   std::map<int, std::pair<NodeRole, int>> pair_targets_;
-  /// pair id -> isolated address (for heal by pair).
+  /// pair id -> isolated island's primary address (for heal by pair).
   std::map<int, net::Address> pair_isolated_;
-  std::set<net::Address> isolated_;
+  /// primary address -> all addresses of the isolated node, forming one
+  /// partition island in Network::set_partitions.
+  std::map<net::Address, std::set<net::Address>> isolated_;
   std::size_t faults_injected_ = 0;
 
   // Open fault windows, so each inject/heal pair shows up as one span whose

@@ -43,6 +43,38 @@ void InvariantChecker::sample() {
   check_duplicates();
   check_energy();
   check_traffic();
+  check_epochs();
+}
+
+void InvariantChecker::check_epochs() {
+  // No accepted command from a stale epoch: every fence keeps a tripwire
+  // counting authority-bearing commands that reached the apply path while
+  // below the receiver's high-water mark. The sum must never move.
+  std::uint64_t stale = 0;
+  for (const auto& gm : system_.group_managers()) stale += gm->stale_accepts();
+  for (const auto& lc : system_.local_controllers()) stale += lc->stale_accepts();
+  if (stale > last_stale_accepts_) {
+    violation("stale-epoch command applied: fence tripwires advanced by " +
+              std::to_string(stale - last_stale_accepts_));
+  }
+  last_stale_accepts_ = stale;
+
+  // Distinct terms: two live, mutually reachable leaders must disagree on
+  // their election epoch (equal epochs mean the fencing tokens cannot order
+  // them and the fence is useless).
+  std::vector<core::GroupManager*> leaders;
+  for (const auto& gm : system_.group_managers()) {
+    if (gm->alive() && gm->is_leader()) leaders.push_back(gm.get());
+  }
+  for (std::size_t i = 0; i < leaders.size(); ++i) {
+    for (std::size_t j = i + 1; j < leaders.size(); ++j) {
+      if (leaders[i]->epoch() == leaders[j]->epoch() &&
+          system_.network().reachable(leaders[i]->address(), leaders[j]->address())) {
+        violation("two reachable leaders share election epoch " +
+                  std::to_string(leaders[i]->epoch()));
+      }
+    }
+  }
 }
 
 void InvariantChecker::check_leaders() {

@@ -11,7 +11,10 @@
 //     a legal transient while the destination holds the copy),
 //   * per-node and total energy meters are monotone,
 //   * traffic counters are monotone and consistent
-//     (delivered + dropped <= sent + duplicated).
+//     (delivered + dropped <= sent + duplicated),
+//   * no authority-bearing command from a stale epoch is ever applied (the
+//     fence tripwires in every GM and LC must stay at zero), and no two
+//     mutually reachable leaders claim the same election epoch.
 //
 // After the last fault heals, final_check() additionally asserts liveness:
 // the hierarchy reconverges within a bound, exactly one GL exists, and every
@@ -75,6 +78,7 @@ class InvariantChecker final : public sim::Actor {
   void check_duplicates();
   void check_energy();
   void check_traffic();
+  void check_epochs();
   void violation(const std::string& message);
 
   core::SnoozeSystem& system_;
@@ -84,6 +88,7 @@ class InvariantChecker final : public sim::Actor {
   std::set<core::VmId> excused_;
 
   sim::Time multi_leader_since_ = -1.0;
+  std::uint64_t last_stale_accepts_ = 0;
   std::map<core::VmId, sim::Time> duplicate_since_;
   std::map<std::string, double> last_energy_;
   double last_total_energy_ = 0.0;

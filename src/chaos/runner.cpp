@@ -59,6 +59,15 @@ ChaosRunResult run_chaos_schedule(const ChaosRunConfig& cfg,
   result.messages_sent = stats.messages_sent;
   result.messages_dropped = stats.messages_dropped;
   result.messages_duplicated = stats.messages_duplicated;
+  for (const auto& gm : system.group_managers()) {
+    result.fence_rejected += gm->fence_rejected();
+    result.stale_accepts += gm->stale_accepts();
+    result.stepdowns += gm->counters().stepdowns;
+  }
+  for (const auto& lc : system.local_controllers()) {
+    result.fence_rejected += lc->fence_rejected();
+    result.stale_accepts += lc->stale_accepts();
+  }
 
   // Fingerprint: the full event trace plus the network counters. Identical
   // config + seed must reproduce this value bit for bit.
@@ -77,7 +86,10 @@ ChaosRunResult run_chaos_schedule(const ChaosRunConfig& cfg,
   std::ostringstream report;
   report << "chaos run: seed=" << cfg.seed << " faults=" << result.faults_injected
          << " accepted=" << result.vms_accepted << " excused=" << result.vms_excused
-         << " converged=" << (result.converged ? "yes" : "no") << "\n"
+         << " converged=" << (result.converged ? "yes" : "no")
+         << " fenced=" << result.fence_rejected
+         << " stale_accepts=" << result.stale_accepts
+         << " stepdowns=" << result.stepdowns << "\n"
          << checker.report();
   result.report = report.str();
   return result;

@@ -49,6 +49,12 @@ struct ChaosRunResult {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_dropped = 0;
   std::uint64_t messages_duplicated = 0;
+  /// Stale commands rejected by epoch fences (GMs + LCs) across the run.
+  std::uint64_t fence_rejected = 0;
+  /// Fence tripwires: stale commands that reached an apply path (must be 0).
+  std::uint64_t stale_accepts = 0;
+  /// Leadership terms abandoned after a stale-epoch signal or session expiry.
+  std::uint64_t stepdowns = 0;
   std::string report;
 
   [[nodiscard]] bool ok() const { return converged && invariants_ok; }

@@ -43,6 +43,7 @@ std::string CliSession::help() {
          "  export-dot [file]                          Graphviz of the hierarchy\n"
          "  stats                                      counters and energy\n"
          "  fail gl | fail gm <i> | fail lc <i>        inject a crash\n"
+         "  failover show                              epochs, fences and reconciliation\n"
          "  chaos seed <n> [duration]                  seeded chaos run + invariants\n"
          "  chaos script <file>                        run a fault-schedule script\n"
          "  chaos show <n> [duration]                  print the schedule for a seed\n"
@@ -67,6 +68,7 @@ CommandResult CliSession::execute(const std::string& line) {
   if (cmd == "export-dot") return cmd_export_dot(args);
   if (cmd == "stats") return cmd_stats();
   if (cmd == "fail") return cmd_fail(args);
+  if (cmd == "failover") return cmd_failover(args);
   if (cmd == "chaos") return cmd_chaos(args);
   if (cmd == "metrics") return cmd_metrics(args);
   if (cmd == "trace") return cmd_trace(args);
@@ -174,6 +176,46 @@ CommandResult CliSession::cmd_fail(const std::vector<std::string>& args) {
     return {true, false, "crashed lc-" + std::to_string(index) + "\n"};
   }
   return {false, false, "fail: unknown target '" + args[0] + "'\n"};
+}
+
+CommandResult CliSession::cmd_failover(const std::vector<std::string>& args) {
+  if (args.empty() || args[0] != "show") {
+    return {false, false, "usage: failover show\n"};
+  }
+  std::ostringstream out;
+  out << "group managers (authority epochs):\n";
+  std::uint64_t stepdowns = 0, reconciliations = 0;
+  for (const auto& gm : system_->group_managers()) {
+    out << "  " << gm->name() << ": "
+        << (gm->alive() ? (gm->is_leader() ? "GL" : "gm") : "down")
+        << " epoch=" << gm->epoch();
+    if (gm->reconciling()) out << " [reconciling]";
+    out << "\n";
+    stepdowns += gm->counters().stepdowns;
+    reconciliations += gm->counters().reconciliations;
+  }
+  out << "local controllers (GM lease epochs):\n";
+  for (const auto& lc : system_->local_controllers()) {
+    out << "  " << lc->name() << ": lease=" << lc->lease_epoch()
+        << " gl_seen=" << lc->gl_epoch_seen()
+        << " fenced=" << lc->fence_rejected()
+        << " stale_accepts=" << lc->stale_accepts() << "\n";
+  }
+  const auto& registry = system_->telemetry().metrics();
+  out << "failover history: " << stepdowns << " stepdowns, " << reconciliations
+      << " reconciliations\n";
+  if (const auto* epoch = registry.find_gauge("failover.epoch")) {
+    out << "current GL epoch (failover.epoch): "
+        << static_cast<std::uint64_t>(epoch->current()) << "\n";
+  }
+  if (const auto* fenced = registry.find_counter("fence.rejected")) {
+    out << "fence.rejected: " << fenced->value() << "\n";
+  }
+  if (const auto* recon = registry.find_histogram("reconcile.duration")) {
+    out << "reconcile.duration: count=" << recon->count() << " mean="
+        << recon->mean() << "s max=" << recon->max() << "s\n";
+  }
+  return {true, false, out.str()};
 }
 
 CommandResult CliSession::cmd_chaos(const std::vector<std::string>& args) {

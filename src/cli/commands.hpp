@@ -45,6 +45,7 @@ class CliSession {
   CommandResult cmd_export_dot(const std::vector<std::string>& args);
   CommandResult cmd_stats();
   CommandResult cmd_fail(const std::vector<std::string>& args);
+  CommandResult cmd_failover(const std::vector<std::string>& args);
   CommandResult cmd_chaos(const std::vector<std::string>& args);
   CommandResult cmd_metrics(const std::vector<std::string>& args);
   CommandResult cmd_trace(const std::vector<std::string>& args);

@@ -81,7 +81,7 @@ void Client::attempt(VmDescriptor vm, sim::Time started, int attempts_left,
     // Transient loss against a live GL is absorbed here (the GL dedups by VM
     // id); only after retries exhaust do we fall back to re-discovery.
     endpoint_.call_with_retries(
-        gl, req, config_.placement_rpc_timeout * 2.0, submit_policy_,
+        gl, req, config_.submit_rpc_timeout, submit_policy_,
         [this, vm, started, attempts_left, root,
          cb](bool ok, const net::MsgPtr& reply) mutable {
       const auto* resp = ok ? net::msg_cast<SubmitVmResponse>(reply) : nullptr;

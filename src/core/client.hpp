@@ -61,8 +61,11 @@ class Client final : public sim::Actor {
   std::size_t next_ep_ = 0;
   int max_attempts_ = 4;
   /// Transport-level retries of one submission RPC against a known GL. The
-  /// GL deduplicates submissions by VM id, so re-sends are safe.
-  net::RetryPolicy submit_policy_{.max_attempts = 2, .base_backoff = 0.5};
+  /// GL deduplicates submissions by VM id, so re-sends are safe. The overall
+  /// deadline caps one round against a dead GL so re-discovery (which finds
+  /// the successor) is reached quickly during a failover.
+  net::RetryPolicy submit_policy_{.max_attempts = 2, .base_backoff = 0.5,
+                                  .max_total = 25.0};
   /// Backoff schedule between whole discovery+submit rounds.
   net::RetryPolicy round_policy_{.max_attempts = 4, .base_backoff = 0.5,
                                  .multiplier = 2.0, .max_backoff = 8.0};

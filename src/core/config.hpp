@@ -30,6 +30,12 @@ struct SnoozeConfig {
   /// A peer is declared failed after `timeout_factor * period` of silence.
   double heartbeat_timeout_factor = 3.5;
 
+  /// Reconciliation window of a freshly promoted GL: client work (VM
+  /// submissions, LC assignments) is deferred until the new leader has
+  /// rebuilt its soft state from GM summaries and re-registrations. Must
+  /// cover at least one gm_summary_period so every live GM reports once.
+  sim::Time gl_reconcile_window = 2.5;
+
   // --- monitoring / estimation ---------------------------------------------
   sim::Time lc_monitor_period = 2.0;     ///< LC -> GM resource monitoring
   sim::Time gm_summary_period = 2.0;     ///< GM -> GL aggregated summary
@@ -48,6 +54,12 @@ struct SnoozeConfig {
   sim::Time anomaly_check_period = 5.0;  ///< LC-local overload/underload scan
   sim::Time rpc_timeout = 1.0;
   sim::Time placement_rpc_timeout = 20.0;  ///< must cover a wakeup (resume latency)
+  /// Client-side timeout for one submit attempt against the GL. Deliberately
+  /// much tighter than the GL's own worst-case dispatch: when it trips, the
+  /// client re-discovers and re-submits, and the GL's idempotent submission
+  /// book (keyed by VM id) turns the re-send into a replay, never a second
+  /// instance. Bounds client-visible failover latency to roughly one round.
+  sim::Time submit_rpc_timeout = 10.0;
   std::size_t max_dispatch_candidates = 4; ///< GL linear-search width
 
   // --- reconfiguration (periodic consolidation) ----------------------------

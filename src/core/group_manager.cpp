@@ -10,19 +10,6 @@
 
 namespace snooze::core {
 
-namespace {
-
-/// Parse the sequence number out of an election znode name ("n_0000000042").
-std::uint64_t epoch_from_node(const std::string& node) {
-  const auto pos = node.find_last_of('_');
-  if (pos == std::string::npos) return 0;
-  std::uint64_t value = 0;
-  std::from_chars(node.data() + pos + 1, node.data() + node.size(), value);
-  return value + 1;  // epochs start at 1 so kNull (0) never wins
-}
-
-}  // namespace
-
 GroupManager::GroupManager(sim::Engine& engine, net::Network& network,
                            net::Address coord_service, SnoozeConfig config,
                            net::GroupId gl_heartbeat_group, std::string name,
@@ -52,7 +39,9 @@ void GroupManager::start() {
   started_ = true;
   // Listen for GL heartbeats (to track the current leader).
   endpoint_.network().join_group(gl_group_, endpoint_.address());
-  election_.start(std::to_string(endpoint_.address()), [this] { become_leader(); });
+  election_.set_on_demoted([this] { step_down("session expired"); });
+  election_.start(std::to_string(endpoint_.address()),
+                  [this](std::uint64_t epoch) { become_leader(epoch); });
 
   every(config_.gm_heartbeat_period, [this] {
     gm_tick_heartbeat();
@@ -142,7 +131,17 @@ void GroupManager::handle_request(const net::Envelope& env, net::Responder respo
   } else if (const auto* submit = net::msg_cast<SubmitVmRequest>(env.payload)) {
     handle_submit(*submit, env.ctx, responder);
   } else if (const auto* place = net::msg_cast<PlacementRequest>(env.payload)) {
-    handle_placement(*place, env.ctx, responder);
+    // Fence the GL authority domain: a dispatch from a deposed leader gets a
+    // typed rejection that tells it to step down, never a placement.
+    if (!gl_fence_.admit(env.epoch)) {
+      bump("fence.rejected");
+      trace_event("gm.fence_rejected", "epoch=" + std::to_string(env.epoch));
+      auto err = std::make_shared<StaleEpochError>();
+      err->observed = gl_fence_.high_water;
+      responder.respond(err);
+      return;
+    }
+    handle_placement(*place, env.epoch, env.ctx, responder);
   }
 }
 
@@ -166,7 +165,10 @@ void GroupManager::gm_tick_summary() {
   for (const auto& [addr, lc] : lcs_) {
     if (lc.power != LcPower::kOn) continue;
     summary->capacity += lc.capacity;
-    for (const auto& [id, vm] : lc.vms) summary->used += vm.demand();
+    for (const auto& [id, vm] : lc.vms) {
+      summary->used += vm.demand();
+      summary->vm_locations.emplace_back(id, addr);
+    }
   }
   summary->lc_count = static_cast<std::uint32_t>(lcs_.size());
   summary->vm_count = static_cast<std::uint32_t>(vm_count());
@@ -184,6 +186,7 @@ void GroupManager::handle_lc_join(const LcJoinRequest& req, net::Responder respo
   LcRecord record;
   record.capacity = req.capacity;
   record.last_heartbeat = now();
+  record.lease_epoch = req.lease_epoch;
   lcs_[req.lc] = std::move(record);
   resp->ok = true;
   resp->heartbeat_group = gm_group_;
@@ -206,8 +209,17 @@ void GroupManager::handle_monitor(const LcMonitorData& data) {
     auto [vm_it, inserted] = record.vms.try_emplace(usage.vm);
     if (inserted) {
       vm_it->second.estimator = ResourceEstimator(config_.estimator_window, config_.estimator_kind, config_.estimator_ewma_alpha);
+      if (usage.migrating) {
+        // Failover reconciliation: the previous GM commanded this migration;
+        // we inherit it in flight and let the idempotent MigrationDone /
+        // adopt / StopVm paths resolve it rather than interfering.
+        ++counters_.migrations_inherited;
+        bump("gm.migrations_inherited");
+        trace_event("gm.migration_inherited", "vm=" + std::to_string(usage.vm));
+      }
     }
     vm_it->second.requested = usage.requested;
+    vm_it->second.migrating = usage.migrating;
     vm_it->second.estimator.add(usage.used);
   }
   for (auto vm_it = record.vms.begin(); vm_it != record.vms.end();) {
@@ -256,19 +268,42 @@ void GroupManager::on_lc_failed(net::Address lc) {
 void GroupManager::reschedule_vm(const VmDescriptor& vm) {
   PlacementRequest req;
   req.vm = vm;
-  // Run it through our own placement path; the responder goes nowhere.
-  handle_placement(req, {},
+  // Run it through our own placement path (epoch 0: local authority, not a
+  // GL dispatch); the responder goes nowhere.
+  handle_placement(req, 0, {},
                    net::Responder(&endpoint_.network(), endpoint_.address(),
                                   endpoint_.address(), 0));
+}
+
+void GroupManager::stamp_lease(net::Message& msg, net::Address lc) const {
+  const auto it = lcs_.find(lc);
+  msg.epoch = it != lcs_.end() ? it->second.lease_epoch : 0;
+}
+
+bool GroupManager::handle_stale_lc_reply(const net::MsgPtr& reply, net::Address lc) {
+  const auto* stale = net::msg_cast<StaleEpochError>(reply);
+  if (stale == nullptr) return false;
+  // The LC joined a successor GM under a newer lease; it is no longer ours.
+  // Unlike a liveness failure its VMs are alive and managed elsewhere, so
+  // drop the record without rescheduling anything.
+  if (lcs_.erase(lc) > 0) {
+    ++counters_.lcs_fenced_off;
+    bump("gm.lcs_fenced_off");
+    trace_event("gm.lc_fenced_off");
+  }
+  waking_.erase(lc);
+  return true;
 }
 
 // ---------------------------------------------------------------------------
 // GM role: placement
 // ---------------------------------------------------------------------------
 
-void GroupManager::handle_placement(const PlacementRequest& req,
+void GroupManager::handle_placement(const PlacementRequest& req, std::uint64_t epoch,
                                     telemetry::SpanContext ctx,
                                     net::Responder responder) {
+  // Tripwire at the apply site: admit() must have run before we get here.
+  gl_fence_.note_applied(epoch);
   const auto span = telemetry::begin_span(tel(), ctx, "gm.place", name(),
                                           "vm=" + std::to_string(req.vm.id));
   // Idempotency: if we already host this VM (the GL's previous attempt whose
@@ -314,9 +349,19 @@ void GroupManager::place_on(net::Address lc, const VmDescriptor& vm,
   auto start = std::make_shared<StartVmRequest>();
   start->vm = vm;
   start->ctx = span;
+  stamp_lease(*start, lc);
   const sim::Time timeout = config_.vm_boot_time + config_.rpc_timeout;
   endpoint_.call(lc, start, timeout,
                  [this, lc, vm, span, responder](bool ok, const net::MsgPtr& reply) {
+    if (ok && handle_stale_lc_reply(reply, lc)) {
+      ++counters_.placements_failed;
+      bump("gm.placements_failed");
+      telemetry::end_span(tel(), span, "fenced");
+      auto placement = std::make_shared<PlacementResponse>();
+      placement->ok = false;
+      responder.respond(placement);
+      return;
+    }
     const auto* resp = ok ? net::msg_cast<StartVmResponse>(reply) : nullptr;
     auto placement = std::make_shared<PlacementResponse>();
     const auto it = lcs_.find(lc);
@@ -350,6 +395,7 @@ void GroupManager::place_on(net::Address lc, const VmDescriptor& vm,
         // some other node after we report failure.
         auto stop = std::make_shared<StopVmRequest>();
         stop->vm = vm.id;
+        stamp_lease(*stop, lc);
         endpoint_.send(lc, stop);
       }
       telemetry::end_span(tel(), span, "failed");
@@ -387,10 +433,20 @@ void GroupManager::try_wakeup_then_place(const VmDescriptor& vm,
   trace_event("gm.wakeup");
   auto wake = std::make_shared<WakeupRequest>();
   wake->ctx = span;
+  stamp_lease(*wake, target);
   const sim::Time timeout = 30.0 + config_.rpc_timeout;  // covers resume latency
   endpoint_.call(target, wake, timeout,
                  [this, target, vm, span, responder](bool ok, const net::MsgPtr& reply) {
     waking_.erase(target);
+    if (ok && handle_stale_lc_reply(reply, target)) {
+      ++counters_.placements_failed;
+      bump("gm.placements_failed");
+      telemetry::end_span(tel(), span, "fenced");
+      auto placement = std::make_shared<PlacementResponse>();
+      placement->ok = false;
+      responder.respond(placement);
+      return;
+    }
     const auto* resp = ok ? net::msg_cast<WakeupResponse>(reply) : nullptr;
     const auto it = lcs_.find(target);
     if (resp != nullptr && resp->ok && it != lcs_.end()) {
@@ -418,6 +474,7 @@ std::vector<VmLoad> GroupManager::vm_loads(const LcRecord& record) const {
   std::vector<VmLoad> out;
   out.reserve(record.vms.size());
   for (const auto& [id, vm] : record.vms) {
+    if (vm.migrating) continue;  // already moving; not relocation material
     out.push_back(VmLoad{id, vm.demand(), vm.requested});
   }
   return out;
@@ -472,10 +529,13 @@ void GroupManager::execute_moves(const std::vector<RelocationMove>& moves) {
     auto req = std::make_shared<MigrateVmRequest>();
     req->vm = move.vm;
     req->destination = move.to;
-    endpoint_.call(move.from, req, config_.rpc_timeout,
-                   [](bool, const net::MsgPtr&) {
+    stamp_lease(*req, move.from);
+    const net::Address source = move.from;
+    endpoint_.call(source, req, config_.rpc_timeout,
+                   [this, source](bool ok, const net::MsgPtr& reply) {
       // The ack only confirms the migration started; completion arrives
       // as a MigrationDone one-way message.
+      if (ok) handle_stale_lc_reply(reply, source);
     });
   }
 }
@@ -488,6 +548,7 @@ void GroupManager::handle_migration_done(const MigrationDone& done) {
     if (done.to != net::kNullAddress) {
       auto stop = std::make_shared<StopVmRequest>();
       stop->vm = done.vm;
+      stamp_lease(*stop, done.to);
       endpoint_.send(done.to, stop);
     }
     return;
@@ -614,8 +675,10 @@ void GroupManager::gm_energy_check() {
     trace_event("gm.suspend");
     auto req = std::make_shared<SuspendRequest>();
     const net::Address target = addr;
+    stamp_lease(*req, target);
     endpoint_.call(target, req, config_.rpc_timeout,
                    [this, target](bool ok, const net::MsgPtr& reply) {
+      if (ok && handle_stale_lc_reply(reply, target)) return;
       const auto* resp = ok ? net::msg_cast<SuspendResponse>(reply) : nullptr;
       if (resp == nullptr || !resp->ok) {
         const auto it = lcs_.find(target);
@@ -633,14 +696,15 @@ void GroupManager::gm_energy_check() {
 // GL role
 // ---------------------------------------------------------------------------
 
-void GroupManager::become_leader() {
+void GroupManager::become_leader(std::uint64_t epoch) {
   if (leader_) return;
   leader_ = true;
   ++counters_.elections_won;
   bump("gm.elections_won");
-  my_epoch_ = epoch_from_node(election_.my_node());
+  my_epoch_ = epoch;
   current_gl_ = endpoint_.address();
-  trace_event("gm.elected_gl");
+  trace_event("gm.elected_gl", "epoch=" + std::to_string(epoch));
+  telemetry::gauge_set(tel(), "failover.epoch", static_cast<double>(epoch));
 
   // Dedicated roles: hand the managed LCs back to the hierarchy.
   if (!lcs_.empty()) {
@@ -650,6 +714,19 @@ void GroupManager::become_leader() {
     lcs_.clear();
     waking_.clear();
   }
+
+  // Reconciliation window: defer client work (submissions, LC assignments)
+  // until the GM summaries arriving under this term have rebuilt our soft
+  // state; in-flight migrations surface through the LC monitoring reports of
+  // the GMs that inherit them.
+  reconciling_ = true;
+  reconcile_started_ = now();
+  telemetry::Telemetry* t = tel();
+  if (t != nullptr) {
+    reconcile_span_ = t->spans().begin(t->spans().new_trace(), 0, "gl.reconcile",
+                                       name(), "epoch=" + std::to_string(epoch));
+  }
+  after(config_.gl_reconcile_window, [this, epoch] { finish_reconcile(epoch); });
 
   every(config_.gl_heartbeat_period, [this] {
     gl_tick_heartbeat();
@@ -663,6 +740,41 @@ void GroupManager::become_leader() {
   gl_tick_heartbeat();
 }
 
+void GroupManager::finish_reconcile(std::uint64_t term) {
+  // A step-down (or a newer term of our own) may have raced the timer.
+  if (!leader_ || my_epoch_ != term || !reconciling_) return;
+  reconciling_ = false;
+  ++counters_.reconciliations;
+  const sim::Time duration = now() - reconcile_started_;
+  telemetry::count(tel(), "gl.reconciles");
+  telemetry::observe(tel(), "reconcile.duration", duration);
+  telemetry::gauge_set(tel(), "reconcile.last_duration", duration);
+  telemetry::end_span(tel(), reconcile_span_, "ok");
+  reconcile_span_ = {};
+  trace_event("gl.reconciled", "gms=" + std::to_string(gms_.size()));
+}
+
+void GroupManager::step_down(const char* reason) {
+  if (!leader_) return;
+  leader_ = false;
+  ++counters_.stepdowns;
+  bump("gl.stepdowns");
+  trace_event("gm.stepdown", reason);
+  if (reconciling_) {
+    reconciling_ = false;
+    telemetry::end_span(tel(), reconcile_span_, "aborted");
+    reconcile_span_ = {};
+  }
+  gms_.clear();
+  completed_submissions_.clear();
+  inflight_submissions_.clear();
+  submit_waiters_.clear();
+  // Re-enter the election as a fresh candidate: our old znode is gone (a
+  // successor exists or the session expired), so a new, strictly higher
+  // sequence keeps epochs monotone.
+  election_.resign();
+}
+
 void GroupManager::gl_tick_heartbeat() {
   if (!leader_) return;
   bump("gl.heartbeats");
@@ -674,16 +786,14 @@ void GroupManager::gl_tick_heartbeat() {
 
 void GroupManager::handle_gl_heartbeat(const GlHeartbeat& hb) {
   if (hb.gl == endpoint_.address()) return;
-  if (hb.epoch < gl_epoch_seen_) return;  // stale leader
-  gl_epoch_seen_ = hb.epoch;
+  if (hb.epoch != 0 && hb.epoch < gl_fence_.high_water) return;  // stale leader
+  if (hb.epoch > gl_fence_.high_water) gl_fence_.high_water = hb.epoch;
   current_gl_ = hb.gl;
   if (leader_ && hb.epoch > my_epoch_) {
     // A successor with a newer election epoch exists — our coordination
     // session must have expired while we were partitioned away. Abdicate and
     // resume plain GM duty to prevent split-brain after the partition heals.
-    leader_ = false;
-    gms_.clear();
-    trace_event("gm.abdicated");
+    step_down("newer gl heartbeat");
   }
 }
 
@@ -713,12 +823,21 @@ void GroupManager::handle_gm_summary(const GmSummary& summary) {
   record.info.lc_count = summary.lc_count;
   record.info.vm_count = summary.vm_count;
   record.last_summary = now();
+  // Reconciliation: adopt the GM's VM locations into the submission book.
+  // A client retrying a submission whose accept was lost when the previous
+  // GL went down gets the existing placement replayed — never a second
+  // instance. Latest summary wins (a VM migrates between summaries at most
+  // once per period).
+  for (const auto& [vm, lc] : summary.vm_locations) {
+    completed_submissions_[vm] = {lc, summary.gm};
+  }
 }
 
 void GroupManager::handle_assign_lc(const AssignLcRequest& req, net::Responder responder) {
   (void)req;  // the assignment policies rank GMs independently of the LC
   auto resp = std::make_shared<AssignLcResponse>();
-  if (!leader_) {
+  if (!leader_ || reconciling_) {
+    if (reconciling_) bump("gl.reconcile_deferred");
     resp->ok = false;
     responder.respond(resp);
     return;
@@ -740,6 +859,13 @@ void GroupManager::handle_submit(const SubmitVmRequest& req, telemetry::SpanCont
     fail();
     return;
   }
+  // A fresh term defers client work until soft state is rebuilt; the client
+  // retries past the window (reconcile < its backoff horizon).
+  if (reconciling_) {
+    bump("gl.reconcile_deferred");
+    fail();
+    return;
+  }
   // Idempotency: replay the result of an already-completed submission (the
   // client only retries when our previous response was lost in transit).
   const auto done = completed_submissions_.find(req.vm.id);
@@ -752,7 +878,11 @@ void GroupManager::handle_submit(const SubmitVmRequest& req, telemetry::SpanCont
     return;
   }
   if (inflight_submissions_.count(req.vm.id) > 0) {
-    fail();  // first attempt still running; the retry backs off
+    // A retry raced the first dispatch (the client's submit deadline is
+    // tighter than a worst-case placement). Park it; every waiter is
+    // answered with the dispatch's outcome instead of bouncing the client
+    // into another discovery round while the VM is still being placed.
+    submit_waiters_[req.vm.id].push_back(responder);
     return;
   }
   ++counters_.dispatches;
@@ -781,9 +911,8 @@ void GroupManager::dispatch_linear_search(VmDescriptor vm,
     ++counters_.dispatch_failures;
     bump("gl.dispatch_failures");
     telemetry::end_span(tel(), span, "failed");
-    auto resp = std::make_shared<SubmitVmResponse>();
-    resp->ok = false;
-    responder.respond(resp);
+    SubmitVmResponse out;
+    answer_submit(vm.id, responder, out);
     return;
   }
   // Each candidate GM gets transport-level retries before we move on: if an
@@ -796,6 +925,7 @@ void GroupManager::dispatch_linear_search(VmDescriptor vm,
   auto place = std::make_shared<PlacementRequest>();
   place->vm = vm;
   place->ctx = span;
+  place->epoch = my_epoch_;  // fencing token: GMs reject deposed leaders
   net::RetryPolicy policy;
   policy.max_attempts = 2;
   policy.base_backoff = 0.25;
@@ -803,22 +933,45 @@ void GroupManager::dispatch_linear_search(VmDescriptor vm,
       gm, place, config_.placement_rpc_timeout, policy,
       [this, vm, candidates = std::move(candidates), index, gm, span,
        responder](bool ok, const net::MsgPtr& reply) mutable {
+    if (ok && net::msg_cast<StaleEpochError>(reply) != nullptr) {
+      // A GM saw a newer GL term than ours: we are deposed. Abandon the
+      // dispatch (the client retries against the successor) and rejoin the
+      // election instead of spraying stale commands at further candidates.
+      inflight_submissions_.erase(vm.id);
+      telemetry::end_span(tel(), span, "stale_epoch");
+      // Answer before step_down(): stepping down drops the waiter book.
+      SubmitVmResponse out;
+      answer_submit(vm.id, responder, out);
+      step_down("stale epoch on dispatch");
+      return;
+    }
     const auto* resp = ok ? net::msg_cast<PlacementResponse>(reply) : nullptr;
     if (resp != nullptr && resp->ok) {
       inflight_submissions_.erase(vm.id);
       completed_submissions_[vm.id] = {resp->lc, gm};
       telemetry::end_span(tel(), span, "ok");
-      auto out = std::make_shared<SubmitVmResponse>();
-      out->ok = true;
-      out->lc = resp->lc;
-      out->gm = gm;
-      responder.respond(out);
+      SubmitVmResponse out;
+      out.ok = true;
+      out.lc = resp->lc;
+      out.gm = gm;
+      answer_submit(vm.id, responder, out);
       return;
     }
     // Rejected or retries exhausted: try the next candidate GM.
     dispatch_linear_search(std::move(vm), std::move(candidates), index + 1, span,
                            responder);
   });
+}
+
+void GroupManager::answer_submit(VmId vm, const net::Responder& responder,
+                                 const SubmitVmResponse& result) {
+  responder.respond(std::make_shared<SubmitVmResponse>(result));
+  const auto waiting = submit_waiters_.find(vm);
+  if (waiting == submit_waiters_.end()) return;
+  for (const auto& waiter : waiting->second) {
+    waiter.respond(std::make_shared<SubmitVmResponse>(result));
+  }
+  submit_waiters_.erase(waiting);
 }
 
 // ---------------------------------------------------------------------------
@@ -834,8 +987,11 @@ void GroupManager::fail() {
   waking_.clear();
   completed_submissions_.clear();
   inflight_submissions_.clear();
+  submit_waiters_.clear();
   leader_ = false;
   started_ = false;
+  reconciling_ = false;
+  reconcile_span_ = {};
   current_gl_ = net::kNullAddress;
   crash();
 }
@@ -844,7 +1000,8 @@ void GroupManager::restart() {
   recover();
   election_.recover();
   endpoint_.go_up();
-  gl_epoch_seen_ = 0;
+  gl_fence_ = {};
+  my_epoch_ = 0;
   trace_event("gm.restart");
   start();
 }

@@ -19,6 +19,7 @@
 #include "coord/leader_election.hpp"
 #include "core/config.hpp"
 #include "core/estimator.hpp"
+#include "core/fence.hpp"
 #include "core/messages.hpp"
 #include "core/policies.hpp"
 #include "core/relocation.hpp"
@@ -46,6 +47,10 @@ class GroupManager final : public sim::Actor {
     std::uint64_t gm_failures_detected = 0;  // GL only
     std::uint64_t vms_rescheduled = 0;       // snapshot-recovery feature
     std::uint64_t elections_won = 0;
+    std::uint64_t stepdowns = 0;             // leadership lost while leader_
+    std::uint64_t reconciliations = 0;       // GL reconcile windows completed
+    std::uint64_t migrations_inherited = 0;  // in-flight migrations adopted on failover
+    std::uint64_t lcs_fenced_off = 0;        // LCs dropped after a StaleEpoch reply
   };
 
   GroupManager(sim::Engine& engine, net::Network& network, net::Address coord_service,
@@ -58,6 +63,17 @@ class GroupManager final : public sim::Actor {
   // --- introspection ---------------------------------------------------------
   [[nodiscard]] net::Address address() const { return endpoint_.address(); }
   [[nodiscard]] bool is_leader() const { return leader_; }
+  /// Election epoch of this GM's current (or last) leadership term.
+  [[nodiscard]] std::uint64_t epoch() const { return my_epoch_; }
+  /// Highest GL epoch observed (heartbeats and fenced commands).
+  [[nodiscard]] std::uint64_t gl_epoch_seen() const { return gl_fence_.high_water; }
+  /// True while a new GL term defers client work to rebuild soft state.
+  [[nodiscard]] bool reconciling() const { return reconciling_; }
+  /// GL-domain commands this GM rejected as stale.
+  [[nodiscard]] std::uint64_t fence_rejected() const { return gl_fence_.rejected; }
+  /// Tripwire: stale GL-domain commands that reached the apply path (must
+  /// stay 0; the chaos invariant checker flags any increase).
+  [[nodiscard]] std::uint64_t stale_accepts() const { return gl_fence_.stale_accepts; }
   [[nodiscard]] net::Address current_gl() const { return current_gl_; }
   [[nodiscard]] std::size_t lc_count() const { return lcs_.size(); }
   [[nodiscard]] std::size_t vm_count() const;
@@ -84,6 +100,7 @@ class GroupManager final : public sim::Actor {
     ResourceEstimator estimator;
     bool has_descriptor = false;
     VmDescriptor descriptor;  ///< known iff this GM placed the VM
+    bool migrating = false;   ///< reported in flight by the LC (don't re-move)
     [[nodiscard]] ResourceVector demand() const {
       return estimator.empty() ? requested : estimator.estimate();
     }
@@ -96,6 +113,9 @@ class GroupManager final : public sim::Actor {
     sim::Time last_heartbeat = 0.0;
     sim::Time idle_since = -1.0;  ///< <0: not idle
     LcPower power = LcPower::kOn;
+    /// Lease epoch the LC minted at join time; stamped on every command we
+    /// send it so a successor GM's newer lease fences us off.
+    std::uint64_t lease_epoch = 0;
     std::map<VmId, VmRecord> vms;
   };
   // The GL's view of a GM.
@@ -118,8 +138,14 @@ class GroupManager final : public sim::Actor {
   void handle_anomaly(const AnomalyEvent& event);
   void handle_migration_done(const MigrationDone& done);
   void handle_vm_terminated(const VmTerminated& done);
-  void handle_placement(const PlacementRequest& req, telemetry::SpanContext ctx,
-                        net::Responder responder);
+  void handle_placement(const PlacementRequest& req, std::uint64_t epoch,
+                        telemetry::SpanContext ctx, net::Responder responder);
+  /// Stamp an outbound LC command with the lease epoch of its target.
+  void stamp_lease(net::Message& msg, net::Address lc) const;
+  /// An LC answered with StaleEpochError: a successor GM holds a newer
+  /// lease, so this LC (and its VMs) are no longer ours. Returns true when
+  /// the reply was a stale-epoch rejection.
+  bool handle_stale_lc_reply(const net::MsgPtr& reply, net::Address lc);
   void place_on(net::Address lc, const VmDescriptor& vm, telemetry::SpanContext span,
                 net::Responder responder);
   void try_wakeup_then_place(const VmDescriptor& vm, telemetry::SpanContext span,
@@ -130,7 +156,11 @@ class GroupManager final : public sim::Actor {
   void on_lc_failed(net::Address lc);
 
   // GL role ------------------------------------------------------------------
-  void become_leader();
+  void become_leader(std::uint64_t epoch);
+  /// Leave GL mode (stale-epoch rejection, newer heartbeat, or session
+  /// expiry) and re-enter the election as a plain GM. Idempotent.
+  void step_down(const char* reason);
+  void finish_reconcile(std::uint64_t term);
   void gl_tick_heartbeat();
   void gl_check_gm_liveness();
   void handle_assign_lc(const AssignLcRequest& req, net::Responder responder);
@@ -139,6 +169,8 @@ class GroupManager final : public sim::Actor {
   void dispatch_linear_search(VmDescriptor vm, std::vector<net::Address> candidates,
                               std::size_t index, telemetry::SpanContext span,
                               net::Responder responder);
+  void answer_submit(VmId vm, const net::Responder& responder,
+                     const SubmitVmResponse& result);
   void handle_gm_summary(const GmSummary& summary);
   void handle_gl_heartbeat(const GlHeartbeat& hb);
 
@@ -161,8 +193,15 @@ class GroupManager final : public sim::Actor {
   bool started_ = false;
   bool leader_ = false;
   net::Address current_gl_ = net::kNullAddress;
-  std::uint64_t gl_epoch_seen_ = 0;
+  /// Fence for the GL authority domain: tracks the highest GL epoch seen
+  /// (from heartbeats and fenced commands) and rejects stale dispatches.
+  EpochFence gl_fence_;
   std::uint64_t my_epoch_ = 0;
+
+  /// GL reconciliation window (see SnoozeConfig::gl_reconcile_window).
+  bool reconciling_ = false;
+  sim::Time reconcile_started_ = 0.0;
+  telemetry::SpanContext reconcile_span_;
 
   std::map<net::Address, LcRecord> lcs_;
   std::map<net::Address, GmRecord> gms_;
@@ -170,12 +209,14 @@ class GroupManager final : public sim::Actor {
 
   // GL-side idempotency: a submission retried because its response was lost
   // must not start a second copy of the VM. Completed results are replayed;
-  // duplicates of in-flight submissions are rejected (the client backs off
-  // and retries, by which time the result is replayable). The completed map
-  // grows with the VM count of a GL term — bounded in practice by the fleet
-  // capacity, and cleared on failover.
+  // duplicates of in-flight submissions are parked and answered with the
+  // first dispatch's outcome (the client's submit deadline is shorter than
+  // our worst-case placement, so retries legitimately race the original).
+  // The completed map grows with the VM count of a GL term — bounded in
+  // practice by the fleet capacity, and cleared on failover.
   std::map<VmId, std::pair<net::Address, net::Address>> completed_submissions_;
   std::set<VmId> inflight_submissions_;
+  std::map<VmId, std::vector<net::Responder>> submit_waiters_;
 
   std::unique_ptr<DispatchPolicy> dispatch_policy_;
   std::unique_ptr<PlacementPolicy> placement_policy_;

@@ -72,12 +72,25 @@ void LocalController::handle_oneway(const net::Envelope& env) {
     return;
   }
   if (const auto* stop = net::msg_cast<StopVmRequest>(env.payload)) {
+    // StopVm is authority-bearing: a deposed GM must not kill VMs the
+    // successor now manages. One-way, so a stale sender gets no error reply —
+    // it learns of its demotion from its next request/response exchange.
+    if (!gm_fence_.admit(env.epoch)) {
+      bump("fence.rejected");
+      trace_event("lc.fence_rejected", "stop_vm epoch=" + std::to_string(env.epoch));
+      return;
+    }
+    gm_fence_.note_applied(env.epoch);
     if (serving()) terminate_vm(stop->vm);
     return;
   }
 }
 
 void LocalController::handle_gl_heartbeat(const GlHeartbeat& hb) {
+  // Ignore heartbeats from a deposed GL so a healed partition cannot steer
+  // discovering LCs back to the stale leader.
+  if (hb.epoch != 0 && hb.epoch < gl_epoch_seen_) return;
+  gl_epoch_seen_ = std::max(gl_epoch_seen_, hb.epoch);
   gl_ = hb.gl;
   if (state_ != State::kDiscovering) return;
   state_ = State::kJoining;
@@ -105,6 +118,11 @@ void LocalController::join_gm(net::Address gm) {
   auto req = std::make_shared<LcJoinRequest>();
   req->lc = endpoint_.address();
   req->capacity = host_.capacity();
+  // Mint a fresh lease for this GM. Raising our high-water immediately
+  // fences off whichever GM held the previous lease, even if this join's
+  // response is lost in transit.
+  req->lease_epoch = ++lease_counter_;
+  gm_fence_.high_water = lease_counter_;
   endpoint_.call(gm, req, config_.rpc_timeout,
                  [this, gm](bool ok, const net::MsgPtr& reply) {
     const auto* resp = ok ? net::msg_cast<LcJoinResponse>(reply) : nullptr;
@@ -167,8 +185,10 @@ void LocalController::send_monitor_data() {
   data->reserved = host_.reserved();
   data->used = host_.used(now());
   for (const auto& [id, vm] : host_.vms()) {
+    const auto meta = vm_meta_.find(id);
+    const bool migrating = meta != vm_meta_.end() && meta->second.migrating;
     data->vms.push_back(
-        LcMonitorData::VmUsage{id, vm->spec().requested, vm->used(now())});
+        LcMonitorData::VmUsage{id, vm->spec().requested, vm->used(now()), migrating});
   }
   endpoint_.send(gm_, data);
 }
@@ -198,7 +218,28 @@ void LocalController::check_anomalies() {
 
 // --- command handling -----------------------------------------------------------
 
+void LocalController::reject_stale(std::uint64_t epoch, net::Responder responder) {
+  bump("fence.rejected");
+  trace_event("lc.fence_rejected", "epoch=" + std::to_string(epoch));
+  auto err = std::make_shared<StaleEpochError>();
+  err->observed = gm_fence_.high_water;
+  responder.respond(err);
+}
+
 void LocalController::handle_request(const net::Envelope& env, net::Responder responder) {
+  // GM-authority commands (start / migrate / suspend / wakeup / power) carry
+  // the sender's lease epoch; a deposed GM is turned away with a typed error
+  // so it steps back instead of mutating VMs a successor now manages. Adopt
+  // is LC-to-LC traffic and stays outside the lease domain (epoch 0).
+  const bool authority = net::msg_cast<StartVmRequest>(env.payload) != nullptr ||
+                         net::msg_cast<MigrateVmRequest>(env.payload) != nullptr ||
+                         net::msg_cast<SuspendRequest>(env.payload) != nullptr ||
+                         net::msg_cast<WakeupRequest>(env.payload) != nullptr;
+  if (authority && !gm_fence_.admit(env.epoch)) {
+    reject_stale(env.epoch, responder);
+    return;
+  }
+  if (authority) gm_fence_.note_applied(env.epoch);
   // A suspended node services nothing but the wake-on-LAN packet.
   if (!serving()) {
     if (net::msg_cast<WakeupRequest>(env.payload) != nullptr) handle_wakeup(responder);

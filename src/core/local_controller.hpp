@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "core/config.hpp"
+#include "core/fence.hpp"
 #include "core/messages.hpp"
 #include "hypervisor/host.hpp"
 #include "hypervisor/migration.hpp"
@@ -43,6 +44,15 @@ class LocalController final : public sim::Actor {
   [[nodiscard]] bool suspended() const {
     return power_state() == energy::PowerState::kSuspended;
   }
+  /// Lease epoch of the GM currently holding authority over this node.
+  [[nodiscard]] std::uint64_t lease_epoch() const { return gm_fence_.high_water; }
+  /// Highest GL election epoch observed in heartbeats.
+  [[nodiscard]] std::uint64_t gl_epoch_seen() const { return gl_epoch_seen_; }
+  /// GM-domain commands this LC rejected as stale.
+  [[nodiscard]] std::uint64_t fence_rejected() const { return gm_fence_.rejected; }
+  /// Tripwire: stale GM-domain commands that reached the apply path (must
+  /// stay 0; the chaos invariant checker flags any increase).
+  [[nodiscard]] std::uint64_t stale_accepts() const { return gm_fence_.stale_accepts; }
 
   /// Useful work accrued by hosted VMs: running-VM-seconds minus migration
   /// downtime. The "application performance" proxy of experiment E4.
@@ -71,6 +81,8 @@ class LocalController final : public sim::Actor {
 
   void handle_oneway(const net::Envelope& env);
   void handle_request(const net::Envelope& env, net::Responder responder);
+  /// Reject a GM command whose epoch is below the current lease.
+  void reject_stale(std::uint64_t epoch, net::Responder responder);
   void handle_gl_heartbeat(const GlHeartbeat& hb);
   void handle_gm_heartbeat();
   void request_assignment();
@@ -114,6 +126,14 @@ class LocalController final : public sim::Actor {
   State state_ = State::kStopped;
   net::Address gl_ = net::kNullAddress;
   net::Address gm_ = net::kNullAddress;
+  /// Fence for the GM authority domain. The LC mints a fresh lease epoch on
+  /// every join; commands stamped with an older lease come from a GM that
+  /// lost this node (failover, rejoin) and are rejected.
+  EpochFence gm_fence_;
+  /// Monotone lease mint. Never reset — survives restarts so a GM from a
+  /// previous incarnation can never outrank the current one.
+  std::uint64_t lease_counter_ = 0;
+  std::uint64_t gl_epoch_seen_ = 0;
   net::GroupId gm_group_ = 0;
   sim::Time last_gm_heartbeat_ = 0.0;
   sim::Time last_anomaly_ = -1e9;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/types.hpp"
@@ -21,10 +22,11 @@ using net::Address;
 // Heartbeats
 // --------------------------------------------------------------------------
 
-/// GL -> multicast group (EPs, GMs, discovering LCs).
+/// GL -> multicast group (EPs, GMs, discovering LCs). Carries the leader's
+/// election epoch in the inherited `epoch` field; higher wins, lower is a
+/// deposed leader whose heartbeats are ignored.
 struct GlHeartbeat final : net::Message {
   Address gl = net::kNullAddress;
-  std::uint64_t epoch = 0;  ///< election sequence number; higher wins
   [[nodiscard]] std::string_view type() const override { return "gl.heartbeat"; }
   [[nodiscard]] std::size_t wire_size() const override { return 24; }
 };
@@ -45,8 +47,15 @@ struct GmSummary final : net::Message {
   ResourceVector capacity;  ///< total capacity of powered-on LCs
   std::uint32_t lc_count = 0;
   std::uint32_t vm_count = 0;
+  /// Where each of this GM's VMs runs. A freshly elected GL rebuilds its
+  /// submission book from these during the reconciliation window, so a
+  /// client retrying a VM whose accept was lost in the failover gets the
+  /// existing placement replayed instead of a duplicate instance.
+  std::vector<std::pair<VmId, Address>> vm_locations;
   [[nodiscard]] std::string_view type() const override { return "gm.summary"; }
-  [[nodiscard]] std::size_t wire_size() const override { return 72; }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 72 + vm_locations.size() * 16;
+  }
 };
 
 /// LC -> GM liveness heartbeat.
@@ -66,10 +75,14 @@ struct LcMonitorData final : net::Message {
     VmId vm = hypervisor::kNullVm;
     ResourceVector requested;  ///< lets a new GM learn inherited VMs
     ResourceVector used;
+    /// True while an outbound live migration of this VM is in flight, so a
+    /// GM inheriting the LC after a failover learns about half-finished
+    /// migrations and does not command a second one.
+    bool migrating = false;
   };
   std::vector<VmUsage> vms;
   [[nodiscard]] std::string_view type() const override { return "lc.monitor"; }
-  [[nodiscard]] std::size_t wire_size() const override { return 96 + vms.size() * 64; }
+  [[nodiscard]] std::size_t wire_size() const override { return 96 + vms.size() * 72; }
 };
 
 // --------------------------------------------------------------------------
@@ -95,8 +108,12 @@ struct AssignLcResponse final : net::Message {
 struct LcJoinRequest final : net::Message {
   Address lc = net::kNullAddress;
   ResourceVector capacity;
+  /// Lease epoch the LC mints for this GM relationship (monotone per LC).
+  /// The GM must stamp every subsequent command to this LC with it; once the
+  /// LC joins elsewhere, the old lease is fenced off.
+  std::uint64_t lease_epoch = 0;
   [[nodiscard]] std::string_view type() const override { return "gm.join_lc"; }
-  [[nodiscard]] std::size_t wire_size() const override { return 48; }
+  [[nodiscard]] std::size_t wire_size() const override { return 56; }
 };
 
 struct LcJoinResponse final : net::Message {
@@ -111,6 +128,17 @@ struct GmResign final : net::Message {
   Address gm = net::kNullAddress;
   [[nodiscard]] std::string_view type() const override { return "gm.resign"; }
   [[nodiscard]] std::size_t wire_size() const override { return 16; }
+};
+
+/// Typed rejection of an authority-bearing command whose epoch is below the
+/// receiver's high-water mark. Sent in place of the normal response; the
+/// deposed sender must step down and re-join its election (GL) or drop the
+/// fenced-off LC (GM).
+struct StaleEpochError final : net::Message {
+  /// The receiver's current high-water epoch for the violated domain.
+  std::uint64_t observed = 0;
+  [[nodiscard]] std::string_view type() const override { return "fence.stale"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 24; }
 };
 
 // --------------------------------------------------------------------------
@@ -179,7 +207,7 @@ struct StartVmResponse final : net::Message {
 struct StopVmRequest final : net::Message {
   VmId vm = hypervisor::kNullVm;
   [[nodiscard]] std::string_view type() const override { return "lc.stop_vm"; }
-  [[nodiscard]] std::size_t wire_size() const override { return 16; }
+  [[nodiscard]] std::size_t wire_size() const override { return 24; }  // + lease epoch
 };
 
 /// LC -> GM: a VM reached the end of its lifetime and was stopped.

@@ -30,6 +30,13 @@ struct Message {
   /// Causal trace context; set by the sender before the message is handed to
   /// the network (a default/invalid context marks untraced traffic).
   telemetry::SpanContext ctx;
+
+  /// Authority epoch of the sender (fencing token). Leaders stamp every
+  /// authority-bearing command with the epoch of the election term (or
+  /// lease) under which they act; receivers reject commands whose epoch is
+  /// below the highest they have seen for that authority domain. Zero marks
+  /// unfenced traffic (heartbeats, client requests, administrative paths).
+  std::uint64_t epoch = 0;
 };
 
 using MsgPtr = std::shared_ptr<const Message>;
@@ -54,6 +61,9 @@ struct Envelope {
   /// sends this mirrors payload->ctx; for RPC requests RpcEndpoint rewrites
   /// it to the per-attempt rpc span so retries stay distinguishable.
   telemetry::SpanContext ctx;
+  /// Sender's authority epoch, mirrored from the payload (for RPC requests,
+  /// from the wrapped inner message) so fencing checks read the envelope.
+  std::uint64_t epoch = 0;
 };
 
 /// Receiver interface registered with the Network.

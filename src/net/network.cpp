@@ -138,7 +138,7 @@ bool Network::send(Address from, Address to, MsgPtr msg) {
   }
   const bool duplicated =
       faults.duplicate > 0.0 && engine_.rng().chance(faults.duplicate);
-  Envelope env{from, to, msg, msg->ctx};
+  Envelope env{from, to, msg, msg->ctx, msg->epoch};
   deliver_after(latency, env);
   if (duplicated) {
     ++stats_.messages_duplicated;

@@ -15,6 +15,16 @@ sim::Time RetryPolicy::backoff(int attempt, util::Rng& rng) const {
   return delay;
 }
 
+sim::Time RetryPolicy::next_backoff(sim::Time prev, util::Rng& rng) const {
+  // AWS-style decorrelated jitter: sleep = min(cap, uniform(base, prev * 3)).
+  // The upper bound grows from the *previous actual sleep*, so consecutive
+  // delays decorrelate instead of marching up a shared exponential ladder.
+  const sim::Time upper = std::max(base_backoff, prev * 3.0);
+  sim::Time delay = upper <= base_backoff ? base_backoff
+                                          : rng.uniform(base_backoff, upper);
+  return std::min(delay, max_backoff);
+}
+
 void Responder::respond(MsgPtr reply) const {
   assert(reply != nullptr);
   auto wrap = make_message<RpcWrap>();
@@ -59,6 +69,7 @@ void RpcEndpoint::call(Address to, MsgPtr request, sim::Time timeout, ReplyCallb
   wrap->rpc_id = next_rpc_id_++;
   wrap->is_reply = false;
   wrap->inner = std::move(request);
+  wrap->epoch = wrap->inner->epoch;  // the fencing token rides the envelope
 
   // One rpc span per attempt (call_with_retries re-enters here), parented
   // under the request's context — a retried RPC shows up as sibling attempt
@@ -93,29 +104,41 @@ void RpcEndpoint::call(Address to, MsgPtr request, sim::Time timeout, ReplyCallb
 void RpcEndpoint::call_with_retries(Address to, MsgPtr request, sim::Time timeout,
                                     RetryPolicy policy, ReplyCallback cb) {
   assert(policy.max_attempts >= 1);
-  attempt_call(to, std::move(request), timeout, policy, 1, std::move(cb));
+  const sim::Time deadline =
+      policy.max_total > 0.0 ? engine_.now() + policy.max_total : -1.0;
+  attempt_call(to, std::move(request), timeout, policy, 1, 0.0, deadline,
+               std::move(cb));
 }
 
 void RpcEndpoint::attempt_call(Address to, MsgPtr request, sim::Time timeout,
                                const RetryPolicy& policy, int attempt,
+                               sim::Time prev_backoff, sim::Time deadline,
                                ReplyCallback cb) {
   call(to, request, timeout,
-       [this, to, request, timeout, policy, attempt,
+       [this, to, request, timeout, policy, attempt, prev_backoff, deadline,
         cb = std::move(cb)](bool ok, const MsgPtr& reply) mutable {
     if (ok || attempt >= policy.max_attempts) {
       cb(ok, reply);
       return;
     }
     telemetry::count(network_.telemetry(), "rpc.retries");
-    const sim::Time delay = policy.backoff(attempt, engine_.rng());
+    const sim::Time delay = policy.next_backoff(prev_backoff, engine_.rng());
+    if (deadline >= 0.0 && engine_.now() + delay >= deadline) {
+      // The overall budget is spent before the next attempt could start:
+      // report the failure now rather than retrying past the deadline.
+      telemetry::count(network_.telemetry(), "rpc.deadline_exceeded");
+      cb(false, nullptr);
+      return;
+    }
     auto token = alive_;
     engine_.schedule(delay, [this, token, to, request = std::move(request), timeout,
-                             policy, attempt, cb = std::move(cb)]() mutable {
+                             policy, attempt, delay, deadline,
+                             cb = std::move(cb)]() mutable {
       // Like go_down()'s pending-call semantics: a process that crashed
       // between attempts never fires the callback.
       if (!*token || !up_) return;
-      attempt_call(to, std::move(request), timeout, policy, attempt + 1,
-                   std::move(cb));
+      attempt_call(to, std::move(request), timeout, policy, attempt + 1, delay,
+                   deadline, std::move(cb));
     });
   });
 }
@@ -150,7 +173,7 @@ void RpcEndpoint::on_message(const Envelope& env) {
     if (!on_request_) return;
     // Parent handler spans under the rpc-attempt span, not the sender's
     // original context, so each delivery attempt hangs off its own attempt.
-    Envelope inner_env{env.from, env.to, wrap->inner, wrap->ctx};
+    Envelope inner_env{env.from, env.to, wrap->inner, wrap->ctx, wrap->epoch};
     on_request_(inner_env,
                 Responder(&network_, address_, env.from, wrap->rpc_id, wrap->ctx));
     return;

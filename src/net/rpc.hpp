@@ -25,7 +25,8 @@ struct RpcWrap final : Message {
 
   [[nodiscard]] std::string_view type() const override { return "rpc"; }
   [[nodiscard]] std::size_t wire_size() const override {
-    return 16 + (inner ? inner->wire_size() : 0);
+    // correlation id + flags + authority epoch
+    return 24 + (inner ? inner->wire_size() : 0);
   }
 };
 
@@ -51,18 +52,34 @@ class Responder {
   telemetry::SpanContext ctx_;
 };
 
-/// Backoff schedule for call_with_retries(): attempt n (1-based) failing by
-/// timeout waits base * multiplier^(n-1) plus a seeded uniform jitter of up
-/// to `jitter` times that backoff before the next attempt.
+/// Backoff schedule for call_with_retries().
+///
+/// Retries use *decorrelated jitter* (next delay drawn uniformly from
+/// [base_backoff, prev * 3], clamped to max_backoff): after a partition
+/// heals, callers that timed out together fan out across the whole delay
+/// range instead of re-sending in lockstep, so the recovering node is not
+/// hit by a synchronized retry storm. The legacy exponential schedule
+/// (backoff()) remains for round-based pacing outside the RPC layer.
 struct RetryPolicy {
   int max_attempts = 3;
   sim::Time base_backoff = 0.5;
   double multiplier = 2.0;
   sim::Time max_backoff = 30.0;
   double jitter = 0.5;
+  /// Overall deadline for the whole call_with_retries() sequence, measured
+  /// from the first attempt: no retry is *started* at or past this budget
+  /// (an attempt already in flight still runs to its own timeout).
+  /// 0 = unbounded (attempts alone limit the sequence).
+  sim::Time max_total = 0.0;
 
-  /// Delay before the attempt following failed attempt `attempt` (1-based).
+  /// Exponential schedule: delay before the attempt following failed attempt
+  /// `attempt` (1-based), base * multiplier^(n-1) plus uniform jitter of up
+  /// to `jitter` times that backoff.
   [[nodiscard]] sim::Time backoff(int attempt, util::Rng& rng) const;
+
+  /// Decorrelated-jitter schedule: delay after a failed attempt whose own
+  /// backoff was `prev` (pass 0 for the first failure).
+  [[nodiscard]] sim::Time next_backoff(sim::Time prev, util::Rng& rng) const;
 };
 
 class RpcEndpoint final : public Endpoint {
@@ -97,11 +114,12 @@ class RpcEndpoint final : public Endpoint {
   void call(Address to, MsgPtr request, sim::Time timeout, ReplyCallback cb);
 
   /// call() with automatic re-send on timeout: up to policy.max_attempts
-  /// tries separated by exponential backoff with seeded jitter (deterministic
-  /// per engine seed). The callback fires exactly once, with the first
-  /// successful reply or the final timeout. Replies — including explicit
-  /// rejections — never trigger a retry; only transport-level timeouts do,
-  /// so request handlers must stay idempotent under duplicated requests.
+  /// tries separated by decorrelated-jitter backoff (deterministic per
+  /// engine seed), the whole sequence capped by policy.max_total. The
+  /// callback fires exactly once, with the first successful reply or the
+  /// final timeout. Replies — including explicit rejections — never trigger
+  /// a retry; only transport-level timeouts do, so request handlers must
+  /// stay idempotent under duplicated requests.
   void call_with_retries(Address to, MsgPtr request, sim::Time timeout,
                          RetryPolicy policy, ReplyCallback cb);
 
@@ -123,7 +141,8 @@ class RpcEndpoint final : public Endpoint {
   };
 
   void attempt_call(Address to, MsgPtr request, sim::Time timeout,
-                    const RetryPolicy& policy, int attempt, ReplyCallback cb);
+                    const RetryPolicy& policy, int attempt, sim::Time prev_backoff,
+                    sim::Time deadline, ReplyCallback cb);
 
   sim::Engine& engine_;
   Network& network_;

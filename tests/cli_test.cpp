@@ -113,6 +113,32 @@ TEST(Cli, FailGlTriggersFailover) {
   EXPECT_NE(s->system().leader(), nullptr);  // successor elected
 }
 
+TEST(Cli, FailoverShowReportsEpochsAndFences) {
+  auto s = session();
+  const auto before = s->execute("failover show");
+  ASSERT_TRUE(before.ok);
+  // Initial leadership is election epoch 1.
+  EXPECT_NE(before.output.find("GL epoch=1"), std::string::npos) << before.output;
+  EXPECT_NE(before.output.find("lease="), std::string::npos);
+  ASSERT_TRUE(s->execute("fail gl").ok);
+  s->execute("run 60");
+  const auto after = s->execute("failover show");
+  ASSERT_TRUE(after.ok);
+  // The successor holds a newer epoch and finished exactly one extra
+  // reconciliation (the boot-time one plus the failover one).
+  EXPECT_NE(after.output.find("GL epoch=2"), std::string::npos) << after.output;
+  EXPECT_NE(after.output.find("current GL epoch (failover.epoch): 2"),
+            std::string::npos)
+      << after.output;
+  EXPECT_NE(after.output.find("2 reconciliations"), std::string::npos) << after.output;
+}
+
+TEST(Cli, FailoverValidatesSubcommand) {
+  auto s = session();
+  EXPECT_FALSE(s->execute("failover").ok);
+  EXPECT_FALSE(s->execute("failover frob").ok);
+}
+
 TEST(Cli, FailValidatesTargets) {
   auto s = session();
   EXPECT_FALSE(s->execute("fail").ok);

@@ -279,7 +279,7 @@ class ElectionTest : public testing::Test {
 TEST_F(ElectionTest, FirstCandidateBecomesLeader) {
   auto a = make_candidate("a");
   bool elected = false;
-  a->start("addr-a", [&] { elected = true; });
+  a->start("addr-a", [&](std::uint64_t) { elected = true; });
   engine.run_until(2.0);
   EXPECT_TRUE(elected);
   EXPECT_TRUE(a->is_leader());
@@ -291,7 +291,7 @@ TEST_F(ElectionTest, SecondCandidateWaits) {
   a->start("addr-a", nullptr);
   engine.run_until(1.0);
   bool b_elected = false;
-  b->start("addr-b", [&] { b_elected = true; });
+  b->start("addr-b", [&](std::uint64_t) { b_elected = true; });
   engine.run_until(3.0);
   EXPECT_TRUE(a->is_leader());
   EXPECT_FALSE(b->is_leader());
@@ -372,6 +372,82 @@ TEST_F(ElectionTest, LeaderDataReadable) {
   });
   engine.run_until(3.0);
   EXPECT_EQ(data, "contact-of-a");
+}
+
+TEST_F(ElectionTest, ElectionEpochsAreMonotoneAcrossPromotions) {
+  auto a = make_candidate("a");
+  auto b = make_candidate("b");
+  std::uint64_t epoch_a = 0;
+  std::uint64_t epoch_b = 0;
+  a->start("addr-a", [&](std::uint64_t e) { epoch_a = e; });
+  engine.run_until(1.0);
+  b->start("addr-b", [&](std::uint64_t e) { epoch_b = e; });
+  engine.run_until(2.0);
+  // First sequential znode has sequence 0; epochs start at 1 so the null
+  // epoch (0, unfenced) can never outrank a real term.
+  EXPECT_EQ(epoch_a, 1u);
+  EXPECT_EQ(a->epoch(), 1u);
+  a->crash();
+  engine.run_until(15.0);
+  ASSERT_TRUE(b->is_leader());
+  EXPECT_EQ(epoch_b, 2u);
+  EXPECT_GT(epoch_b, epoch_a);
+}
+
+TEST_F(ElectionTest, IsolatedLeaderDemotedAndRejoinsWithHigherEpoch) {
+  auto a = make_candidate("a");
+  auto b = make_candidate("b");
+  std::uint64_t last_epoch_a = 0;
+  a->start("addr-a", [&](std::uint64_t e) { last_epoch_a = e; });
+  engine.run_until(1.0);
+  b->start("addr-b", nullptr);
+  engine.run_until(2.0);
+  ASSERT_TRUE(a->is_leader());
+  bool demoted = false;
+  a->set_on_demoted([&] { demoted = true; });
+
+  // Cut a's coordination client off: its session expires server-side and b
+  // is promoted; a only learns of the expiry once the partition heals.
+  network.set_partitions({{a->client_address()}});
+  engine.run_until(20.0);
+  ASSERT_TRUE(b->is_leader());
+  network.set_partitions({});
+  engine.run_until(40.0);
+  EXPECT_TRUE(demoted);
+  EXPECT_FALSE(a->is_leader());
+  EXPECT_TRUE(b->is_leader());
+  // a re-entered the queue with a fresh znode: exactly two candidates, and
+  // a's new epoch (would-be, as next in line) is strictly above b's term.
+  EXPECT_EQ(service.children_of("/election").size(), 2u);
+  EXPECT_GT(a->epoch(), b->epoch());
+}
+
+TEST_F(ElectionTest, CrashRecoverFlappingLeavesOneZnodePerCandidate) {
+  // Regression: a candidate flapping through crash()/recover() used to leave
+  // a second candidate znode behind when the recovery raced the expiry of
+  // its previous session (both the expiry handler and evaluate()'s
+  // vanished-znode path issued a create). Exactly one znode per candidate
+  // must survive any number of flaps.
+  auto a = make_candidate("a");
+  auto b = make_candidate("b");
+  a->start("addr-a", nullptr);
+  b->start("addr-b", nullptr);
+  engine.run_until(2.0);
+  for (int round = 0; round < 10; ++round) {
+    a->crash();
+    // Vary the in-crash dwell so recovery sometimes races the old session's
+    // expiry (timeout 6 s) and sometimes follows it.
+    engine.run_until(engine.now() + (round % 2 == 0 ? 1.0 : 7.0));
+    a->recover();
+    a->start("addr-a", nullptr);
+    engine.run_until(engine.now() + 4.0);
+  }
+  engine.run_until(engine.now() + 15.0);  // let stragglers expire
+  const auto children = service.children_of("/election");
+  EXPECT_EQ(children.size(), 2u)
+      << "candidate znodes leaked across crash/recover flaps";
+  int leaders = (a->is_leader() ? 1 : 0) + (b->is_leader() ? 1 : 0);
+  EXPECT_EQ(leaders, 1);
 }
 
 TEST_F(ElectionTest, RecoveredCandidateRejoinsAsFollower) {

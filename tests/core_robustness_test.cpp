@@ -80,7 +80,10 @@ TEST(Partition, HealedGlAbdicatesNoSplitBrain) {
   system.engine().run_until(system.engine().now() + 30.0);
   EXPECT_EQ(leader_count(system), 1u);
   EXPECT_FALSE(old_gl->is_leader());
-  EXPECT_GE(system.trace().count("gm.abdicated"), 1u);
+  EXPECT_GE(system.trace().count("gm.stepdown"), 1u);
+  // The healed stale leader must have rejoined the election with a fresh
+  // candidate znode (strictly higher epoch than the term it lost).
+  EXPECT_GE(old_gl->counters().stepdowns, 1u);
 }
 
 TEST(Partition, HierarchyStableAfterHeal) {

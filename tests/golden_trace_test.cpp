@@ -90,6 +90,22 @@ const Scenario kScenarios[] = {
      "32 recover #1\n"},
     {"big_quiet", 1010, {4, 16, 2}, 10,
      "duration 30\n"},
+    // Failover-specific scenarios: the GL is cut off mid-workload so a
+    // successor is elected; after the heal the deposed leader's dispatches
+    // must be fenced (epoch) and it must step down on the successor's
+    // heartbeat. Pins the full election → reconcile → fence event order.
+    {"gl_partition_heal", 1111, {3, 6, 2}, 6,
+     "duration 50\n"
+     "5 isolate gl #1\n"
+     "25 heal #1\n"},
+    // A (non-leader) GM is isolated long enough for its LCs to re-register
+    // with other GMs, minting fresh lease epochs. When the partition heals
+    // the stale GM's commands to its former LCs are rejected and it drops
+    // them from its books instead of rescheduling their VMs.
+    {"gm_stale_leader", 1212, {3, 6, 2}, 6,
+     "duration 50\n"
+     "4 isolate gm 0 #1\n"
+     "28 heal #1\n"},
 };
 
 chaos::ChaosRunConfig make_config(const Scenario& sc) {

@@ -382,8 +382,9 @@ TEST_F(RpcTest, WireSizeAccountsRpcOverhead) {
   server.set_request_handler([](const Envelope&, net::Responder) {});
   client.call(server.address(), ping(), 1.0, [](bool, const MsgPtr&) {});
   engine.run();
-  // RpcWrap adds 16 bytes over the 100-byte Ping.
-  EXPECT_EQ(network.stats().bytes_sent, 116u);
+  // RpcWrap adds 24 bytes (correlation id + flags + authority epoch) over the
+  // 100-byte Ping.
+  EXPECT_EQ(network.stats().bytes_sent, 124u);
 }
 
 // --- Per-link / per-node fault knobs -----------------------------------------
@@ -629,8 +630,82 @@ TEST_F(RpcTest, RetryStopsWhenClientCrashesBetweenAttempts) {
   engine.schedule(1.1, [&] { client.go_down(); });
   engine.run();
   EXPECT_EQ(callbacks, 0);
-  // No further attempts were sent after the crash (1 request = 116 bytes).
-  EXPECT_EQ(network.stats().bytes_sent, 116u);
+  // No further attempts were sent after the crash (1 request = 124 bytes).
+  EXPECT_EQ(network.stats().bytes_sent, 124u);
+}
+
+TEST(RetryPolicy, DecorrelatedJitterStaysWithinBounds) {
+  util::Rng rng(7);
+  net::RetryPolicy policy;
+  policy.base_backoff = 0.5;
+  policy.max_backoff = 8.0;
+  double prev = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double delay = policy.next_backoff(prev, rng);
+    // delay ∈ [base, min(max_backoff, max(base, 3*prev))] — AWS-style
+    // decorrelated jitter: the window depends on the previous delay, not on
+    // the attempt number.
+    EXPECT_GE(delay, policy.base_backoff);
+    EXPECT_LE(delay, policy.max_backoff);
+    EXPECT_LE(delay, std::max(policy.base_backoff, prev * 3.0) + 1e-12);
+    prev = delay;
+  }
+}
+
+TEST_F(RpcTest, DecorrelatedBackoffScheduleOnVirtualClock) {
+  server.go_down();
+  net::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff = 0.5;
+  bool done = false;
+  client.call_with_retries(server.address(), ping(), 1.0, policy,
+                           [&](bool ok, const MsgPtr&) {
+                             done = true;
+                             EXPECT_FALSE(ok);
+                           });
+  engine.run();
+  ASSERT_TRUE(done);
+  // Three 1.0 s timeouts plus two backoffs: the first delay is exactly
+  // base_backoff (prev = 0 collapses the jitter window), the second is drawn
+  // from [base, 3*base]. Total virtual time ∈ [4.0, 5.0].
+  EXPECT_GE(engine.now(), 4.0);
+  EXPECT_LE(engine.now(), 5.0);
+}
+
+TEST_F(RpcTest, RetryDeadlineCapsOverallWait) {
+  server.go_down();
+  net::RetryPolicy policy;
+  policy.max_attempts = 1000;
+  policy.base_backoff = 0.5;
+  policy.max_total = 3.0;  // overall deadline across attempts
+  bool done = false;
+  client.call_with_retries(server.address(), ping(), 1.0, policy,
+                           [&](bool ok, const MsgPtr&) {
+                             done = true;
+                             EXPECT_FALSE(ok);
+                           });
+  engine.run();
+  ASSERT_TRUE(done);
+  // No retry *starts* at or past the deadline; the call fails as soon as the
+  // next backoff would cross it. Schedule: attempt 1 times out at 1.0,
+  // backoff 0.5, attempt 2 times out at 2.5, next start >= 3.0 = deadline →
+  // give up at 2.5. Without the cap, 1000 attempts would burn >1500 s.
+  EXPECT_GE(engine.now(), 2.5);
+  EXPECT_LE(engine.now(), 3.0 + 1.0);
+}
+
+TEST_F(RpcTest, DeadlineUnsetKeepsLegacyAttemptCount) {
+  server.go_down();
+  net::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_backoff = 0.5;  // max_total stays 0: unbounded overall wait
+  bool done = false;
+  client.call_with_retries(server.address(), ping(), 1.0, policy,
+                           [&](bool, const MsgPtr&) { done = true; });
+  engine.run();
+  ASSERT_TRUE(done);
+  // All four attempts ran: 4 timeouts + 3 backoffs >= 4*1.0 + 3*0.5.
+  EXPECT_GE(engine.now(), 5.5);
 }
 
 TEST(RetryPolicy, BackoffGrowsExponentiallyAndClamps) {
