@@ -14,10 +14,12 @@
 // Reported: cluster energy, suspended nodes at the end, and useful work (to
 // show the savings are not bought with application throughput).
 
+#include <array>
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "core/snooze.hpp"
+#include "energy/energy_meter.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 
@@ -28,6 +30,9 @@ namespace {
 
 struct RunResult {
   double energy_kj = 0.0;
+  /// Cumulative joules split by power class (kOn / kSuspended / kOff) —
+  /// shows *where* the savings come from, not just the total.
+  std::array<double, energy::kNumPowerClasses> energy_by_class_kj{};
   double work = 0.0;
   std::size_t suspended = 0;
   std::size_t running_vms = 0;
@@ -71,6 +76,9 @@ RunResult run_config(bool energy_savings, bool consolidation, std::uint64_t seed
   system.engine().run_until(system.engine().now() + horizon);
 
   out.energy_kj = system.total_energy() / 1000.0;
+  const auto by_class = system.total_energy_by_state();
+  for (std::size_t c = 0; c < energy::kNumPowerClasses; ++c)
+    out.energy_by_class_kj[c] = by_class[c] / 1000.0;
   out.work = system.total_work();
   out.suspended = system.suspended_lc_count();
   out.running_vms = system.running_vm_count();
@@ -94,14 +102,19 @@ int main(int argc, char** argv) {
   const RunResult suspend_only = run_config(true, false, seed, horizon);
   const RunResult full = run_config(true, true, seed, horizon);
 
-  util::Table table({"configuration", "energy kJ", "saved vs baseline",
-                     "suspended LCs", "running VMs", "useful work VM-s"});
+  util::Table table({"configuration", "energy kJ", "on kJ", "suspended kJ",
+                     "saved vs baseline", "suspended LCs", "running VMs",
+                     "useful work VM-s"});
   auto add = [&](const char* name, const RunResult& r) {
     if (!r.ok) {
-      table.add_row({name, "failed", "-", "-", "-", "-"});
+      table.add_row({name, "failed", "-", "-", "-", "-", "-", "-"});
       return;
     }
     table.add_row({name, util::Table::num(r.energy_kj, 0),
+                   util::Table::num(r.energy_by_class_kj[static_cast<std::size_t>(
+                                        energy::PowerClass::kOn)], 0),
+                   util::Table::num(r.energy_by_class_kj[static_cast<std::size_t>(
+                                        energy::PowerClass::kSuspended)], 0),
                    util::Table::pct((none.energy_kj - r.energy_kj) / none.energy_kj),
                    std::to_string(r.suspended), std::to_string(r.running_vms),
                    util::Table::num(r.work, 0)});

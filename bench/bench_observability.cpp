@@ -1,0 +1,215 @@
+// Experiment E14 — SLI/SLO health layer and critical-path attribution.
+//
+// The paper's evaluation quantities (§II.F management overhead / latency,
+// §III.B energy) are derived indicators; this bench exercises the src/obs
+// layer that computes them continuously and gates the repo's tracked SLI
+// trajectory (BENCH_obs.json):
+//
+//   healthy run  3 GM / 18 LC cluster, 30 VMs — submit latency p50/p99,
+//                energy per VM-hour, critical-path phase attribution
+//                (>= min-coverage of submit→running wall-clock explained by
+//                discovery/dispatch/scheduling/lc_start), zero alerts
+//   crash run    same cluster; the GL is crashed mid-workload — failover
+//                MTTR SLI (gm.fail -> gl.reconciled, cross-checked against
+//                the raw trace timestamps, bound as in E13), alerts fired
+//
+// Gates (non-zero exit on violation):
+//   --max-submit-p99   healthy submit→running p99 ceiling, seconds
+//   --max-mttr         failover MTTR ceiling, seconds (E13 bound)
+//   --min-coverage     healthy critical-path mechanism coverage floor
+//   --min-eps          engine events/sec (wall) floor, 0 = off
+// Artifacts: --json, --csv (time series), --report (dashboard + SLO +
+// critical-path tables), --trace (Chrome trace with counter lanes).
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/snooze.hpp"
+#include "obs/health_monitor.hpp"
+#include "util/args.hpp"
+
+using namespace snooze;
+using namespace snooze::core;
+
+namespace {
+
+struct RunOutcome {
+  double submit_p50 = -1.0;
+  double submit_p99 = -1.0;
+  double energy_per_vm_hour = -1.0;
+  double coverage = -1.0;
+  double mttr = -1.0;        ///< monitor SLI (mean episode)
+  double mttr_trace = -1.0;  ///< direct trace measurement (single episode)
+  std::uint64_t episodes = 0;
+  std::uint64_t alerts_fired = 0;
+  std::uint64_t accepted = 0;
+  double events_per_s = 0.0;
+  obs::CriticalPathReport path;
+  std::string timeseries_csv;
+  std::string report_text;
+  std::string trace_json;
+};
+
+RunOutcome run_one(std::uint64_t seed, bool crash_gl, bool want_artifacts) {
+  SystemSpec spec;
+  spec.entry_points = 2;
+  spec.group_managers = 3;
+  spec.local_controllers = 18;
+  spec.seed = seed;
+  SnoozeSystem system(spec);
+  system.start();
+  system.run_until_stable(300.0);
+
+  obs::HealthMonitor monitor(system);
+  monitor.start();
+  const double t0 = system.engine().now();
+
+  std::vector<VmDescriptor> vms;
+  for (std::size_t i = 0; i < 30; ++i) vms.push_back(system.make_vm({0.15, 0.15, 0.15}));
+  system.client().submit_all(vms, 1.0);
+  system.engine().run_until(t0 + 40.0);
+
+  double t_crash = -1.0;
+  if (crash_gl) {
+    t_crash = system.engine().now();
+    system.fail_gl();
+    // Probes submitted against the dead GL measure client-visible failover.
+    std::vector<VmDescriptor> probes;
+    for (std::size_t i = 0; i < 6; ++i) probes.push_back(system.make_vm({0.15, 0.15, 0.15}));
+    system.client().submit_all(probes, 0.5);
+  }
+  system.engine().run_until(t0 + 120.0);
+  monitor.sample_now();
+
+  RunOutcome out;
+  const auto& metrics = system.telemetry().metrics();
+  if (const auto* h = metrics.find_histogram("client.submit_latency");
+      h != nullptr && h->count() > 0) {
+    out.submit_p50 = h->percentile(0.5);
+    out.submit_p99 = h->percentile(0.99);
+  }
+  const double vm_hours = system.total_work() / 3600.0;
+  if (vm_hours > 0.0) out.energy_per_vm_hour = system.total_energy() / vm_hours;
+  out.path = monitor.critical_path();
+  out.coverage = out.path.coverage;
+  out.mttr = monitor.failover_mttr();
+  out.episodes = monitor.failover_episodes();
+  out.alerts_fired = monitor.alerts_fired();
+  out.accepted = system.client().succeeded();
+  out.events_per_s = system.engine().events_per_second();
+  if (crash_gl && t_crash >= 0.0) {
+    const double ready = system.trace().first_time("gl.reconciled", t_crash);
+    if (ready >= 0.0) out.mttr_trace = ready - t_crash;
+  }
+  if (want_artifacts) {
+    out.timeseries_csv = monitor.store().csv();
+    out.report_text = monitor.dashboard() + "\n" + monitor.slo_table() + "\n" +
+                      out.path.table();
+    out.trace_json = obs::chrome_trace_with_counters(
+        system.telemetry().spans(), system.engine().now(), monitor.store());
+  }
+  return out;
+}
+
+bool write_text(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const double max_p99 = args.get_double("max-submit-p99", 5.0);
+  const double max_mttr = args.get_double("max-mttr", 9.5);
+  const double min_coverage = args.get_double("min-coverage", 0.95);
+  const double min_eps = args.get_double("min-eps", 0.0);
+  const std::string json_path = args.get("json", "");
+  const std::string csv_path = args.get("csv", "");
+  const std::string report_path = args.get("report", "");
+  const std::string trace_path = args.get("trace", "");
+
+  bench::print_header(
+      "E14: SLI/SLO health layer — latency, MTTR, energy, critical path",
+      "management overhead is negligible and failover latency is bounded; "
+      "here those claims are tracked as first-class SLIs");
+
+  const bool want_artifacts = !csv_path.empty() || !report_path.empty() || !trace_path.empty();
+  const RunOutcome healthy = run_one(seed, /*crash_gl=*/false, want_artifacts);
+  const RunOutcome crash = run_one(seed, /*crash_gl=*/true, /*want_artifacts=*/false);
+
+  std::printf("\nhealthy run: %llu VMs accepted, submit p50 %.3fs p99 %.3fs, "
+              "%.1f kJ/VM-h, %llu alerts\n",
+              static_cast<unsigned long long>(healthy.accepted), healthy.submit_p50,
+              healthy.submit_p99, healthy.energy_per_vm_hour / 1000.0,
+              static_cast<unsigned long long>(healthy.alerts_fired));
+  std::printf("critical path (healthy): coverage %.1f%% over %zu submissions\n",
+              100.0 * healthy.coverage, healthy.path.traces);
+  std::fputs(healthy.path.table().c_str(), stdout);
+  std::printf("\ncrash run: MTTR SLI %.3fs (trace-measured %.3fs, %llu episode(s)), "
+              "submit p99 %.3fs, %llu alerts\n",
+              crash.mttr, crash.mttr_trace,
+              static_cast<unsigned long long>(crash.episodes), crash.submit_p99,
+              static_cast<unsigned long long>(crash.alerts_fired));
+  std::printf("engine: %.0f events/s wall (healthy run)\n", healthy.events_per_s);
+
+  bool ok = true;
+  auto gate = [&ok](bool pass, const char* what, double value, double limit) {
+    std::printf("gate %-18s %10.3f vs %10.3f : %s\n", what, value, limit,
+                pass ? "ok" : "FAIL");
+    ok = ok && pass;
+  };
+  gate(healthy.submit_p99 >= 0.0 && healthy.submit_p99 <= max_p99, "submit_p99<=",
+       healthy.submit_p99, max_p99);
+  gate(crash.mttr >= 0.0 && crash.mttr <= max_mttr, "mttr<=", crash.mttr, max_mttr);
+  gate(healthy.coverage >= min_coverage, "coverage>=", healthy.coverage, min_coverage);
+  if (min_eps > 0.0) gate(healthy.events_per_s >= min_eps, "eps>=", healthy.events_per_s, min_eps);
+  gate(healthy.alerts_fired == 0, "healthy_alerts==0",
+       static_cast<double>(healthy.alerts_fired), 0.0);
+  gate(crash.alerts_fired >= 1, "crash_alerts>=1",
+       static_cast<double>(crash.alerts_fired), 1.0);
+  // MTTR SLI must agree with the raw trace measurement (same events).
+  gate(crash.mttr_trace >= 0.0 && std::fabs(crash.mttr - crash.mttr_trace) <= 0.5,
+       "mttr_vs_trace<=", std::fabs(crash.mttr - crash.mttr_trace), 0.5);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    out << "{\n  \"benchmark\": \"observability\",\n  \"seed\": " << seed << ",\n";
+    out << "  \"healthy\": {\"accepted\": " << healthy.accepted
+        << ", \"submit_p50_s\": " << healthy.submit_p50
+        << ", \"submit_p99_s\": " << healthy.submit_p99
+        << ", \"energy_per_vm_hour_j\": " << healthy.energy_per_vm_hour
+        << ", \"critical_path_coverage\": " << healthy.coverage
+        << ", \"alerts_fired\": " << healthy.alerts_fired << "},\n";
+    out << "  \"crash\": {\"mttr_s\": " << crash.mttr
+        << ", \"mttr_trace_s\": " << crash.mttr_trace
+        << ", \"failover_episodes\": " << crash.episodes
+        << ", \"submit_p99_s\": " << crash.submit_p99
+        << ", \"alerts_fired\": " << crash.alerts_fired << "},\n";
+    out << "  \"gates\": {\"max_submit_p99_s\": " << max_p99
+        << ", \"max_mttr_s\": " << max_mttr
+        << ", \"min_coverage\": " << min_coverage << ", \"min_eps\": " << min_eps
+        << "},\n";
+    out << "  \"ok\": " << (ok ? "true" : "false") << "\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (!csv_path.empty() && !write_text(csv_path, healthy.timeseries_csv)) return 1;
+  if (!report_path.empty() && !write_text(report_path, healthy.report_text)) return 1;
+  if (!trace_path.empty() && !write_text(trace_path, healthy.trace_json)) return 1;
+
+  return ok ? 0 : 1;
+}

@@ -1,9 +1,12 @@
 #include "chaos/runner.hpp"
 
+#include <cmath>
+#include <memory>
 #include <sstream>
 
 #include "chaos/injector.hpp"
 #include "core/system.hpp"
+#include "obs/health_monitor.hpp"
 
 namespace snooze::chaos {
 
@@ -29,6 +32,12 @@ ChaosRunResult run_chaos_schedule(const ChaosRunConfig& cfg,
   ChaosInjector injector(system, schedule, &checker);
   const sim::Time chaos_start = system.engine().now();
   injector.start();
+
+  std::unique_ptr<obs::HealthMonitor> monitor;
+  if (cfg.health_monitor) {
+    monitor = std::make_unique<obs::HealthMonitor>(system);
+    monitor->start();
+  }
 
   // Stagger the workload across the fault window so submissions race the
   // injected failures. VMs run unbounded: each accepted one must survive to
@@ -83,13 +92,24 @@ ChaosRunResult run_chaos_schedule(const ChaosRunConfig& cfg,
   result.trace_hash = h;
   if (cfg.capture_trace) result.trace_records = system.trace().records();
 
+  if (monitor) {
+    monitor->sample_now();  // final sample at run end
+    result.slo_alerts_fired = monitor->alerts_fired();
+    result.slo_alerts_cleared = monitor->alerts_cleared();
+    result.failover_episodes = monitor->failover_episodes();
+    const double mttr = monitor->failover_mttr();
+    result.failover_mttr_s = std::isnan(mttr) ? -1.0 : mttr;
+    if (cfg.capture_timeseries) result.timeseries_csv = monitor->store().csv();
+  }
+
   std::ostringstream report;
   report << "chaos run: seed=" << cfg.seed << " faults=" << result.faults_injected
          << " accepted=" << result.vms_accepted << " excused=" << result.vms_excused
          << " converged=" << (result.converged ? "yes" : "no")
          << " fenced=" << result.fence_rejected
          << " stale_accepts=" << result.stale_accepts
-         << " stepdowns=" << result.stepdowns << "\n"
+         << " stepdowns=" << result.stepdowns
+         << " alerts=" << result.slo_alerts_fired << "\n"
          << checker.report();
   result.report = report.str();
   return result;

@@ -35,6 +35,13 @@ struct ChaosRunConfig {
   /// Copy the full event trace into ChaosRunResult::trace_records (the
   /// golden-trace suite diffs individual records, not just the hash).
   bool capture_trace = false;
+  /// Run a HealthMonitor alongside the chaos schedule: cluster state is
+  /// sampled every SloConfig::sample_period and SLO alert transitions are
+  /// recorded in the sim trace (so goldens pin them). The monitor is
+  /// read-only; runs without alert transitions keep their trace hash.
+  bool health_monitor = true;
+  /// Copy the monitor's time-series CSV into ChaosRunResult::timeseries_csv.
+  bool capture_timeseries = false;
 };
 
 struct ChaosRunResult {
@@ -55,6 +62,12 @@ struct ChaosRunResult {
   std::uint64_t stale_accepts = 0;
   /// Leadership terms abandoned after a stale-epoch signal or session expiry.
   std::uint64_t stepdowns = 0;
+  // --- observability (filled when cfg.health_monitor) ----------------------
+  std::uint64_t slo_alerts_fired = 0;
+  std::uint64_t slo_alerts_cleared = 0;
+  std::uint64_t failover_episodes = 0;
+  double failover_mttr_s = -1.0;   ///< < 0: no completed failover episode
+  std::string timeseries_csv;      ///< filled when cfg.capture_timeseries
   std::string report;
 
   [[nodiscard]] bool ok() const { return converged && invariants_ok; }

@@ -19,7 +19,10 @@ std::vector<std::string> tokenize(const std::string& line) {
 }
 
 CliSession::CliSession(std::unique_ptr<core::SnoozeSystem> system)
-    : system_(std::move(system)) {}
+    : system_(std::move(system)),
+      monitor_(std::make_unique<obs::HealthMonitor>(*system_)) {
+  monitor_->start();
+}
 
 std::unique_ptr<CliSession> CliSession::boot(std::size_t gms, std::size_t lcs,
                                              std::uint64_t seed, bool energy_savings) {
@@ -51,6 +54,11 @@ std::string CliSession::help() {
          "  metrics csv <file>                         export all metrics as CSV\n"
          "  trace export <file>                        Chrome trace_event JSON (Perfetto)\n"
          "  trace csv <file>                           span time series as CSV\n"
+         "  health                                     time-series dashboard\n"
+         "  health csv <file>                          export the time series as CSV\n"
+         "  health path                                critical-path phase breakdown\n"
+         "  slo                                        SLIs vs SLO thresholds (pass/fail)\n"
+         "  top [n]                                    busiest LC nodes\n"
          "  help                                       this screen\n"
          "  quit                                       leave\n";
 }
@@ -72,6 +80,9 @@ CommandResult CliSession::execute(const std::string& line) {
   if (cmd == "chaos") return cmd_chaos(args);
   if (cmd == "metrics") return cmd_metrics(args);
   if (cmd == "trace") return cmd_trace(args);
+  if (cmd == "health") return cmd_health(args);
+  if (cmd == "slo") return cmd_slo();
+  if (cmd == "top") return cmd_top(args);
   return {false, false, "unknown command '" + cmd + "' (try 'help')\n"};
 }
 
@@ -303,14 +314,45 @@ CommandResult CliSession::cmd_trace(const std::vector<std::string>& args) {
   if (args.size() < 2) return {false, false, usage};
   const auto& spans = system_->telemetry().spans();
   if (args[0] == "export") {
+    // Spans plus Perfetto counter lanes from the health monitor's series.
+    monitor_->sample_now();
     return write_file(args[1],
-                      telemetry::chrome_trace_json(spans, system_->engine().now()),
+                      obs::chrome_trace_with_counters(spans, system_->engine().now(),
+                                                      monitor_->store()),
                       "trace export");
   }
   if (args[0] == "csv") {
     return write_file(args[1], telemetry::spans_csv(spans), "trace csv");
   }
   return {false, false, usage};
+}
+
+CommandResult CliSession::cmd_health(const std::vector<std::string>& args) {
+  // Pull-refresh so the dashboard reflects the current virtual time even if
+  // the last periodic tick is up to one period old.
+  monitor_->sample_now();
+  if (args.empty()) return {true, false, monitor_->dashboard()};
+  if (args[0] == "csv") {
+    if (args.size() < 2) return {false, false, "usage: health csv <file>\n"};
+    return write_file(args[1], monitor_->store().csv(), "health csv");
+  }
+  if (args[0] == "path") return {true, false, monitor_->critical_path().table()};
+  return {false, false, "usage: health | health csv <file> | health path\n"};
+}
+
+CommandResult CliSession::cmd_slo() {
+  monitor_->sample_now();
+  return {true, false, monitor_->slo_table()};
+}
+
+CommandResult CliSession::cmd_top(const std::vector<std::string>& args) {
+  std::size_t n = 10;
+  if (!args.empty()) {
+    n = static_cast<std::size_t>(std::strtoull(args[0].c_str(), nullptr, 10));
+    if (n == 0) return {false, false, "usage: top [n]\n"};
+  }
+  monitor_->sample_now();
+  return {true, false, monitor_->top(n)};
 }
 
 }  // namespace snooze::cli

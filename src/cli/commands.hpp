@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/system.hpp"
+#include "obs/health_monitor.hpp"
 
 namespace snooze::cli {
 
@@ -37,6 +38,7 @@ class CliSession {
   [[nodiscard]] static std::string help();
 
   [[nodiscard]] core::SnoozeSystem& system() { return *system_; }
+  [[nodiscard]] obs::HealthMonitor& monitor() { return *monitor_; }
 
  private:
   CommandResult cmd_submit(const std::vector<std::string>& args);
@@ -49,8 +51,14 @@ class CliSession {
   CommandResult cmd_chaos(const std::vector<std::string>& args);
   CommandResult cmd_metrics(const std::vector<std::string>& args);
   CommandResult cmd_trace(const std::vector<std::string>& args);
+  CommandResult cmd_health(const std::vector<std::string>& args);
+  CommandResult cmd_slo();
+  CommandResult cmd_top(const std::vector<std::string>& args);
 
   std::unique_ptr<core::SnoozeSystem> system_;
+  /// Always-on health sampler over system_ (declared after it: destroyed
+  /// first, constructed second).
+  std::unique_ptr<obs::HealthMonitor> monitor_;
 };
 
 /// Tokenize a command line on whitespace.

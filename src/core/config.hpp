@@ -22,6 +22,35 @@ enum class AssignmentPolicyKind { kRoundRobin, kLeastLoaded };
 /// Which algorithm periodic reconfiguration runs.
 enum class ConsolidationKind { kNone, kFfd, kBfd, kAco };
 
+/// Declarative service-level objectives evaluated by obs::SloEvaluator
+/// against the live TimeSeriesStore. Thresholds are maxima ("the SLI must
+/// stay below"); a NaN SLI (no data yet) never counts as a breach. Alerts
+/// use burn/clear hysteresis: fire after `burn_samples` consecutive
+/// breaching samples, clear after `clear_samples` consecutive samples below
+/// `clear_fraction * threshold`.
+struct SloConfig {
+  sim::Time sample_period = 1.0;  ///< health-monitor cadence (DES clock)
+
+  double submit_p50_max_s = 5.0;   ///< submit→running latency median
+  double submit_p99_max_s = 10.0;  ///< submit→running latency tail
+  /// Failover MTTR: gm.fail of the acting GL → gl.reconciled. Default is the
+  /// heartbeat-derived bound from E13: session timeout (6 s) + one heartbeat
+  /// period (1 s) + gl_reconcile_window (2.5 s).
+  double failover_mttr_max_s = 9.5;
+  double energy_per_vm_hour_max_j = 2.0e6;  ///< cluster joules per VM-hour
+  /// Minimum accumulated VM-hours before the energy SLI is defined — the
+  /// ratio is dominated by idle baseline power until real work accumulates
+  /// (a cold cluster burns joules before any VM-hour exists), so the SLI
+  /// warms up rather than alerting on start-up transients.
+  double energy_min_vm_hours = 0.05;
+  double fence_rejected_per_min_max = 30.0;  ///< stale-command rejection rate
+  double heartbeat_staleness_max_s = 3.0;    ///< worst LC heartbeat age seen by GMs
+
+  int burn_samples = 3;    ///< consecutive breaches before an alert fires
+  int clear_samples = 5;   ///< consecutive good samples before it clears
+  double clear_fraction = 0.8;  ///< "good" = SLI < clear_fraction * threshold
+};
+
 struct SnoozeConfig {
   // --- heartbeat / failure detection --------------------------------------
   sim::Time gl_heartbeat_period = 1.0;
@@ -85,6 +114,9 @@ struct SnoozeConfig {
   /// Reschedule VMs of a failed LC from their last descriptor (the paper's
   /// optional snapshot-based recovery, §II.E).
   bool reschedule_failed_vms = false;
+
+  // --- observability ---------------------------------------------------------
+  SloConfig slo;
 };
 
 }  // namespace snooze::core

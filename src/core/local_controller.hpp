@@ -53,6 +53,11 @@ class LocalController final : public sim::Actor {
   /// Tripwire: stale GM-domain commands that reached the apply path (must
   /// stay 0; the chaos invariant checker flags any increase).
   [[nodiscard]] std::uint64_t stale_accepts() const { return gm_fence_.stale_accepts; }
+  /// Age of the newest GM heartbeat as seen at time t; 0 while not assigned
+  /// (an unassigned LC has no liveness expectation to be stale against).
+  [[nodiscard]] sim::Time gm_heartbeat_age(sim::Time t) const {
+    return state_ == State::kAssigned ? t - last_gm_heartbeat_ : 0.0;
+  }
 
   /// Useful work accrued by hosted VMs: running-VM-seconds minus migration
   /// downtime. The "application performance" proxy of experiment E4.

@@ -118,6 +118,15 @@ double SnoozeSystem::total_energy() const {
   return joules;
 }
 
+std::array<double, energy::kNumPowerClasses> SnoozeSystem::total_energy_by_state() const {
+  std::array<double, energy::kNumPowerClasses> total{};
+  for (const auto& lc : lcs_) {
+    const auto split = lc->host().meter().joules_by_class(engine_.now());
+    for (std::size_t i = 0; i < total.size(); ++i) total[i] += split[i];
+  }
+  return total;
+}
+
 std::string SnoozeSystem::hierarchy_dump() {
   std::ostringstream out;
   GroupManager* gl = leader();

@@ -4,6 +4,7 @@
 // examples and the system-level benchmarks (E3, E4, E5, E6) instantiate.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
@@ -76,6 +77,9 @@ class SnoozeSystem {
   [[nodiscard]] std::size_t suspended_lc_count() const;
   [[nodiscard]] double total_work() const;    ///< VM-seconds of useful work so far
   [[nodiscard]] double total_energy() const;  ///< joules across all LC nodes so far
+  /// Joules across all LC nodes split by power-state class (on/suspended/off);
+  /// the three entries sum to total_energy().
+  [[nodiscard]] std::array<double, energy::kNumPowerClasses> total_energy_by_state() const;
 
   /// Human-readable hierarchy snapshot (the CLI's "live visualization").
   [[nodiscard]] std::string hierarchy_dump();

@@ -1,0 +1,119 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace snooze::obs {
+
+namespace {
+
+// Phase indices double as nesting priority: when spans of two phases cover
+// the same instant, the higher index (deeper pipeline stage) wins.
+enum Phase : int { kWait = -1, kDiscovery = 0, kDispatch = 1, kScheduling = 2, kLcStart = 3 };
+constexpr std::array<const char*, 4> kPhaseNames = {"discovery", "dispatch",
+                                                    "scheduling", "lc_start"};
+
+Phase classify(const std::string& name) {
+  if (name == "rpc:ep.gl_query" || name == "ep.gl_query") return kDiscovery;
+  if (name == "rpc:gl.submit_vm" || name == "gl.dispatch" || name == "rpc:gm.place_vm") {
+    return kDispatch;
+  }
+  if (name == "gm.place") return kScheduling;
+  if (name == "rpc:lc.start_vm" || name == "lc.start_vm") return kLcStart;
+  return kWait;  // unknown: ignored, falls through to the enclosing phase
+}
+
+struct Interval {
+  double start;
+  double end;
+  Phase phase;
+};
+
+}  // namespace
+
+CriticalPathReport analyze_critical_path(const telemetry::SpanCollector& spans,
+                                         sim::Time now) {
+  CriticalPathReport report;
+  std::array<double, 5> seconds{};  // 4 phases + wait (last slot)
+
+  // Group spans by trace so one pass serves every submission.
+  std::map<std::uint64_t, std::vector<const telemetry::SpanRecord*>> by_trace;
+  std::map<std::uint64_t, const telemetry::SpanRecord*> roots;
+  for (const telemetry::SpanRecord& s : spans.spans()) {
+    by_trace[s.trace_id].push_back(&s);
+    if (s.parent_id == 0 && s.name == "client.submit") roots[s.trace_id] = &s;
+  }
+
+  std::vector<Interval> intervals;
+  std::vector<double> bounds;
+  for (const auto& [trace_id, root] : roots) {
+    if (root->open() || root->status != "ok") continue;  // never reached running
+    const double t0 = root->start;
+    const double t1 = root->end;
+    if (!(t1 > t0)) continue;
+
+    intervals.clear();
+    bounds.clear();
+    bounds.push_back(t0);
+    bounds.push_back(t1);
+    for (const telemetry::SpanRecord* s : by_trace[trace_id]) {
+      const Phase phase = classify(s->name);
+      if (phase == kWait) continue;
+      const double start = std::max(s->start, t0);
+      const double end = std::min(s->open() ? static_cast<double>(now) : s->end, t1);
+      if (!(end > start)) continue;
+      intervals.push_back({start, end, phase});
+      bounds.push_back(start);
+      bounds.push_back(end);
+    }
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+    // Elementary-interval sweep: assign each slice to the deepest cover.
+    for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+      const double lo = bounds[i];
+      const double hi = bounds[i + 1];
+      const double mid = lo + 0.5 * (hi - lo);
+      int best = kWait;
+      for (const Interval& iv : intervals) {
+        if (iv.start <= mid && mid < iv.end) best = std::max(best, static_cast<int>(iv.phase));
+      }
+      seconds[best == kWait ? 4 : static_cast<std::size_t>(best)] += hi - lo;
+    }
+    ++report.traces;
+    report.total_seconds += t1 - t0;
+  }
+
+  double attributed = 0.0;
+  for (std::size_t i = 0; i < kPhaseNames.size(); ++i) {
+    report.phases.push_back({kPhaseNames[i], seconds[i],
+                             report.total_seconds > 0.0 ? seconds[i] / report.total_seconds
+                                                        : 0.0});
+    attributed += seconds[i];
+  }
+  report.phases.push_back({"wait", seconds[4],
+                           report.total_seconds > 0.0 ? seconds[4] / report.total_seconds
+                                                      : 0.0});
+  report.coverage = report.total_seconds > 0.0 ? attributed / report.total_seconds : 0.0;
+  return report;
+}
+
+std::string CriticalPathReport::table() const {
+  std::ostringstream out;
+  util::Table table({"phase", "seconds", "share"});
+  for (const Phase& p : phases) {
+    table.add_row({p.name, util::Table::num(p.seconds, 4),
+                   util::Table::num(100.0 * p.fraction, 1) + "%"});
+  }
+  out << table.to_string();
+  out << "submissions analyzed: " << traces << ", total "
+      << util::Table::num(total_seconds, 3) << " s, coverage "
+      << util::Table::num(100.0 * coverage, 1) << "%\n";
+  return out.str();
+}
+
+}  // namespace snooze::obs

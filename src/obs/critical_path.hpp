@@ -1,0 +1,53 @@
+// Critical-path analysis of VM submission traces.
+//
+// Walks the span tree of every completed `client.submit` root span and
+// attributes each instant of its wall-clock to a phase of the submission
+// pipeline via an interval sweep: at any time, the instant belongs to the
+// *deepest* known phase whose span covers it (an LC start nested inside a
+// placement RPC counts as lc_start, not dispatch). Instants covered by no
+// known child span are client-side wait (retry backoff between attempts,
+// GL re-discovery during failover).
+//
+//   discovery   rpc:ep.gl_query / ep.gl_query     (which GL do I talk to?)
+//   dispatch    rpc:gl.submit_vm / gl.dispatch / rpc:gm.place_vm
+//   scheduling  gm.place                           (placement decision)
+//   lc_start    rpc:lc.start_vm / lc.start_vm      (boot on the node)
+//   wait        uncovered gaps in the root span
+//
+// `coverage` is the share attributed to the four mechanism phases (i.e.
+// excluding wait): the fraction of submit→running latency the pipeline can
+// actually explain. Spans with unrecognized names are ignored, so their time
+// falls through to the nearest enclosing known phase instead of silently
+// inflating coverage.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "telemetry/span.hpp"
+
+namespace snooze::obs {
+
+struct CriticalPathReport {
+  struct Phase {
+    std::string name;
+    double seconds = 0.0;
+    double fraction = 0.0;  ///< of total_seconds
+  };
+
+  std::vector<Phase> phases;   ///< fixed order: discovery, dispatch, scheduling, lc_start, wait
+  std::size_t traces = 0;      ///< completed-ok submissions analyzed
+  double total_seconds = 0.0;  ///< summed root-span wall-clock
+  double coverage = 0.0;       ///< non-wait share of total_seconds
+
+  /// Rendered per-phase table (deterministic).
+  [[nodiscard]] std::string table() const;
+};
+
+/// Analyze every closed, successful client.submit trace in the collector.
+[[nodiscard]] CriticalPathReport analyze_critical_path(
+    const telemetry::SpanCollector& spans, sim::Time now);
+
+}  // namespace snooze::obs

@@ -1,0 +1,53 @@
+#include "obs/slo.hpp"
+
+#include <cmath>
+
+namespace snooze::obs {
+
+std::optional<SloTransition> SloEvaluator::observe(std::string_view sli, double value,
+                                                   double threshold) {
+  auto it = slis_.find(sli);
+  if (it == slis_.end()) it = slis_.emplace(std::string(sli), SliStatus{}).first;
+  SliStatus& s = it->second;
+  s.value = value;
+  s.threshold = threshold;
+
+  if (std::isnan(value)) {
+    // No data: a breach streak cannot continue, but silence is not evidence
+    // of recovery either.
+    s.burn_streak = 0;
+    return std::nullopt;
+  }
+
+  const bool breached = value > threshold;
+  const bool clearly_good = value < config_.clear_fraction * threshold;
+
+  s.burn_streak = breached ? s.burn_streak + 1 : 0;
+  s.clear_streak = clearly_good ? s.clear_streak + 1 : 0;
+
+  if (s.state == AlertState::kOk) {
+    if (s.burn_streak >= config_.burn_samples) {
+      s.state = AlertState::kFiring;
+      s.clear_streak = 0;
+      ++s.times_fired;
+      return SloTransition{std::string(sli), true, value, threshold};
+    }
+  } else {
+    if (s.clear_streak >= config_.clear_samples) {
+      s.state = AlertState::kOk;
+      s.burn_streak = 0;
+      return SloTransition{std::string(sli), false, value, threshold};
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t SloEvaluator::firing_count() const {
+  std::size_t n = 0;
+  for (const auto& [name, s] : slis_) {
+    if (s.firing()) ++n;
+  }
+  return n;
+}
+
+}  // namespace snooze::obs

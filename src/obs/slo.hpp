@@ -1,0 +1,65 @@
+// SLI/SLO evaluation with burn/clear hysteresis.
+//
+// The evaluator is fed one value per SLI per sampling tick and compares it
+// to its threshold (all SLOs are maxima: "stay below"). An alert FIRES after
+// `burn_samples` consecutive breaching ticks — a single bad sample is noise,
+// a streak is an error-budget burn — and CLEARS only after `clear_samples`
+// consecutive ticks below `clear_fraction * threshold`, so an SLI oscillating
+// around its threshold cannot flap the alert. NaN means "no data": it resets
+// the burn streak but does not advance the clear streak (absence of evidence
+// neither fires nor clears).
+//
+// State transitions are returned to the caller (the HealthMonitor), which
+// records them in the sim trace so golden tests and chaos invariants can pin
+// exactly when alerts fired.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/config.hpp"
+
+namespace snooze::obs {
+
+struct SloTransition {
+  std::string sli;
+  bool fired = false;  ///< true: Ok -> Firing; false: Firing -> Ok
+  double value = 0.0;
+  double threshold = 0.0;
+};
+
+class SloEvaluator {
+ public:
+  enum class AlertState { kOk, kFiring };
+
+  struct SliStatus {
+    double value = 0.0;       ///< last observed value (NaN = no data yet)
+    double threshold = 0.0;
+    AlertState state = AlertState::kOk;
+    int burn_streak = 0;      ///< consecutive breaching samples
+    int clear_streak = 0;     ///< consecutive clearly-good samples while firing
+    std::uint64_t times_fired = 0;
+    [[nodiscard]] bool firing() const { return state == AlertState::kFiring; }
+  };
+
+  explicit SloEvaluator(const core::SloConfig& config) : config_(config) {}
+
+  /// Feed one sample of an SLI; returns the transition if the alert state
+  /// changed on this sample.
+  std::optional<SloTransition> observe(std::string_view sli, double value,
+                                       double threshold);
+
+  [[nodiscard]] const std::map<std::string, SliStatus, std::less<>>& status() const {
+    return slis_;
+  }
+  [[nodiscard]] std::size_t firing_count() const;
+  [[nodiscard]] const core::SloConfig& config() const { return config_; }
+
+ private:
+  core::SloConfig config_;
+  std::map<std::string, SliStatus, std::less<>> slis_;
+};
+
+}  // namespace snooze::obs

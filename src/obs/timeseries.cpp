@@ -1,0 +1,84 @@
+#include "obs/timeseries.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/csv.hpp"
+
+namespace snooze::obs {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::string fmt(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::size_t TimeSeriesStore::add_column(std::string name) {
+  assert(rows_.empty() && "register every column before the first append_row");
+  columns_.push_back(std::move(name));
+  return columns_.size() - 1;
+}
+
+void TimeSeriesStore::append_row(double t, const std::vector<double>& values) {
+  assert(values.size() == columns_.size());
+  rows_.push_back(Row{t, values});
+  if (max_rows_ != 0 && rows_.size() > max_rows_) {
+    rows_.pop_front();
+    ++dropped_;
+  }
+}
+
+double TimeSeriesStore::latest(std::size_t col) const {
+  return rows_.empty() ? kNaN : rows_.back().values[col];
+}
+
+double TimeSeriesStore::latest_time() const {
+  return rows_.empty() ? kNaN : rows_.back().time;
+}
+
+std::size_t TimeSeriesStore::window_base(double window) const {
+  const double cutoff = rows_.back().time - window;
+  // Rows are few thousand at most; a backwards linear scan beats binary
+  // search bookkeeping for the short windows the SLIs use.
+  std::size_t i = rows_.size() - 1;
+  while (i > 0 && rows_[i - 1].time > cutoff) --i;
+  return i > 0 ? i - 1 : 0;
+}
+
+double TimeSeriesStore::delta_over(std::size_t col, double window) const {
+  if (rows_.size() < 2) return kNaN;
+  const std::size_t base = window_base(window);
+  return rows_.back().values[col] - rows_[base].values[col];
+}
+
+double TimeSeriesStore::span_over(double window) const {
+  if (rows_.size() < 2) return kNaN;
+  return rows_.back().time - rows_[window_base(window)].time;
+}
+
+std::string TimeSeriesStore::csv() const {
+  std::vector<std::string> header;
+  header.reserve(columns_.size() + 1);
+  header.emplace_back("time");
+  for (const std::string& c : columns_) header.push_back(c);
+  std::string out = util::csv_row(header);
+  out += '\n';
+  std::vector<std::string> cells(columns_.size() + 1);
+  for (const Row& row : rows_) {
+    cells[0] = fmt(row.time);
+    for (std::size_t i = 0; i < row.values.size(); ++i) cells[i + 1] = fmt(row.values[i]);
+    out += util::csv_row(cells);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace snooze::obs

@@ -141,10 +141,12 @@ std::string metrics_table(const MetricsRegistry& registry) {
     out << table.to_string();
   }
   if (!registry.histograms().empty()) {
-    util::Table table({"histogram", "count", "mean", "p50", "p90", "p99", "max"});
+    util::Table table(
+        {"histogram", "count", "mean", "min", "p50", "p90", "p99", "max"});
     for (const auto& [name, hist] : registry.histograms()) {
       table.add_row({name, std::to_string(hist->count()),
                      util::Table::num(hist->mean(), 4),
+                     util::Table::num(hist->min(), 4),
                      util::Table::num(hist->percentile(0.5), 4),
                      util::Table::num(hist->percentile(0.9), 4),
                      util::Table::num(hist->percentile(0.99), 4),

@@ -40,7 +40,10 @@ double Histogram::percentile(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   // Target rank in [1, count]; walk the cumulative distribution and
-  // interpolate linearly inside the bucket containing the rank.
+  // interpolate inside the bucket containing the rank. Buckets are
+  // logarithmic, so interpolate geometrically (uniform in log space): the
+  // linear midpoint of a log-bucket overestimates by up to half the bucket
+  // ratio, which is exactly the p50/p99 bias the SLO evaluator cares about.
   const double target = std::max(1.0, q * static_cast<double>(count_));
   std::uint64_t cumulative = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
@@ -51,7 +54,12 @@ double Histogram::percentile(double q) const {
           (target - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
       const double lower = bucket_lower(i);
       const double upper = bucket_upper(i);
-      return std::clamp(lower + fraction * (upper - lower), min_, max_);
+      // The underflow bucket starts at 0 where log-space interpolation is
+      // undefined; fall back to linear there.
+      const double value = lower > 0.0
+                               ? lower * std::pow(upper / lower, fraction)
+                               : lower + fraction * (upper - lower);
+      return std::clamp(value, min_, max_);
     }
     cumulative += in_bucket;
   }
@@ -77,6 +85,10 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
   if (it != histograms_.end()) return *it->second;
   return *histograms_.emplace(std::string(name), std::make_unique<Histogram>())
               .first->second;
+}
+
+void MetricsRegistry::flush_gauges() {
+  for (auto& [name, gauge] : gauges_) gauge->flush();
 }
 
 const Counter* MetricsRegistry::find_counter(std::string_view name) const {

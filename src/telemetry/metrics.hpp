@@ -50,6 +50,11 @@ class Gauge {
 
   void set(double value) { acc_.set(engine_.now(), value); }
   void add(double delta) { acc_.set(engine_.now(), acc_.current() + delta); }
+  /// Fold the segment since the last set() into the stored integral at the
+  /// current virtual time without changing the value. Called at end-of-run
+  /// (and before exports) so the final held segment is committed even if the
+  /// gauge is read through a path that passes a stale timestamp.
+  void flush() { acc_.set(engine_.now(), acc_.current()); }
 
   [[nodiscard]] double current() const { return acc_.current(); }
   /// Integral of the signal from gauge creation to virtual now().
@@ -115,6 +120,10 @@ class MetricsRegistry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
+
+  /// Flush every gauge's pending time segment at the current virtual time.
+  /// Call at end-of-run / before exporting so the last held value is weighed.
+  void flush_gauges();
 
   /// Lookup without creating; nullptr when the metric does not exist.
   [[nodiscard]] const Counter* find_counter(std::string_view name) const;

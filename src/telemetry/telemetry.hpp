@@ -40,6 +40,10 @@ class Telemetry {
     metrics_.gauge("engine.peak_queue_depth")
         .set(static_cast<double>(st.peak_pending));
     metrics_.gauge("engine.events_per_sec_wall").set(engine.events_per_second());
+    // Exporters and the CLI read right after this call: commit every gauge's
+    // tail segment so the weighted means include the value held since the
+    // last set() up to virtual now().
+    metrics_.flush_gauges();
   }
 
  private:

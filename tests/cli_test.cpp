@@ -270,6 +270,55 @@ TEST(Cli, TraceCsvWritesSpans) {
   std::remove(path.c_str());
 }
 
+TEST(Cli, HealthRendersDashboardCsvAndCriticalPath) {
+  auto s = session();
+  s->execute("submit 2");
+  s->execute("run 10");
+
+  const auto dash = s->execute("health");
+  EXPECT_TRUE(dash.ok) << dash.output;
+  EXPECT_NE(dash.output.find("vms.running"), std::string::npos);
+  EXPECT_NE(dash.output.find("energy.joules"), std::string::npos);
+
+  const std::string path = testing::TempDir() + "/snooze_health.csv";
+  const auto csv = s->execute("health csv " + path);
+  EXPECT_TRUE(csv.ok) << csv.output;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header.rfind("time,", 0), 0u);
+  EXPECT_NE(header.find("submit.p99_s"), std::string::npos);
+  std::remove(path.c_str());
+
+  const auto cp = s->execute("health path");
+  EXPECT_TRUE(cp.ok) << cp.output;
+  EXPECT_NE(cp.output.find("lc_start"), std::string::npos);
+  EXPECT_NE(cp.output.find("coverage"), std::string::npos);
+}
+
+TEST(Cli, SloShowsPassFailPerSli) {
+  auto s = session();
+  s->execute("run 5");
+  const auto r = s->execute("slo");
+  EXPECT_TRUE(r.ok) << r.output;
+  EXPECT_NE(r.output.find("submit_p99"), std::string::npos);
+  EXPECT_NE(r.output.find("heartbeat_staleness"), std::string::npos);
+  // A freshly booted healthy cluster must not be in violation.
+  EXPECT_NE(r.output.find("all SLOs met"), std::string::npos);
+}
+
+TEST(Cli, TopListsBusiestNodes) {
+  auto s = session();
+  s->execute("submit 3");
+  s->execute("run 10");
+  const auto r = s->execute("top 2");
+  EXPECT_TRUE(r.ok) << r.output;
+  EXPECT_NE(r.output.find("lc-"), std::string::npos);
+  EXPECT_NE(r.output.find("vms"), std::string::npos);
+  EXPECT_FALSE(s->execute("top 0").ok);
+}
+
 TEST(Cli, MetricsAndTraceValidateArguments) {
   auto s = session();
   EXPECT_FALSE(s->execute("metrics").ok);

@@ -4,6 +4,7 @@
 // crossing client → EP → GL → GM → LC, including a retried RPC.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string_view>
 #include <vector>
 
@@ -42,6 +43,26 @@ TEST(Gauge, TimeWeightedIntegralAndAverage) {
   EXPECT_DOUBLE_EQ(g.average(), 40.0 / 15.0);
 }
 
+TEST(Gauge, FlushCommitsTailSegmentWithoutDoubleCounting) {
+  sim::Engine engine;
+  telemetry::MetricsRegistry registry(engine);
+  auto& g = registry.gauge("vms");
+  g.set(3.0);  // t = 0
+  engine.schedule(10.0, [&] {
+    // End-of-run flush: commits the 0..10 segment into the stored integral.
+    registry.flush_gauges();
+    registry.flush_gauges();  // idempotent at one timestamp
+  });
+  engine.schedule(15.0, [] {});
+  engine.run();
+
+  // A correct flush is invisible to integral()/average(): the 0..10 segment
+  // is committed once, and accumulation continues across it (3 * 15 = 45).
+  EXPECT_DOUBLE_EQ(g.current(), 3.0);
+  EXPECT_DOUBLE_EQ(g.integral(), 45.0);
+  EXPECT_DOUBLE_EQ(g.average(), 3.0);
+}
+
 TEST(Gauge, AddIsRelativeToCurrent) {
   sim::Engine engine;
   telemetry::MetricsRegistry registry(engine);
@@ -69,6 +90,26 @@ TEST(Histogram, IdenticalSamplesClampToExactValue) {
   EXPECT_DOUBLE_EQ(h.percentile(0.5), 1e-3);
   EXPECT_DOUBLE_EQ(h.percentile(1.0), 1e-3);
   EXPECT_DOUBLE_EQ(h.mean(), 1e-3);
+}
+
+TEST(Histogram, InBucketInterpolationIsGeometric) {
+  // Two samples spanning one log bucket ([1.0, 10^0.1) s): the p50 rank
+  // falls halfway through the bucket, so the interpolated value must be the
+  // bucket's geometric midpoint — strictly below the arithmetic midpoint a
+  // linear interpolation would report (the tail-percentile bias log buckets
+  // otherwise introduce).
+  telemetry::Histogram h;
+  const double lower = 1.0;
+  const double upper = 1e-6 * std::pow(10.0, 61.0 / 10.0);  // same bucket's top
+  h.observe(1.0);
+  h.observe(1.25);  // still inside [1.0, 1.2589...)
+
+  const double p50 = h.percentile(0.5);
+  EXPECT_NEAR(p50, std::sqrt(lower * upper), 1e-12);
+  EXPECT_LT(p50, 0.5 * (lower + upper));
+  // The top rank interpolates to the bucket upper bound, then clamps to the
+  // observed max.
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1.25);
 }
 
 TEST(Histogram, PercentilesOnBimodalDistribution) {
