@@ -24,6 +24,7 @@ ChaosRunResult run_chaos_schedule(const ChaosRunConfig& cfg,
   spec.config = cfg.config;
   spec.seed = cfg.seed;
   core::SnoozeSystem system(spec);
+  system.trace().set_max_records(cfg.max_trace_records);
   system.start();
   system.run_until_stable(cfg.stabilize_bound);
 
@@ -39,6 +40,19 @@ ChaosRunResult run_chaos_schedule(const ChaosRunConfig& cfg,
     monitor->start();
   }
 
+  std::unique_ptr<ops::Autoscaler> autoscaler;
+  if (cfg.ops.autoscaler) {
+    autoscaler = std::make_unique<ops::Autoscaler>(system, cfg.ops.autoscaler_config);
+    autoscaler->start();
+  }
+  std::unique_ptr<ops::RollingUpgrade> upgrade;
+  if (cfg.ops.upgrade_at >= 0.0) {
+    upgrade = std::make_unique<ops::RollingUpgrade>(system, monitor.get(),
+                                                    cfg.ops.upgrade_config);
+    ops::RollingUpgrade* up = upgrade.get();
+    system.engine().schedule(cfg.ops.upgrade_at, [up] { up->start(); });
+  }
+
   // Stagger the workload across the fault window so submissions race the
   // injected failures. VMs run unbounded: each accepted one must survive to
   // the final check unless its host was deliberately crashed.
@@ -51,6 +65,21 @@ ChaosRunResult run_chaos_schedule(const ChaosRunConfig& cfg,
         if (ok) checker.note_accepted(id);
       });
     });
+  }
+
+  // Optional flash crowd: finite-lifetime VMs (they terminate on their own,
+  // so they are not registered with the invariant checker — a legitimately
+  // expired VM is not a lost one).
+  if (cfg.burst_at >= 0.0) {
+    for (std::size_t i = 0; i < cfg.burst_vms; ++i) {
+      system.engine().schedule(
+          cfg.burst_at + cfg.burst_inter_arrival * static_cast<double>(i),
+          [&system, &cfg] {
+            system.client().submit(
+                system.make_vm({0.15, 0.15, 0.15}, cfg.burst_lifetime),
+                [](bool, net::Address, sim::Time) {});
+          });
+    }
   }
 
   system.engine().run_until(chaos_start + schedule.duration + 1.0);
@@ -101,6 +130,17 @@ ChaosRunResult run_chaos_schedule(const ChaosRunConfig& cfg,
     result.failover_mttr_s = std::isnan(mttr) ? -1.0 : mttr;
     if (cfg.capture_timeseries) result.timeseries_csv = monitor->store().csv();
   }
+  if (autoscaler) {
+    result.scale_ups = autoscaler->scale_ups();
+    result.scale_downs = autoscaler->scale_downs();
+  }
+  if (upgrade) {
+    result.upgrade_done = upgrade->state() == ops::UpgradeState::kDone;
+    result.upgrade_rolled_back = upgrade->state() == ops::UpgradeState::kRolledBack;
+    result.upgrade_waves_completed = upgrade->waves_completed();
+    result.upgrade_nodes = upgrade->nodes_upgraded();
+    result.upgrade_pauses = upgrade->pauses();
+  }
 
   std::ostringstream report;
   report << "chaos run: seed=" << cfg.seed << " faults=" << result.faults_injected
@@ -109,8 +149,18 @@ ChaosRunResult run_chaos_schedule(const ChaosRunConfig& cfg,
          << " fenced=" << result.fence_rejected
          << " stale_accepts=" << result.stale_accepts
          << " stepdowns=" << result.stepdowns
-         << " alerts=" << result.slo_alerts_fired << "\n"
-         << checker.report();
+         << " alerts=" << result.slo_alerts_fired;
+  if (autoscaler) {
+    report << " scale_ups=" << result.scale_ups
+           << " scale_downs=" << result.scale_downs;
+  }
+  if (upgrade) {
+    report << " upgrade=" << (result.upgrade_done ? "done"
+                              : result.upgrade_rolled_back ? "rolled_back"
+                                                           : "incomplete")
+           << " upgraded_nodes=" << result.upgrade_nodes;
+  }
+  report << "\n" << checker.report();
   result.report = report.str();
   return result;
 }

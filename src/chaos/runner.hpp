@@ -13,6 +13,8 @@
 #include "chaos/invariants.hpp"
 #include "chaos/schedule.hpp"
 #include "core/config.hpp"
+#include "ops/autoscaler.hpp"
+#include "ops/upgrade.hpp"
 #include "sim/trace.hpp"
 
 namespace snooze::chaos {
@@ -42,6 +44,32 @@ struct ChaosRunConfig {
   bool health_monitor = true;
   /// Copy the monitor's time-series CSV into ChaosRunResult::timeseries_csv.
   bool capture_timeseries = false;
+  /// sim::Trace ring cap (see Trace::set_max_records). Chaos runs default to
+  /// ring mode so long-horizon schedules hold memory flat; the cap is far
+  /// above what any short scenario records, so goldens never trim and their
+  /// hashes are unchanged. 0 = unbounded.
+  std::size_t max_trace_records = 65536;
+
+  // --- long-horizon operations (all off by default — adding an actor would
+  // perturb event order and every golden hash) ------------------------------
+  struct OpsOptions {
+    bool autoscaler = false;
+    ops::AutoscalerConfig autoscaler_config{};
+    /// Start a rolling upgrade this long after the chaos window opens
+    /// (< 0: no upgrade). The upgrade gates on the run's HealthMonitor.
+    sim::Time upgrade_at = -1.0;
+    ops::UpgradeConfig upgrade_config{};
+  };
+  OpsOptions ops{};
+
+  /// Optional flash-crowd burst: `burst_vms` submissions starting this long
+  /// after the chaos window opens (< 0: none), with a finite lifetime so the
+  /// demand recedes again — one full autoscale cycle (wake on the spike,
+  /// suspend on the trough) fits in a single scenario.
+  sim::Time burst_at = -1.0;
+  std::size_t burst_vms = 0;
+  sim::Time burst_inter_arrival = 0.25;
+  sim::Time burst_lifetime = 60.0;
 };
 
 struct ChaosRunResult {
@@ -68,6 +96,14 @@ struct ChaosRunResult {
   std::uint64_t failover_episodes = 0;
   double failover_mttr_s = -1.0;   ///< < 0: no completed failover episode
   std::string timeseries_csv;      ///< filled when cfg.capture_timeseries
+  // --- long-horizon operations (filled when cfg.ops enables them) ----------
+  std::uint64_t scale_ups = 0;
+  std::uint64_t scale_downs = 0;
+  bool upgrade_done = false;
+  bool upgrade_rolled_back = false;
+  std::uint64_t upgrade_waves_completed = 0;
+  std::uint64_t upgrade_nodes = 0;
+  std::uint64_t upgrade_pauses = 0;
   std::string report;
 
   [[nodiscard]] bool ok() const { return converged && invariants_ok; }

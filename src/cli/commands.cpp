@@ -1,5 +1,7 @@
 #include "cli/commands.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -59,6 +61,9 @@ std::string CliSession::help() {
          "  health path                                critical-path phase breakdown\n"
          "  slo                                        SLIs vs SLO thresholds (pass/fail)\n"
          "  top [n]                                    busiest LC nodes\n"
+         "  upgrade start [version] [wave_size]        SLO-gated rolling upgrade\n"
+         "  upgrade status                             waves, versions, pauses\n"
+         "  autoscale on | off | status                GL-driven LC power scaling\n"
          "  help                                       this screen\n"
          "  quit                                       leave\n";
 }
@@ -83,6 +88,8 @@ CommandResult CliSession::execute(const std::string& line) {
   if (cmd == "health") return cmd_health(args);
   if (cmd == "slo") return cmd_slo();
   if (cmd == "top") return cmd_top(args);
+  if (cmd == "upgrade") return cmd_upgrade(args);
+  if (cmd == "autoscale") return cmd_autoscale(args);
   return {false, false, "unknown command '" + cmd + "' (try 'help')\n"};
 }
 
@@ -353,6 +360,126 @@ CommandResult CliSession::cmd_top(const std::vector<std::string>& args) {
   }
   monitor_->sample_now();
   return {true, false, monitor_->top(n)};
+}
+
+namespace {
+
+const char* upgrade_state_name(ops::UpgradeState state) {
+  switch (state) {
+    case ops::UpgradeState::kIdle: return "idle";
+    case ops::UpgradeState::kRunning: return "running";
+    case ops::UpgradeState::kPaused: return "paused";
+    case ops::UpgradeState::kDone: return "done";
+    case ops::UpgradeState::kRolledBack: return "rolled_back";
+  }
+  return "?";
+}
+
+}  // namespace
+
+CommandResult CliSession::cmd_upgrade(const std::vector<std::string>& args) {
+  const std::string usage = "usage: upgrade start [version] [wave_size] | upgrade status\n";
+  if (args.empty()) return {false, false, usage};
+
+  auto versions = [this](std::ostringstream& out) {
+    std::uint32_t lo = ~0u, hi = 0;
+    for (const auto& lc : system_->local_controllers()) {
+      lo = std::min(lo, lc->software_version());
+      hi = std::max(hi, lc->software_version());
+    }
+    for (const auto& gm : system_->group_managers()) {
+      lo = std::min(lo, gm->software_version());
+      hi = std::max(hi, gm->software_version());
+    }
+    out << "fleet versions: v" << lo << (hi != lo ? ".." : "")
+        << (hi != lo ? "v" + std::to_string(hi) : "") << "\n";
+  };
+
+  if (args[0] == "status") {
+    std::ostringstream out;
+    versions(out);
+    if (upgrade_) {
+      out << "upgrade: " << upgrade_state_name(upgrade_->state()) << ", waves "
+          << upgrade_->waves_completed() << "/" << upgrade_->wave_count()
+          << ", nodes upgraded " << upgrade_->nodes_upgraded() << ", pauses "
+          << upgrade_->pauses() << ", rollbacks " << upgrade_->rollbacks() << "\n";
+    } else {
+      out << "no upgrade run in this session\n";
+    }
+    return {true, false, out.str()};
+  }
+  if (args[0] != "start") return {false, false, usage};
+  if (upgrade_ && !upgrade_->finished()) {
+    return {false, false, "upgrade: already in progress (see 'upgrade status')\n"};
+  }
+
+  ops::UpgradeConfig cfg;
+  // Default target: one above the highest version currently deployed.
+  std::uint32_t current = 0;
+  for (const auto& lc : system_->local_controllers()) {
+    current = std::max(current, lc->software_version());
+  }
+  for (const auto& gm : system_->group_managers()) {
+    current = std::max(current, gm->software_version());
+  }
+  cfg.target_version = current + 1;
+  if (args.size() > 1) {
+    const auto v = std::strtoul(args[1].c_str(), nullptr, 10);
+    if (v == 0) return {false, false, "upgrade: bad version\n"};
+    cfg.target_version = static_cast<std::uint32_t>(v);
+  }
+  if (args.size() > 2) {
+    const auto w = std::strtoul(args[2].c_str(), nullptr, 10);
+    if (w == 0) return {false, false, "upgrade: bad wave size\n"};
+    cfg.wave_size = w;
+  }
+  upgrade_ = std::make_unique<ops::RollingUpgrade>(*system_, monitor_.get(), cfg);
+  upgrade_->start();
+  // Drive the run to completion (or a pause that outlives the bound — the
+  // session stays interactive either way; 'run' advances a paused upgrade).
+  const sim::Time bound = system_->engine().now() + 3600.0;
+  while (!upgrade_->finished() && system_->engine().now() < bound &&
+         upgrade_->state() != ops::UpgradeState::kPaused) {
+    system_->engine().run_until(system_->engine().now() + 5.0);
+  }
+  std::ostringstream out;
+  out << "upgrade to v" << cfg.target_version << ": "
+      << upgrade_state_name(upgrade_->state()) << " after "
+      << upgrade_->waves_completed() << "/" << upgrade_->wave_count() << " waves ("
+      << upgrade_->nodes_upgraded() << " nodes, " << upgrade_->pauses()
+      << " pauses, " << upgrade_->forced_drains() << " forced drains)\n";
+  versions(out);
+  return {upgrade_->state() != ops::UpgradeState::kRolledBack, false, out.str()};
+}
+
+CommandResult CliSession::cmd_autoscale(const std::vector<std::string>& args) {
+  const std::string usage = "usage: autoscale on | off | status\n";
+  if (args.empty()) return {false, false, usage};
+  if (args[0] == "on") {
+    if (!autoscaler_) autoscaler_ = std::make_unique<ops::Autoscaler>(*system_);
+    autoscaler_->start();
+    return {true, false, "autoscaler on (advance time with 'run' to let it act)\n"};
+  }
+  if (args[0] == "off") {
+    if (autoscaler_) autoscaler_->stop();
+    return {true, false, "autoscaler off\n"};
+  }
+  if (args[0] != "status") return {false, false, usage};
+  std::ostringstream out;
+  if (!autoscaler_) {
+    out << "autoscaler: never enabled\n";
+  } else {
+    out << "autoscaler: " << (autoscaler_->running() ? "on" : "off")
+        << ", scale_ups " << autoscaler_->scale_ups() << ", scale_downs "
+        << autoscaler_->scale_downs();
+    if (!std::isnan(autoscaler_->last_utilization())) {
+      out << ", fleet utilization " << autoscaler_->last_utilization();
+    }
+    out << "\n";
+  }
+  out << "suspended LCs: " << system_->suspended_lc_count() << "/"
+      << system_->local_controllers().size() << "\n";
+  return {true, false, out.str()};
 }
 
 }  // namespace snooze::cli

@@ -13,6 +13,8 @@
 
 #include "core/system.hpp"
 #include "obs/health_monitor.hpp"
+#include "ops/autoscaler.hpp"
+#include "ops/upgrade.hpp"
 
 namespace snooze::cli {
 
@@ -54,11 +56,16 @@ class CliSession {
   CommandResult cmd_health(const std::vector<std::string>& args);
   CommandResult cmd_slo();
   CommandResult cmd_top(const std::vector<std::string>& args);
+  CommandResult cmd_upgrade(const std::vector<std::string>& args);
+  CommandResult cmd_autoscale(const std::vector<std::string>& args);
 
   std::unique_ptr<core::SnoozeSystem> system_;
   /// Always-on health sampler over system_ (declared after it: destroyed
   /// first, constructed second).
   std::unique_ptr<obs::HealthMonitor> monitor_;
+  /// Long-horizon operations, created on demand by their commands.
+  std::unique_ptr<ops::Autoscaler> autoscaler_;
+  std::unique_ptr<ops::RollingUpgrade> upgrade_;
 };
 
 /// Tokenize a command line on whitespace.

@@ -49,6 +49,11 @@ struct SloConfig {
   int burn_samples = 3;    ///< consecutive breaches before an alert fires
   int clear_samples = 5;   ///< consecutive good samples before it clears
   double clear_fraction = 0.8;  ///< "good" = SLI < clear_fraction * threshold
+
+  /// Trailing window of the alert-flap SLI (fire/clear transitions per
+  /// window across all SLIs). A healthy long-horizon run alerts rarely; a
+  /// flapping one oscillates — the soak gate reads this as a first-class SLI.
+  sim::Time flap_window_s = 3600.0;
 };
 
 struct SnoozeConfig {
@@ -114,6 +119,12 @@ struct SnoozeConfig {
   /// Reschedule VMs of a failed LC from their last descriptor (the paper's
   /// optional snapshot-based recovery, §II.E).
   bool reschedule_failed_vms = false;
+
+  // --- long-horizon memory bounds -------------------------------------------
+  /// GL submission-book entries not re-acknowledged by a GM summary within
+  /// this window are pruned (their VM terminated and the client's retry
+  /// horizon — seconds — is long past). 0 keeps the book forever.
+  sim::Time submission_book_retention = 600.0;
 
   // --- observability ---------------------------------------------------------
   SloConfig slo;

@@ -94,6 +94,7 @@ std::vector<LcInfo> GroupManager::lc_infos() const {
     info.reserved = record.reserved;
     info.estimated_used = record.used;
     info.powered_on = record.power == LcPower::kOn;
+    info.draining = record.draining;
     info.vm_count = static_cast<std::uint32_t>(record.vms.size());
     out.push_back(info);
   }
@@ -158,6 +159,7 @@ void GroupManager::gm_tick_heartbeat() {
 
 void GroupManager::gm_tick_summary() {
   if (leader_) return;  // the GL keeps no LCs and reports no summary
+  if (draining_) return;  // silent: the GL ages us out before our restart
   if (current_gl_ == net::kNullAddress) return;
   bump("gm.summaries");
   auto summary = net::make_message<GmSummary>();
@@ -177,8 +179,9 @@ void GroupManager::gm_tick_summary() {
 
 void GroupManager::handle_lc_join(const LcJoinRequest& req, net::Responder responder) {
   auto resp = std::make_shared<LcJoinResponse>();
-  if (leader_) {
-    // Dedicated roles: a GL does not manage LCs.
+  if (leader_ || draining_) {
+    // Dedicated roles: a GL does not manage LCs. A draining GM is about to
+    // restart and must not take responsibility for new nodes either.
     resp->ok = false;
     responder.respond(resp);
     return;
@@ -201,6 +204,7 @@ void GroupManager::handle_monitor(const LcMonitorData& data) {
   record.last_heartbeat = now();
   record.reserved = data.reserved;
   record.used = data.used;
+  record.draining = data.draining;
   // Reconcile the VM set: adopt new VMs (e.g. inherited after a GM failure),
   // drop those the LC no longer reports, update demand estimators.
   std::set<VmId> reported;
@@ -493,7 +497,7 @@ void GroupManager::handle_anomaly(const AnomalyEvent& event) {
 
   std::vector<LcInfo> others;
   for (const auto& [addr, lc] : lcs_) {
-    if (addr == event.lc || lc.power != LcPower::kOn) continue;
+    if (addr == event.lc || lc.power != LcPower::kOn || lc.draining) continue;
     LcInfo info;
     info.lc = addr;
     info.capacity = lc.capacity;
@@ -588,7 +592,7 @@ void GroupManager::gm_reconfigure() {
   std::vector<std::pair<net::Address, VmId>> vm_keys;
   consolidation::Instance instance;
   for (const auto& [addr, lc] : lcs_) {
-    if (lc.power != LcPower::kOn) continue;
+    if (lc.power != LcPower::kOn || lc.draining) continue;
     hosts.push_back(addr);
     instance.host_capacities.push_back(lc.capacity);
   }
@@ -599,7 +603,7 @@ void GroupManager::gm_reconfigure() {
   consolidation::Placement current;
   std::vector<consolidation::HostIndex> current_raw;
   for (const auto& [addr, lc] : lcs_) {
-    if (lc.power != LcPower::kOn) continue;
+    if (lc.power != LcPower::kOn || lc.draining) continue;
     for (const auto& [id, vm] : lc.vms) {
       instance.vm_demands.push_back(vm.requested);
       vm_keys.emplace_back(addr, id);
@@ -657,7 +661,7 @@ void GroupManager::gm_reconfigure() {
 void GroupManager::gm_energy_check() {
   if (leader_) return;
   for (auto& [addr, lc] : lcs_) {
-    if (lc.power != LcPower::kOn) continue;
+    if (lc.power != LcPower::kOn || lc.draining) continue;
     const bool idle = lc.vms.empty();
     if (!idle) {
       lc.idle_since = -1.0;
@@ -669,27 +673,134 @@ void GroupManager::gm_energy_check() {
     }
     if (now() - lc.idle_since < config_.idle_threshold) continue;
     // Idle past the administrator threshold: transition to low power.
-    ++counters_.suspends;
-    bump("gm.suspends");
-    lc.power = LcPower::kSuspended;  // optimistic; reverted on refusal
-    trace_event("gm.suspend");
-    auto req = std::make_shared<SuspendRequest>();
-    const net::Address target = addr;
-    stamp_lease(*req, target);
-    endpoint_.call(target, req, config_.rpc_timeout,
-                   [this, target](bool ok, const net::MsgPtr& reply) {
-      if (ok && handle_stale_lc_reply(reply, target)) return;
-      const auto* resp = ok ? net::msg_cast<SuspendResponse>(reply) : nullptr;
-      if (resp == nullptr || !resp->ok) {
-        const auto it = lcs_.find(target);
-        if (it != lcs_.end() && it->second.power == LcPower::kSuspended) {
-          it->second.power = LcPower::kOn;
-          it->second.last_heartbeat = now();
-          it->second.idle_since = -1.0;
-        }
-      }
-    });
+    gm_suspend_lc(addr);
   }
+}
+
+void GroupManager::gm_suspend_lc(net::Address target) {
+  ++counters_.suspends;
+  bump("gm.suspends");
+  lcs_[target].power = LcPower::kSuspended;  // optimistic; reverted on refusal
+  trace_event("gm.suspend");
+  auto req = std::make_shared<SuspendRequest>();
+  stamp_lease(*req, target);
+  endpoint_.call(target, req, config_.rpc_timeout,
+                 [this, target](bool ok, const net::MsgPtr& reply) {
+    if (ok && handle_stale_lc_reply(reply, target)) return;
+    const auto* resp = ok ? net::msg_cast<SuspendResponse>(reply) : nullptr;
+    if (resp == nullptr || !resp->ok) {
+      const auto it = lcs_.find(target);
+      if (it != lcs_.end() && it->second.power == LcPower::kSuspended) {
+        it->second.power = LcPower::kOn;
+        it->second.last_heartbeat = now();
+        it->second.idle_since = -1.0;
+      }
+    }
+  });
+}
+
+void GroupManager::gm_wake_lc(net::Address target) {
+  ++counters_.wakeups;
+  bump("gm.wakeups");
+  waking_.insert(target);
+  lcs_[target].power = LcPower::kWaking;
+  trace_event("gm.wakeup");
+  auto wake = std::make_shared<WakeupRequest>();
+  stamp_lease(*wake, target);
+  const sim::Time timeout = 30.0 + config_.rpc_timeout;  // covers resume latency
+  endpoint_.call(target, wake, timeout,
+                 [this, target](bool ok, const net::MsgPtr& reply) {
+    waking_.erase(target);
+    if (ok && handle_stale_lc_reply(reply, target)) return;
+    const auto* resp = ok ? net::msg_cast<WakeupResponse>(reply) : nullptr;
+    const auto it = lcs_.find(target);
+    if (it == lcs_.end()) return;
+    if (resp != nullptr && resp->ok) {
+      it->second.power = LcPower::kOn;
+      it->second.last_heartbeat = now();
+      it->second.idle_since = -1.0;
+    } else if (it->second.power == LcPower::kWaking) {
+      it->second.power = LcPower::kSuspended;
+    }
+  });
+}
+
+std::size_t GroupManager::scale_wake(std::size_t n) {
+  std::size_t commanded = 0;
+  for (const auto& [addr, lc] : lcs_) {
+    if (commanded >= n) break;
+    if (lc.power != LcPower::kSuspended || waking_.count(addr) > 0 || lc.draining) {
+      continue;
+    }
+    gm_wake_lc(addr);
+    ++commanded;
+  }
+  return commanded;
+}
+
+std::size_t GroupManager::scale_suspend(std::size_t n) {
+  std::vector<net::Address> idle;
+  for (const auto& [addr, lc] : lcs_) {
+    if (idle.size() >= n) break;
+    if (lc.power != LcPower::kOn || lc.draining || !lc.vms.empty()) continue;
+    idle.push_back(addr);
+  }
+  for (net::Address addr : idle) gm_suspend_lc(addr);
+  return idle.size();
+}
+
+// ---------------------------------------------------------------------------
+// GM role: maintenance (rolling upgrades)
+// ---------------------------------------------------------------------------
+
+void GroupManager::begin_drain() {
+  if (draining_ || !started_) return;
+  draining_ = true;
+  bump("gm.drains");
+  trace_event("gm.draining");
+  // A draining leader hands off first so the fleet keeps a GL while this
+  // node restarts.
+  if (leader_) step_down("drain");
+  // Resign the managed LCs back to the hierarchy; they rejoin another GM
+  // under fresh leases, which fences off any command we might still send.
+  if (!lcs_.empty()) {
+    auto resign = std::make_shared<GmResign>();
+    resign->gm = endpoint_.address();
+    endpoint_.multicast(gm_group_, resign);
+    lcs_.clear();
+    waking_.clear();
+  }
+}
+
+void GroupManager::cancel_drain() {
+  if (!draining_) return;
+  draining_ = false;
+  trace_event("gm.drain_cancelled");
+}
+
+std::size_t GroupManager::evacuate_lc(net::Address source) {
+  const auto source_it = lcs_.find(source);
+  if (source_it == lcs_.end()) return 0;
+  // First-fit each VM onto another powered-on, non-draining LC, accounting
+  // for the headroom already promised to earlier moves in this plan.
+  std::vector<RelocationMove> moves;
+  std::map<net::Address, ResourceVector> planned;
+  for (const auto& [id, vm] : source_it->second.vms) {
+    if (vm.migrating) continue;  // already on the wire
+    for (const auto& [addr, lc] : lcs_) {
+      if (addr == source || lc.power != LcPower::kOn || lc.draining) continue;
+      if ((lc.reserved + planned[addr] + vm.requested).fits_within(lc.capacity)) {
+        planned[addr] += vm.requested;
+        moves.push_back(RelocationMove{id, source, addr});
+        break;
+      }
+    }
+  }
+  if (!moves.empty()) {
+    trace_event("gm.evacuate", "moves=" + std::to_string(moves.size()));
+    execute_moves(moves);
+  }
+  return moves.size();
 }
 
 // ---------------------------------------------------------------------------
@@ -698,6 +809,12 @@ void GroupManager::gm_energy_check() {
 
 void GroupManager::become_leader(std::uint64_t epoch) {
   if (leader_) return;
+  if (draining_) {
+    // A node emptying out for a restart must not take the fleet's authority
+    // role; re-enter the election at the back of the queue instead.
+    election_.resign();
+    return;
+  }
   leader_ = true;
   ++counters_.elections_won;
   bump("gm.elections_won");
@@ -812,6 +929,19 @@ void GroupManager::gl_check_gm_liveness() {
       ++it;
     }
   }
+  prune_submission_book();
+}
+
+void GroupManager::prune_submission_book() {
+  const sim::Time retention = config_.submission_book_retention;
+  if (retention <= 0.0) return;
+  for (auto it = completed_submissions_.begin(); it != completed_submissions_.end();) {
+    if (now() - it->second.at > retention) {
+      it = completed_submissions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void GroupManager::handle_gm_summary(const GmSummary& summary) {
@@ -829,7 +959,7 @@ void GroupManager::handle_gm_summary(const GmSummary& summary) {
   // instance. Latest summary wins (a VM migrates between summaries at most
   // once per period).
   for (const auto& [vm, lc] : summary.vm_locations) {
-    completed_submissions_[vm] = {lc, summary.gm};
+    completed_submissions_[vm] = {lc, summary.gm, now()};
   }
 }
 
@@ -872,8 +1002,8 @@ void GroupManager::handle_submit(const SubmitVmRequest& req, telemetry::SpanCont
   if (done != completed_submissions_.end()) {
     auto resp = std::make_shared<SubmitVmResponse>();
     resp->ok = true;
-    resp->lc = done->second.first;
-    resp->gm = done->second.second;
+    resp->lc = done->second.lc;
+    resp->gm = done->second.gm;
     responder.respond(resp);
     return;
   }
@@ -948,7 +1078,7 @@ void GroupManager::dispatch_linear_search(VmDescriptor vm,
     const auto* resp = ok ? net::msg_cast<PlacementResponse>(reply) : nullptr;
     if (resp != nullptr && resp->ok) {
       inflight_submissions_.erase(vm.id);
-      completed_submissions_[vm.id] = {resp->lc, gm};
+      completed_submissions_[vm.id] = {resp->lc, gm, now()};
       telemetry::end_span(tel(), span, "ok");
       SubmitVmResponse out;
       out.ok = true;
@@ -1002,6 +1132,7 @@ void GroupManager::restart() {
   endpoint_.go_up();
   gl_fence_ = {};
   my_epoch_ = 0;
+  draining_ = false;
   trace_event("gm.restart");
   start();
 }

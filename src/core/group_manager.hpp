@@ -89,6 +89,36 @@ class GroupManager final : public sim::Actor {
     return {endpoint_.address(), election_.client_address()};
   }
 
+  // --- maintenance (rolling upgrades) ----------------------------------------
+  /// Software version this node runs; bumped by the upgrade orchestrator
+  /// across a drain-and-restart cycle.
+  [[nodiscard]] std::uint32_t software_version() const { return software_version_; }
+  void set_software_version(std::uint32_t v) { software_version_ = v; }
+
+  /// Enter drain mode ahead of a restart: a leader steps down, managed LCs
+  /// are resigned back to the hierarchy, new LC joins are refused and the
+  /// summary stream stops (so the GL ages this GM out gracefully).
+  void begin_drain();
+  void cancel_drain();
+  [[nodiscard]] bool draining() const { return draining_; }
+
+  /// Migrate every (non-migrating) VM off `source` to other powered-on,
+  /// non-draining LCs of this group, first-fit with headroom accounting.
+  /// Returns the number of migrations commanded.
+  std::size_t evacuate_lc(net::Address source);
+
+  // --- cluster autoscaling (GL-driven, executed per GM) ----------------------
+  /// Wake up to `n` suspended LCs; returns how many wakeups were commanded.
+  std::size_t scale_wake(std::size_t n);
+  /// Suspend up to `n` idle powered-on LCs (bypassing the idle threshold —
+  /// the caller already decided the fleet has excess capacity).
+  std::size_t scale_suspend(std::size_t n);
+
+  /// GL-side idempotency book size (RSS proxy for long-run soak gates).
+  [[nodiscard]] std::size_t submission_book_size() const {
+    return completed_submissions_.size();
+  }
+
   // --- fault injection ---------------------------------------------------------
   void fail();
   void restart();
@@ -116,6 +146,9 @@ class GroupManager final : public sim::Actor {
     /// Lease epoch the LC minted at join time; stamped on every command we
     /// send it so a successor GM's newer lease fences us off.
     std::uint64_t lease_epoch = 0;
+    /// Reported by the LC while it empties out for a restart: no new
+    /// placements, no relocation/consolidation targets, no suspends.
+    bool draining = false;
     std::map<VmId, VmRecord> vms;
   };
   // The GL's view of a GM.
@@ -152,6 +185,10 @@ class GroupManager final : public sim::Actor {
                              net::Responder responder);
   void execute_moves(const std::vector<RelocationMove>& moves);
   void reschedule_vm(const VmDescriptor& vm);
+  /// Command one LC to suspend / wake (the shared machinery behind the idle
+  /// energy check and the autoscaler's capacity decisions).
+  void gm_suspend_lc(net::Address target);
+  void gm_wake_lc(net::Address target);
   [[nodiscard]] std::vector<VmLoad> vm_loads(const LcRecord& record) const;
   void on_lc_failed(net::Address lc);
 
@@ -173,6 +210,11 @@ class GroupManager final : public sim::Actor {
                      const SubmitVmResponse& result);
   void handle_gm_summary(const GmSummary& summary);
   void handle_gl_heartbeat(const GlHeartbeat& hb);
+  /// Drop submission-book entries unrefreshed for longer than the retention
+  /// window (a live VM is re-acknowledged by every GM summary; an entry that
+  /// stopped refreshing belongs to a terminated VM whose client is long
+  /// gone). Bounds the book on long-horizon runs.
+  void prune_submission_book();
 
   void trace_event(std::string_view kind, std::string_view detail = {});
 
@@ -192,6 +234,8 @@ class GroupManager final : public sim::Actor {
 
   bool started_ = false;
   bool leader_ = false;
+  bool draining_ = false;
+  std::uint32_t software_version_ = 1;
   net::Address current_gl_ = net::kNullAddress;
   /// Fence for the GL authority domain: tracks the highest GL epoch seen
   /// (from heartbeats and fenced commands) and rejects stale dispatches.
@@ -212,9 +256,16 @@ class GroupManager final : public sim::Actor {
   // duplicates of in-flight submissions are parked and answered with the
   // first dispatch's outcome (the client's submit deadline is shorter than
   // our worst-case placement, so retries legitimately race the original).
-  // The completed map grows with the VM count of a GL term — bounded in
-  // practice by the fleet capacity, and cleared on failover.
-  std::map<VmId, std::pair<net::Address, net::Address>> completed_submissions_;
+  // The completed map is refreshed by GM summaries for live VMs and pruned
+  // after SnoozeConfig::submission_book_retention for entries that stopped
+  // refreshing (terminated VMs), so it stays bounded by the live fleet on
+  // long-horizon runs. Cleared on failover.
+  struct CompletedSubmission {
+    net::Address lc = net::kNullAddress;
+    net::Address gm = net::kNullAddress;
+    sim::Time at = 0.0;  ///< last acknowledgment (placement or summary refresh)
+  };
+  std::map<VmId, CompletedSubmission> completed_submissions_;
   std::set<VmId> inflight_submissions_;
   std::map<VmId, std::vector<net::Responder>> submit_waiters_;
 

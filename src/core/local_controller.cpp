@@ -156,6 +156,25 @@ void LocalController::handle_gm_heartbeat() {
   if (state_ == State::kAssigned) last_gm_heartbeat_ = now();
 }
 
+// --- maintenance (rolling upgrades) ------------------------------------------
+
+void LocalController::begin_drain() {
+  if (draining_ || state_ == State::kStopped) return;
+  draining_ = true;
+  bump("lc.drains");
+  trace_event("lc.draining");
+  // Push the flag to the GM immediately so its next placement skips us
+  // rather than waiting out a monitor period.
+  send_monitor_data();
+}
+
+void LocalController::cancel_drain() {
+  if (!draining_) return;
+  draining_ = false;
+  trace_event("lc.drain_cancelled");
+  if (state_ == State::kAssigned && serving()) send_monitor_data();
+}
+
 void LocalController::check_gm_liveness() {
   if (state_ != State::kAssigned || !serving()) return;
   const sim::Time window =
@@ -190,6 +209,7 @@ void LocalController::send_monitor_data() {
     data->vms.push_back(
         LcMonitorData::VmUsage{id, vm->spec().requested, vm->used(now()), migrating});
   }
+  data->draining = draining_;
   endpoint_.send(gm_, data);
 }
 
@@ -271,7 +291,9 @@ void LocalController::handle_start_vm(const StartVmRequest& req,
                                       net::Responder responder) {
   const auto span = telemetry::begin_span(tel(), ctx, "lc.start_vm", name(),
                                           "vm=" + std::to_string(req.vm.id));
-  if (!host_.can_place(req.vm.requested)) {
+  // A draining node accepts no new placements (it is emptying out for a
+  // restart); in-flight outbound migrations still complete.
+  if (draining_ || !host_.can_place(req.vm.requested)) {
     bump("lc.starts_rejected");
     telemetry::end_span(tel(), span, "rejected");
     auto resp = std::make_shared<StartVmResponse>();
@@ -443,7 +465,9 @@ void LocalController::handle_adopt(const AdoptVmRequest& req, net::Responder res
     responder.respond(resp);
     return;
   }
-  if (!host_.can_place(req.vm.requested)) {
+  // Refuse new inbound migrations while draining: the source aborts cleanly
+  // and keeps its copy running (the migration protocol's failure path).
+  if (draining_ || !host_.can_place(req.vm.requested)) {
     resp->ok = false;
     responder.respond(resp);
     return;
@@ -576,6 +600,7 @@ void LocalController::restart() {
   endpoint_.go_up();
   gm_ = net::kNullAddress;
   gm_group_ = 0;
+  draining_ = false;  // a restarted node serves fresh traffic again
   pending_wakeup_ = false;
   wakeup_responder_.reset();
   host_.set_power_state(now(), PowerState::kBooting);

@@ -59,6 +59,24 @@ class LocalController final : public sim::Actor {
     return state_ == State::kAssigned ? t - last_gm_heartbeat_ : 0.0;
   }
 
+  // --- maintenance (rolling upgrades) ---------------------------------------
+  /// Software version this node runs; bumped by the upgrade orchestrator
+  /// across a drain-and-restart cycle.
+  [[nodiscard]] std::uint32_t software_version() const { return software_version_; }
+  void set_software_version(std::uint32_t v) { software_version_ = v; }
+
+  /// Enter drain mode: no new placements or inbound adoptions are accepted,
+  /// but in-flight outbound migrations run to completion. Cleared on restart.
+  void begin_drain();
+  void cancel_drain();
+  [[nodiscard]] bool draining() const { return draining_; }
+  /// Drained = nothing left to hand off: no hosted VMs and the migration
+  /// link is quiet. A crashed node is trivially drained.
+  [[nodiscard]] bool drained() const {
+    return state_ == State::kStopped ||
+           (host_.vm_count() == 0 && !migration_active_ && migration_queue_.empty());
+  }
+
   /// Useful work accrued by hosted VMs: running-VM-seconds minus migration
   /// downtime. The "application performance" proxy of experiment E4.
   [[nodiscard]] double total_work(sim::Time t) const;
@@ -129,6 +147,8 @@ class LocalController final : public sim::Actor {
   sim::Trace* trace_;
 
   State state_ = State::kStopped;
+  bool draining_ = false;
+  std::uint32_t software_version_ = 1;
   net::Address gl_ = net::kNullAddress;
   net::Address gm_ = net::kNullAddress;
   /// Fence for the GM authority domain. The LC mints a fresh lease epoch on

@@ -81,6 +81,9 @@ struct LcMonitorData final : net::Message {
     bool migrating = false;
   };
   std::vector<VmUsage> vms;
+  /// True while the node is being drained for maintenance (rolling upgrade):
+  /// the GM must stop placing new VMs on it and let it empty out.
+  bool draining = false;
   [[nodiscard]] std::string_view type() const override { return "lc.monitor"; }
   [[nodiscard]] std::size_t wire_size() const override { return 96 + vms.size() * 72; }
 };

@@ -41,10 +41,11 @@ struct LcInfo {
   ResourceVector reserved;        ///< sum of requested capacity of its VMs
   ResourceVector estimated_used;  ///< demand estimate from monitoring
   bool powered_on = true;
+  bool draining = false;  ///< drained for maintenance: no new placements
   std::uint32_t vm_count = 0;
 
   [[nodiscard]] bool fits(const ResourceVector& demand) const {
-    return powered_on && (reserved + demand).fits_within(capacity);
+    return powered_on && !draining && (reserved + demand).fits_within(capacity);
   }
   [[nodiscard]] double utilization() const {
     return estimated_used.max_utilization(capacity);

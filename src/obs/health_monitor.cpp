@@ -60,6 +60,7 @@ HealthMonitor::HealthMonitor(core::SnoozeSystem& system, std::size_t max_rows)
   col_.submit_p50 = store_.add_column("submit.p50_s");
   col_.submit_p99 = store_.add_column("submit.p99_s");
   col_.slo_firing = store_.add_column("slo.firing");
+  col_.slo_flaps = store_.add_column("slo.flaps_per_hour");
 }
 
 void HealthMonitor::start() {
@@ -81,11 +82,27 @@ double HealthMonitor::failover_mttr() const {
 void HealthMonitor::scan_trace() {
   const sim::Trace& trace = system_.trace();
   const auto& records = trace.records();
-  const std::uint64_t total = trace.dropped() + records.size();
-  // Records already scanned but since trimmed shift the resume index.
-  std::size_t begin = scanned_records_ > trace.dropped()
-                          ? static_cast<std::size_t>(scanned_records_ - trace.dropped())
-                          : 0;
+  const std::uint64_t dropped = trace.dropped();
+  const std::uint64_t total = dropped + records.size();
+  if (total < scanned_records_) {
+    // The trace was cleared (dropped resets with it): restart from whatever
+    // is retained now rather than indexing past the end.
+    scanned_records_ = dropped;
+    episode_started_ = -1.0;
+    current_gl_.clear();
+  }
+  if (scanned_records_ < dropped) {
+    // The ring trimmed records the scan never saw. An election or
+    // reconciliation may have been inside the gap, so closing an open episode
+    // against the next boundary would fabricate an MTTR sample; drop the open
+    // episode and the GL identity instead and resume from the retained tail.
+    ++scan_gaps_;
+    episode_started_ = -1.0;
+    current_gl_.clear();
+    scanned_records_ = dropped;
+  }
+  const std::size_t begin =
+      std::min(static_cast<std::size_t>(scanned_records_ - dropped), records.size());
   for (std::size_t i = begin; i < records.size(); ++i) {
     const sim::TraceRecord& r = records[i];
     if (r.kind == "gm.elected_gl") {
@@ -179,6 +196,10 @@ void HealthMonitor::sample_now() {
   row[col_.submit_p50] = p50;
   row[col_.submit_p99] = p99;
   row[col_.slo_firing] = static_cast<double>(slo_.firing_count());
+  // Flap rate normalized to per-hour whatever the configured window.
+  const double flap_window = slo_.config().flap_window_s;
+  row[col_.slo_flaps] =
+      flap_window > 0.0 ? slo_.flaps_in_window(now) * 3600.0 / flap_window : 0.0;
   store_.append_row(now, row);
 
   evaluate_slos(now);
@@ -214,7 +235,7 @@ void HealthMonitor::evaluate_slos(double now) {
       {"submit_p99", store_.latest(col_.submit_p99), cfg.submit_p99_max_s},
   };
   for (const auto& sli : slis) {
-    const auto transition = slo_.observe(sli.name, sli.value, sli.threshold);
+    const auto transition = slo_.observe(sli.name, sli.value, sli.threshold, now);
     if (!transition) continue;
     if (transition->fired) {
       ++alerts_fired_;
@@ -231,7 +252,8 @@ void HealthMonitor::evaluate_slos(double now) {
   }
   telemetry::gauge_set(&system_.telemetry(), "slo.firing",
                        static_cast<double>(slo_.firing_count()));
-  (void)now;
+  telemetry::gauge_set(&system_.telemetry(), "slo.flaps_per_hour",
+                       store_.latest(col_.slo_flaps));
 }
 
 CriticalPathReport HealthMonitor::critical_path() const {

@@ -59,6 +59,12 @@ class HealthMonitor final : public sim::Actor {
   [[nodiscard]] std::uint64_t failover_episodes() const { return mttr_count_; }
   [[nodiscard]] double failover_mttr() const;
 
+  /// Times the trace ring trimmed records the incremental scan never saw.
+  /// Each gap resets the open-episode bookkeeping (an election or
+  /// reconciliation may have been inside the trimmed span); MTTR episodes
+  /// spanning a gap are dropped rather than mis-closed.
+  [[nodiscard]] std::uint64_t scan_gaps() const { return scan_gaps_; }
+
   /// Critical-path breakdown over all completed submissions so far.
   [[nodiscard]] CriticalPathReport critical_path() const;
 
@@ -82,12 +88,13 @@ class HealthMonitor final : public sim::Actor {
     std::size_t energy_j, energy_on_j, energy_suspended_j, energy_off_j;
     std::size_t work_vm_s, hb_staleness, queue_depth;
     std::size_t placements, migrations, submits, fence_rejected;
-    std::size_t mttr_s, failovers, submit_p50, submit_p99, slo_firing;
+    std::size_t mttr_s, failovers, submit_p50, submit_p99, slo_firing, slo_flaps;
   } col_{};
 
   // Incremental sim-trace scan state (survives ring-buffer trimming via the
   // dropped() offset).
   std::uint64_t scanned_records_ = 0;
+  std::uint64_t scan_gaps_ = 0;    ///< ring trimmed unscanned records
   std::string current_gl_;      ///< actor name of the acting GL
   double episode_started_ = -1.0;  ///< < 0: no failover episode open
   double mttr_sum_ = 0.0;

@@ -5,7 +5,7 @@
 namespace snooze::obs {
 
 std::optional<SloTransition> SloEvaluator::observe(std::string_view sli, double value,
-                                                   double threshold) {
+                                                   double threshold, double now) {
   auto it = slis_.find(sli);
   if (it == slis_.end()) it = slis_.emplace(std::string(sli), SliStatus{}).first;
   SliStatus& s = it->second;
@@ -25,21 +25,40 @@ std::optional<SloTransition> SloEvaluator::observe(std::string_view sli, double 
   s.burn_streak = breached ? s.burn_streak + 1 : 0;
   s.clear_streak = clearly_good ? s.clear_streak + 1 : 0;
 
+  std::optional<SloTransition> transition;
   if (s.state == AlertState::kOk) {
     if (s.burn_streak >= config_.burn_samples) {
       s.state = AlertState::kFiring;
       s.clear_streak = 0;
       ++s.times_fired;
-      return SloTransition{std::string(sli), true, value, threshold};
+      transition = SloTransition{std::string(sli), true, value, threshold};
     }
   } else {
     if (s.clear_streak >= config_.clear_samples) {
       s.state = AlertState::kOk;
       s.burn_streak = 0;
-      return SloTransition{std::string(sli), false, value, threshold};
+      transition = SloTransition{std::string(sli), false, value, threshold};
     }
   }
-  return std::nullopt;
+
+  if (transition) {
+    ++total_transitions_;
+    transition_times_.push_back(now);
+    prune_transitions(now);
+  }
+  return transition;
+}
+
+double SloEvaluator::flaps_in_window(double now) {
+  prune_transitions(now);
+  return static_cast<double>(transition_times_.size());
+}
+
+void SloEvaluator::prune_transitions(double now) {
+  const double horizon = now - config_.flap_window_s;
+  while (!transition_times_.empty() && transition_times_.front() < horizon) {
+    transition_times_.pop_front();
+  }
 }
 
 std::size_t SloEvaluator::firing_count() const {

@@ -14,6 +14,7 @@
 // exactly when alerts fired.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <optional>
 #include <string>
@@ -47,19 +48,31 @@ class SloEvaluator {
   explicit SloEvaluator(const core::SloConfig& config) : config_(config) {}
 
   /// Feed one sample of an SLI; returns the transition if the alert state
-  /// changed on this sample.
+  /// changed on this sample. `now` (virtual time, seconds) timestamps any
+  /// transition for the trailing-window flap counter.
   std::optional<SloTransition> observe(std::string_view sli, double value,
-                                       double threshold);
+                                       double threshold, double now = 0.0);
 
   [[nodiscard]] const std::map<std::string, SliStatus, std::less<>>& status() const {
     return slis_;
   }
   [[nodiscard]] std::size_t firing_count() const;
+
+  /// Alert flaps: fire + clear transitions across all SLIs inside the
+  /// trailing SloConfig::flap_window_s window ending at `now`. A first-class
+  /// SLI for soak gating — a stable run transitions rarely, a flapping one
+  /// oscillates. O(expired) amortized; the deque is bounded by the window.
+  [[nodiscard]] double flaps_in_window(double now);
+  [[nodiscard]] std::uint64_t total_transitions() const { return total_transitions_; }
   [[nodiscard]] const core::SloConfig& config() const { return config_; }
 
  private:
+  void prune_transitions(double now);
+
   core::SloConfig config_;
   std::map<std::string, SliStatus, std::less<>> slis_;
+  std::deque<double> transition_times_;  ///< pruned to the flap window
+  std::uint64_t total_transitions_ = 0;
 };
 
 }  // namespace snooze::obs

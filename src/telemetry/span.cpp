@@ -8,27 +8,37 @@ SpanContext SpanCollector::begin(std::uint64_t trace_id, std::uint64_t parent_sp
   if (trace_id == 0) return {};
   SpanRecord record;
   record.trace_id = trace_id;
-  record.span_id = spans_.size() + 1;
+  record.span_id = dropped_ + spans_.size() + 1;
   record.parent_id = parent_span;
   record.name = name;
   record.actor = actor;
   record.detail = detail;
   record.start = engine_.now();
   spans_.push_back(std::move(record));
-  return {trace_id, spans_.back().span_id};
+  const std::uint64_t id = spans_.back().span_id;
+  if (max_spans_ != 0 && spans_.size() >= 2 * max_spans_) {
+    const std::size_t trim = spans_.size() - max_spans_;
+    spans_.erase(spans_.begin(),
+                 spans_.begin() + static_cast<std::ptrdiff_t>(trim));
+    dropped_ += trim;
+  }
+  return {trace_id, id};
 }
 
 void SpanCollector::end(const SpanContext& ctx, std::string_view status) {
-  if (!ctx.valid() || ctx.span_id == 0 || ctx.span_id > spans_.size()) return;
-  SpanRecord& record = spans_[ctx.span_id - 1];
+  if (!ctx.valid() || ctx.span_id <= dropped_ ||
+      ctx.span_id > dropped_ + spans_.size()) {
+    return;
+  }
+  SpanRecord& record = spans_[static_cast<std::size_t>(ctx.span_id - dropped_ - 1)];
   if (!record.open()) return;  // the first end() wins
   record.end = engine_.now();
   record.status = status;
 }
 
 const SpanRecord* SpanCollector::find(std::uint64_t span_id) const {
-  if (span_id == 0 || span_id > spans_.size()) return nullptr;
-  return &spans_[span_id - 1];
+  if (span_id <= dropped_ || span_id > dropped_ + spans_.size()) return nullptr;
+  return &spans_[static_cast<std::size_t>(span_id - dropped_ - 1)];
 }
 
 std::vector<const SpanRecord*> SpanCollector::trace_spans(std::uint64_t trace_id) const {

@@ -51,8 +51,19 @@ class SpanCollector {
                     std::string_view detail = {});
 
   /// Close a span; idempotent (the first end() wins), no-op on an invalid
-  /// or unknown context.
+  /// or unknown context — including a context whose span the ring already
+  /// trimmed (a trimmed span simply stays "open" in the export, which only
+  /// sees retained records anyway).
   void end(const SpanContext& ctx, std::string_view status = "ok");
+
+  /// Bound retained spans for long-horizon runs: once the buffer reaches
+  /// 2*max_spans the oldest half is trimmed (amortized O(1) per begin(),
+  /// like sim::Trace ring mode). Span ids keep growing monotonically; the
+  /// `dropped()` offset maps ids to retained indices. 0 = unbounded
+  /// (default — short runs keep full causal trees).
+  void set_max_spans(std::size_t max_spans) { max_spans_ = max_spans; }
+  [[nodiscard]] std::size_t max_spans() const { return max_spans_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
 
   [[nodiscard]] const std::vector<SpanRecord>& spans() const { return spans_; }
   [[nodiscard]] std::size_t size() const { return spans_.size(); }
@@ -67,7 +78,9 @@ class SpanCollector {
  private:
   sim::Engine& engine_;
   std::uint64_t next_trace_id_ = 1;
-  std::vector<SpanRecord> spans_;  // span_id == index + 1 (O(1) end())
+  std::vector<SpanRecord> spans_;  // span_id == dropped_ + index + 1 (O(1) end())
+  std::size_t max_spans_ = 0;      // 0 = unbounded
+  std::uint64_t dropped_ = 0;      // spans trimmed off the front
 };
 
 }  // namespace snooze::telemetry

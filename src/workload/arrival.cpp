@@ -1,0 +1,56 @@
+#include "workload/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace snooze::workload {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+}
+
+RateFn constant_rate(double rate) {
+  const double r = std::max(0.0, rate);
+  return [r](sim::Time) { return r; };
+}
+
+RateFn diurnal_rate(double base, double amplitude, double period, double phase) {
+  return [=](sim::Time t) {
+    const double value = base + amplitude * std::sin(kTwoPi * (t + phase) / period);
+    return std::max(0.0, value);
+  };
+}
+
+RateFn with_flash_crowds(RateFn base, std::vector<FlashCrowd> crowds) {
+  return [base = std::move(base), crowds = std::move(crowds)](sim::Time t) {
+    double rate = base(t);
+    for (const FlashCrowd& crowd : crowds) {
+      if (t >= crowd.at && t < crowd.at + crowd.duration) rate += crowd.rate;
+    }
+    return std::max(0.0, rate);
+  };
+}
+
+std::vector<sim::Time> poisson_arrivals(const RateFn& rate, double peak_rate,
+                                        sim::Time horizon, std::uint64_t seed) {
+  std::vector<sim::Time> arrivals;
+  if (peak_rate <= 0.0 || horizon <= 0.0) return arrivals;
+  util::Rng rng(seed);
+  sim::Time t = 0.0;
+  for (;;) {
+    // Candidate from the homogeneous envelope process...
+    t += rng.exponential(peak_rate);
+    if (t >= horizon) break;
+    // ...kept with probability rate(t)/peak_rate (Lewis-Shedler thinning).
+    // Draw unconditionally so the RNG stream, and hence every retained
+    // arrival, is independent of how rate(t) partitions the candidates.
+    const double u = rng.uniform();
+    if (u * peak_rate < rate(t)) arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+}  // namespace snooze::workload

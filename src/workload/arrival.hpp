@@ -1,0 +1,47 @@
+// Time-varying VM arrival processes for long-horizon runs.
+//
+// A RateFn is a pure function of virtual time returning an instantaneous
+// arrival rate in VMs/second; shapes compose (diurnal base + flash crowds).
+// poisson_arrivals() materializes a non-homogeneous Poisson process from a
+// RateFn by Lewis-Shedler thinning against an explicit peak rate — fully
+// deterministic for a given seed, so soak runs replay byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace snooze::workload {
+
+/// Instantaneous arrival rate (VMs/second) as a pure function of time.
+using RateFn = std::function<double(sim::Time)>;
+
+/// Always `rate` (floored at 0).
+RateFn constant_rate(double rate);
+
+/// Diurnal demand: base + amplitude * sin(2*pi*(t+phase)/period), floored at
+/// 0. `period` in seconds (86400 for a day); with phase = 0 the peak is at
+/// period/4 (mid-morning if t=0 is midnight) and the trough at 3*period/4.
+RateFn diurnal_rate(double base, double amplitude, double period = 86400.0,
+                    double phase = 0.0);
+
+/// A sudden demand spike layered on a base shape.
+struct FlashCrowd {
+  sim::Time at = 0.0;        ///< onset
+  double rate = 0.0;         ///< extra VMs/second while active
+  sim::Time duration = 0.0;  ///< how long the spike lasts
+};
+
+/// base(t) plus the sum of all active flash crowds at t.
+RateFn with_flash_crowds(RateFn base, std::vector<FlashCrowd> crowds);
+
+/// Sample a non-homogeneous Poisson process with intensity rate(t) over
+/// [0, horizon) by thinning a homogeneous process at `peak_rate`.
+/// `peak_rate` must upper-bound rate(t) on the horizon (times where rate
+/// exceeds it are silently under-sampled). Returned times are sorted.
+std::vector<sim::Time> poisson_arrivals(const RateFn& rate, double peak_rate,
+                                        sim::Time horizon, std::uint64_t seed);
+
+}  // namespace snooze::workload

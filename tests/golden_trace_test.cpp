@@ -1,6 +1,6 @@
 // Golden-trace regression suite.
 //
-// Ten fixed (seed, topology, chaos-script) scenarios, each pinned to a
+// Fixed (seed, topology, chaos-script) scenarios, each pinned to a
 // recorded trace in tests/golden/<name>.txt. The goldens were generated with
 // the original binary-heap event queue; any engine change that perturbs event
 // order — a different same-timestamp tie-break, a lost or duplicated event, a
@@ -36,6 +36,9 @@ struct Scenario {
   chaos::Topology topology;
   std::size_t vms;
   const char* script;  ///< chaos script (see chaos/schedule.hpp grammar)
+  /// Optional config tweak (ops actors, SLO budgets, bursts). The original
+  /// scenarios leave it null, so their configs — and goldens — are untouched.
+  void (*customize)(chaos::ChaosRunConfig&) = nullptr;
 };
 
 // Scenarios cover the fault vocabulary (GL/GM/LC crashes, isolation, lossy /
@@ -106,6 +109,42 @@ const Scenario kScenarios[] = {
      "duration 50\n"
      "4 isolate gm 0 #1\n"
      "28 heal #1\n"},
+    // Long-horizon operations: a full rolling upgrade (2 LC waves + 2 GM
+    // waves, acting GL last) riding over a flash-crowd autoscale cycle. Pins
+    // the wave sequencing (ops.wave_start / node_upgraded / wave_done /
+    // upgrade_done) interleaved with ops.scale_down / scale_up decisions.
+    {"upgrade_wave", 1313, {2, 4, 1}, 4,
+     "duration 700\n",
+     [](chaos::ChaosRunConfig& cfg) {
+       cfg.ops.autoscaler = true;
+       cfg.ops.autoscaler_config.check_period = 2.0;
+       cfg.ops.autoscaler_config.scale_up_threshold = 0.45;
+       cfg.ops.autoscaler_config.scale_down_threshold = 0.20;
+       cfg.ops.autoscaler_config.down_stable_checks = 3;
+       cfg.ops.autoscaler_config.cooldown = 10.0;
+       // Keep 3 of 4 nodes on so a two-node wave always has an evacuation
+       // target even while one node is scaled away.
+       cfg.ops.autoscaler_config.min_on_lcs = 3;
+       cfg.ops.upgrade_at = 20.0;
+       cfg.ops.upgrade_config.settle_time = 10.0;
+       cfg.burst_at = 520.0;
+       cfg.burst_vms = 8;
+       cfg.burst_lifetime = 60.0;
+     }},
+    // An upgrade wave hit by a GL crash under an unmeetable MTTR budget: the
+    // wave pauses (hierarchy, then SLO), the burn sustains past
+    // rollback_after, and the wave rolls back. Pins ops.upgrade_paused and
+    // ops.upgrade_rolled_back against the failover event order.
+    {"upgrade_burn_rollback", 1414, {2, 4, 1}, 4,
+     "duration 130\n"
+     "12 crash gl #1\n"
+     "45 recover #1\n",
+     [](chaos::ChaosRunConfig& cfg) {
+       cfg.config.slo.failover_mttr_max_s = 5.0;
+       cfg.ops.upgrade_at = 5.0;
+       cfg.ops.upgrade_config.settle_time = 10.0;
+       cfg.ops.upgrade_config.rollback_after = 15.0;
+     }},
 };
 
 chaos::ChaosRunConfig make_config(const Scenario& sc) {
@@ -114,6 +153,7 @@ chaos::ChaosRunConfig make_config(const Scenario& sc) {
   cfg.topology = sc.topology;
   cfg.vms = sc.vms;
   cfg.capture_trace = true;
+  if (sc.customize != nullptr) sc.customize(cfg);
   return cfg;
 }
 

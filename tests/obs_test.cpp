@@ -142,6 +142,30 @@ TEST(SloEvaluator, NaNIsAbsenceOfEvidence) {
   EXPECT_TRUE(slo.observe("sli", 1.0, 10.0).has_value());  // 2nd good sample clears
 }
 
+// Flap accounting: every fire AND clear transition is stamped with its
+// timestamp; flaps_in_window() counts transitions inside the trailing window
+// and forgets older ones.
+TEST(SloEvaluator, CountsTransitionsInTrailingFlapWindow) {
+  core::SloConfig cfg = test_slo_config();
+  cfg.flap_window_s = 100.0;
+  obs::SloEvaluator slo(cfg);
+
+  // Fire at t=3 (three breaches), clear at t=5 (two clearly-good samples).
+  slo.observe("sli", 20.0, 10.0, 1.0);
+  slo.observe("sli", 20.0, 10.0, 2.0);
+  ASSERT_TRUE(slo.observe("sli", 20.0, 10.0, 3.0).has_value());
+  slo.observe("sli", 1.0, 10.0, 4.0);
+  ASSERT_TRUE(slo.observe("sli", 1.0, 10.0, 5.0).has_value());
+
+  EXPECT_EQ(slo.total_transitions(), 2u);
+  EXPECT_DOUBLE_EQ(slo.flaps_in_window(5.0), 2.0);
+  // At t=104 the fire (t=3) has aged out of the 100 s window; the clear
+  // (t=5) has not.
+  EXPECT_DOUBLE_EQ(slo.flaps_in_window(104.0), 1.0);
+  EXPECT_DOUBLE_EQ(slo.flaps_in_window(300.0), 0.0);
+  EXPECT_EQ(slo.total_transitions(), 2u);  // the lifetime count never forgets
+}
+
 // --- HealthMonitor on a live system -----------------------------------------
 
 core::SnoozeSystem make_system(std::uint64_t seed) {
@@ -341,6 +365,57 @@ TEST(ObsDeterminism, MonitorIsReadOnlyOnQuietRuns) {
   const auto b = chaos::run_chaos(without);
   ASSERT_EQ(a.slo_alerts_fired, 0u);  // quiet run: nothing may fire
   EXPECT_EQ(a.trace_hash, b.trace_hash);
+}
+
+// --- Incremental trace scan vs the ring buffer -------------------------------
+
+// Regression: with a tiny trace ring, records can be trimmed *between* two
+// monitor samples, so the incremental gm.fail -> gl.reconciled scan resumes
+// past records it never saw. The scan must detect the gap (dropped() moved
+// beyond its cursor), reset the open-episode bookkeeping instead of closing
+// an episode against a half-seen trace, and keep working afterwards.
+TEST(HealthMonitor, ScanSurvivesTraceRingTrimming) {
+  auto system = make_system(13);
+  system.trace().set_max_records(8);  // trims at 16 — every burst overruns it
+  system.start();
+  ASSERT_TRUE(system.run_until_stable(300.0));
+
+  obs::HealthMonitor monitor(system, 64);
+  monitor.sample_now();
+
+  // A full failover plus a burst of placements with NO samples in between:
+  // by the next sample the gm.fail / gl.elected / gl.reconciled records have
+  // rotated out.
+  ASSERT_GE(system.fail_gl(), 0);
+  system.engine().run_until(system.engine().now() + 15.0);
+  std::vector<core::VmDescriptor> vms;
+  for (int i = 0; i < 6; ++i) vms.push_back(system.make_vm({0.15, 0.1, 0.1}));
+  system.client().submit_all(vms, 0.2);
+  system.engine().run_until(system.engine().now() + 15.0);
+  monitor.sample_now();
+
+  EXPECT_GE(monitor.scan_gaps(), 1u);
+  // The episode was inside the trimmed span: it must be dropped, not
+  // mis-closed from whatever records happen to survive.
+  EXPECT_EQ(monitor.failover_episodes(), 0u);
+  EXPECT_TRUE(std::isnan(monitor.failover_mttr()));
+
+  // The monitor keeps sampling normally after the gap.
+  system.engine().run_until(system.engine().now() + 5.0);
+  monitor.sample_now();
+  EXPECT_GE(monitor.store().row_count(), 3u);
+}
+
+// The alert-flap rate is a first-class dashboard column.
+TEST(HealthMonitor, DashboardShowsFlapRateColumn) {
+  auto system = make_system(17);
+  system.start();
+  ASSERT_TRUE(system.run_until_stable(300.0));
+  obs::HealthMonitor monitor(system);
+  monitor.sample_now();
+  EXPECT_NE(monitor.dashboard().find("slo.flaps_per_hour"), std::string::npos);
+  // A quiet cluster has not flapped.
+  EXPECT_EQ(monitor.slo().total_transitions(), 0u);
 }
 
 }  // namespace

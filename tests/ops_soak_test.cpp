@@ -1,0 +1,63 @@
+// Seeded mid-upgrade failover sweep (ctest label `soak`): across 20 seeds,
+// the acting GL is crashed while a rolling upgrade is in flight. The upgrade
+// must pause on the headless hierarchy, the crash must ride the ordinary
+// failover path (successor election + reconciliation, epoch fences intact),
+// and after the heal the run must converge with zero invariant violations and
+// zero stale-epoch accepts. Whether the upgrade then completes or rolls back
+// depends on how badly the measured MTTR bruises the SLO budget for that
+// seed; both outcomes are legal, limbo is not.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "chaos/runner.hpp"
+#include "chaos/schedule.hpp"
+
+namespace {
+
+using namespace snooze;
+
+chaos::ChaosRunConfig upgrade_config(std::uint64_t seed) {
+  chaos::ChaosRunConfig cfg;
+  cfg.topology = {3, 6, 2};
+  cfg.seed = seed;
+  cfg.vms = 6;
+  cfg.ops.upgrade_at = 5.0;
+  cfg.ops.upgrade_config.wave_size = 3;  // 2 LC waves + 3 GM waves
+  cfg.ops.upgrade_config.settle_time = 5.0;
+  return cfg;
+}
+
+std::string crash_script(std::uint64_t seed) {
+  // Vary where in the first wave the GL dies (drain vs early rejoin).
+  const double crash_at = 10.0 + static_cast<double>(seed % 10);
+  // 2 LC waves + 3 GM waves, each GM restart paying the ~90 s boot before it
+  // can rejoin, plus the failover pause — budget generously.
+  return "duration 900\n" + std::to_string(crash_at) + " crash gl #1\n" +
+         "60 recover #1\n";
+}
+
+TEST(OpsSoak, GlCrashMidUpgradePausesWaveAndFailsOver) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto result = chaos::run_chaos_schedule(
+        upgrade_config(seed), chaos::parse_script(crash_script(seed)));
+    EXPECT_TRUE(result.ok()) << "seed " << seed << "\n" << result.report;
+    EXPECT_EQ(result.stale_accepts, 0u) << "seed " << seed;
+    EXPECT_GE(result.upgrade_pauses, 1u)
+        << "seed " << seed << ": a headless hierarchy must pause the wave";
+    EXPECT_GE(result.failover_episodes, 1u) << "seed " << seed;
+    EXPECT_TRUE(result.upgrade_done || result.upgrade_rolled_back)
+        << "seed " << seed << ": the upgrade may finish or roll back, not hang\n"
+        << result.report;
+  }
+}
+
+TEST(OpsSoak, MidUpgradeCrashRunsAreDeterministic) {
+  const auto schedule = chaos::parse_script(crash_script(3));
+  const auto first = chaos::run_chaos_schedule(upgrade_config(3), schedule);
+  const auto second = chaos::run_chaos_schedule(upgrade_config(3), schedule);
+  EXPECT_EQ(first.trace_hash, second.trace_hash);
+  EXPECT_EQ(first.report, second.report);
+}
+
+}  // namespace

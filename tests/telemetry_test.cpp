@@ -187,6 +187,33 @@ TEST(SpanCollector, BuildsTreeWithParentLinks) {
   EXPECT_TRUE(spans.find(child2.span_id)->open());
 }
 
+// Ring cap for long-horizon runs: the buffer trims to max_spans once it hits
+// 2*max_spans; span ids stay stable across trimming (find() by id keeps
+// working for retained spans) and end() on a trimmed span is a safe no-op.
+TEST(SpanCollector, RingCapBoundsRetainedSpans) {
+  sim::Engine engine;
+  telemetry::SpanCollector spans(engine);
+  spans.set_max_spans(4);
+  const auto trace = spans.new_trace();
+  std::vector<telemetry::SpanContext> ctxs;
+  for (int i = 0; i < 12; ++i) {
+    ctxs.push_back(spans.begin(trace, 0, "op", "actor"));
+  }
+  EXPECT_LE(spans.size(), 8u);
+  EXPECT_EQ(spans.dropped() + spans.size(), 12u);
+  EXPECT_GE(spans.dropped(), 4u);
+
+  EXPECT_EQ(spans.find(ctxs.front().span_id), nullptr);  // trimmed
+  const auto* newest = spans.find(ctxs.back().span_id);
+  ASSERT_NE(newest, nullptr);
+  EXPECT_EQ(newest->span_id, 12u);  // ids are global, not slot indices
+
+  spans.end(ctxs.front(), "ok");  // trimmed: no-op, must not corrupt
+  spans.end(ctxs.back(), "ok");
+  EXPECT_EQ(spans.find(ctxs.back().span_id)->status, "ok");
+  EXPECT_NE(spans.find(ctxs[ctxs.size() - 2].span_id), nullptr);
+}
+
 TEST(SpanCollector, EndIsIdempotentFirstStatusWins) {
   sim::Engine engine;
   telemetry::SpanCollector spans(engine);

@@ -2,8 +2,10 @@
 // shape), VM request generators and the cluster builder.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
+#include "workload/arrival.hpp"
 #include "workload/cluster.hpp"
 #include "workload/traces.hpp"
 #include "workload/vm_generator.hpp"
@@ -225,6 +227,52 @@ TEST(Cluster, DeterministicForSeed) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].capacity, b[i].capacity);
   }
+}
+
+// --- Arrival processes --------------------------------------------------------
+
+TEST(Arrivals, DiurnalPeaksTroughsAndFloor) {
+  auto rate = workload::diurnal_rate(1.0, 0.5, 100.0);
+  EXPECT_NEAR(rate(25.0), 1.5, 1e-9);  // peak at quarter period
+  EXPECT_NEAR(rate(75.0), 0.5, 1e-9);  // trough at three quarters
+  EXPECT_NEAR(rate(0.0), 1.0, 1e-9);
+  // Amplitude larger than the base clips at zero, never negative.
+  auto deep = workload::diurnal_rate(0.2, 1.0, 100.0);
+  EXPECT_DOUBLE_EQ(deep(75.0), 0.0);
+}
+
+TEST(Arrivals, FlashCrowdAddsOnlyWhileActive) {
+  auto rate = workload::with_flash_crowds(workload::constant_rate(1.0),
+                                          {{10.0, 4.0, 5.0}});
+  EXPECT_DOUBLE_EQ(rate(9.9), 1.0);
+  EXPECT_DOUBLE_EQ(rate(10.0), 5.0);  // onset inclusive
+  EXPECT_DOUBLE_EQ(rate(14.9), 5.0);
+  EXPECT_DOUBLE_EQ(rate(15.0), 1.0);  // end exclusive
+}
+
+TEST(Arrivals, PoissonThinningIsDeterministicAndRateMatched) {
+  const auto rate = workload::constant_rate(0.5);
+  const auto a = workload::poisson_arrivals(rate, 1.0, 10000.0, 7);
+  const auto b = workload::poisson_arrivals(rate, 1.0, 10000.0, 7);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, workload::poisson_arrivals(rate, 1.0, 10000.0, 8));
+
+  // Expected count 5000; allow a generous +/- 8 % band.
+  EXPECT_NEAR(static_cast<double>(a.size()), 5000.0, 400.0);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  ASSERT_FALSE(a.empty());
+  EXPECT_GE(a.front(), 0.0);
+  EXPECT_LT(a.back(), 10000.0);
+}
+
+TEST(Arrivals, ThinningTracksTimeVaryingRate) {
+  // One diurnal period with the trough pinned at zero: arrivals concentrate
+  // in the first half (peak at t=250), starve in the second (trough at 750).
+  const auto rate = workload::diurnal_rate(0.5, 0.5, 1000.0);
+  const auto times = workload::poisson_arrivals(rate, 1.0, 1000.0, 3);
+  std::size_t first_half = 0, second_half = 0;
+  for (const double t : times) (t < 500.0 ? first_half : second_half)++;
+  EXPECT_GT(first_half, 2 * second_half);
 }
 
 }  // namespace
