@@ -60,7 +60,8 @@ std::string CliSession::help() {
          "  health csv <file>                          export the time series as CSV\n"
          "  health path                                critical-path phase breakdown\n"
          "  slo                                        SLIs vs SLO thresholds (pass/fail)\n"
-         "  top [n]                                    busiest LC nodes\n"
+         "  top [n]                                    busiest LC nodes (incl. per-socket\n"
+         "                                             util and interference penalty)\n"
          "  upgrade start [version] [wave_size]        SLO-gated rolling upgrade\n"
          "  upgrade status                             waves, versions, pauses\n"
          "  autoscale on | off | status                GL-driven LC power scaling\n"

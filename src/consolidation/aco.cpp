@@ -93,6 +93,7 @@ AcoResult AcoConsolidation::solve(const Instance& instance) const {
 
   util::Rng master(params_.seed);
   std::size_t best_hosts = instance.host_count() + 1;
+  double best_score = std::numeric_limits<double>::infinity();
   double best_slack = std::numeric_limits<double>::infinity();
   bool have_best = false;
 
@@ -115,14 +116,17 @@ AcoResult AcoConsolidation::solve(const Instance& instance) const {
       for (std::size_t a = 0; a < params_.ants; ++a) run_ant(a);
     }
 
-    // Compare local solutions; keep the one needing the fewest hosts.
+    // Compare local solutions; keep the lowest score (hosts used, plus the
+    // weighted interference penalty when the instance carries profiles).
     for (auto& solution : solutions) {
       if (!solution.complete()) continue;  // instance not packable by this walk
       const std::size_t hosts = solution.hosts_used();
+      const double solution_score = score(instance, solution);
       const double slack = packing_slack(instance, solution);
-      if (!have_best || hosts < best_hosts ||
-          (hosts == best_hosts && slack < best_slack)) {
+      if (!have_best || solution_score < best_score ||
+          (solution_score == best_score && slack < best_slack)) {
         best_hosts = hosts;
+        best_score = solution_score;
         best_slack = slack;
         result.placement = std::move(solution);
         have_best = true;

@@ -10,6 +10,11 @@
 
 namespace snooze::core {
 
+namespace {
+/// Sentinel for "no socket booked" in the optimistic placement bookkeeping.
+constexpr std::size_t kNoSocket = static_cast<std::size_t>(-1);
+}  // namespace
+
 GroupManager::GroupManager(sim::Engine& engine, net::Network& network,
                            net::Address coord_service, SnoozeConfig config,
                            net::GroupId gl_heartbeat_group, std::string name,
@@ -96,6 +101,13 @@ std::vector<LcInfo> GroupManager::lc_infos() const {
     info.powered_on = record.power == LcPower::kOn;
     info.draining = record.draining;
     info.vm_count = static_cast<std::uint32_t>(record.vms.size());
+    info.worst_penalty = record.worst_penalty;
+    info.sockets.reserve(record.sockets.size());
+    for (const auto& s : record.sockets) {
+      info.sockets.push_back(LcInfo::SocketInfo{s.llc_mb, s.mem_bw_gbps,
+                                                s.llc_demand_mb, s.bw_demand_gbps,
+                                                s.vms});
+    }
     out.push_back(info);
   }
   return out;
@@ -209,6 +221,34 @@ void GroupManager::handle_monitor(const LcMonitorData& data) {
   // drop those the LC no longer reports, update demand estimators.
   std::set<VmId> reported;
   for (const auto& usage : data.vms) {
+    // Duplicate resolution: a VM this GM already records on a *different* LC
+    // is an orphan copy (e.g. a StartVm that landed right before a partition
+    // cut the response — the GM's abort was lost with the partition and the
+    // VM was legitimately re-placed elsewhere). Migration is the one legal
+    // reason for two copies, so both sides must be non-migrating before the
+    // reported copy is condemned. Keeping the recorded copy is the
+    // deterministic choice; either satisfies the client's submission.
+    if (!usage.migrating && record.vms.count(usage.vm) == 0) {
+      bool orphan = false;
+      for (const auto& [other_addr, other_record] : lcs_) {
+        if (other_addr == data.lc) continue;
+        const auto dup = other_record.vms.find(usage.vm);
+        if (dup != other_record.vms.end() && !dup->second.migrating) {
+          orphan = true;
+          break;
+        }
+      }
+      if (orphan) {
+        ++counters_.duplicates_resolved;
+        bump("gm.duplicates_resolved");
+        trace_event("gm.duplicate_resolved", "vm=" + std::to_string(usage.vm));
+        auto stop = std::make_shared<StopVmRequest>();
+        stop->vm = usage.vm;
+        stamp_lease(*stop, data.lc);
+        endpoint_.send(data.lc, stop);
+        continue;  // not adopted: the next report no longer lists it
+      }
+    }
     reported.insert(usage.vm);
     auto [vm_it, inserted] = record.vms.try_emplace(usage.vm);
     if (inserted) {
@@ -224,7 +264,14 @@ void GroupManager::handle_monitor(const LcMonitorData& data) {
     }
     vm_it->second.requested = usage.requested;
     vm_it->second.migrating = usage.migrating;
+    vm_it->second.profile = usage.profile;
+    vm_it->second.penalty = usage.penalty;
     vm_it->second.estimator.add(usage.used);
+  }
+  record.sockets = data.sockets;
+  record.worst_penalty = 1.0;
+  for (const auto& usage : data.vms) {
+    record.worst_penalty = std::min(record.worst_penalty, usage.penalty);
   }
   for (auto vm_it = record.vms.begin(); vm_it != record.vms.end();) {
     if (reported.count(vm_it->first) == 0) {
@@ -346,9 +393,32 @@ void GroupManager::place_on(net::Address lc, const VmDescriptor& vm,
   // LC refuses. The LC's own monitoring reports (which include booting VMs)
   // remain the ground truth.
   const auto pre = lcs_.find(lc);
+  std::size_t booked_socket = kNoSocket;
   if (pre != lcs_.end()) {
     pre->second.reserved += vm.requested;
     pre->second.idle_since = -1.0;
+    // Book the memory profile too, mirroring the host's auto socket choice
+    // (lowest relative demand, population tiebreak), so back-to-back
+    // interference-aware placements inside one monitoring window see each
+    // other's pressure instead of stacking onto the same "quiet" socket.
+    // The next monitor report overwrites this with ground truth.
+    if (vm.mem_profile.present() && !pre->second.sockets.empty()) {
+      auto& socks = pre->second.sockets;
+      double best_score = 1e300;
+      for (std::size_t s = 0; s < socks.size(); ++s) {
+        const double demand =
+            socks[s].llc_demand_mb / std::max(socks[s].llc_mb, 1e-9) +
+            socks[s].bw_demand_gbps / std::max(socks[s].mem_bw_gbps, 1e-9);
+        const double score = demand + 1e-3 * static_cast<double>(socks[s].vms);
+        if (score < best_score) {
+          best_score = score;
+          booked_socket = s;
+        }
+      }
+      socks[booked_socket].llc_demand_mb += vm.mem_profile.llc_mb;
+      socks[booked_socket].bw_demand_gbps += vm.mem_profile.bw_gbps;
+      ++socks[booked_socket].vms;
+    }
   }
   auto start = std::make_shared<StartVmRequest>();
   start->vm = vm;
@@ -356,7 +426,7 @@ void GroupManager::place_on(net::Address lc, const VmDescriptor& vm,
   stamp_lease(*start, lc);
   const sim::Time timeout = config_.vm_boot_time + config_.rpc_timeout;
   endpoint_.call(lc, start, timeout,
-                 [this, lc, vm, span, responder](bool ok, const net::MsgPtr& reply) {
+                 [this, lc, vm, span, responder, booked_socket](bool ok, const net::MsgPtr& reply) {
     if (ok && handle_stale_lc_reply(reply, lc)) {
       ++counters_.placements_failed;
       bump("gm.placements_failed");
@@ -392,6 +462,12 @@ void GroupManager::place_on(net::Address lc, const VmDescriptor& vm,
       if (it != lcs_.end()) {
         it->second.reserved -= vm.requested;
         if (it->second.reserved.any_negative()) it->second.reserved = {};
+        if (booked_socket != kNoSocket && booked_socket < it->second.sockets.size()) {
+          auto& sock = it->second.sockets[booked_socket];
+          sock.llc_demand_mb = std::max(0.0, sock.llc_demand_mb - vm.mem_profile.llc_mb);
+          sock.bw_demand_gbps = std::max(0.0, sock.bw_demand_gbps - vm.mem_profile.bw_gbps);
+          if (sock.vms > 0) --sock.vms;
+        }
       }
       if (resp == nullptr) {
         // Timeout: the LC may have started the VM and only the response was
@@ -479,7 +555,7 @@ std::vector<VmLoad> GroupManager::vm_loads(const LcRecord& record) const {
   out.reserve(record.vms.size());
   for (const auto& [id, vm] : record.vms) {
     if (vm.migrating) continue;  // already moving; not relocation material
-    out.push_back(VmLoad{id, vm.demand(), vm.requested});
+    out.push_back(VmLoad{id, vm.demand(), vm.requested, vm.profile, vm.penalty});
   }
   return out;
 }
@@ -487,41 +563,77 @@ std::vector<VmLoad> GroupManager::vm_loads(const LcRecord& record) const {
 void GroupManager::handle_anomaly(const AnomalyEvent& event) {
   const auto it = lcs_.find(event.lc);
   if (it == lcs_.end()) return;
+  auto fill = [](LcInfo& info, const LcRecord& record) {
+    info.capacity = record.capacity;
+    info.reserved = record.reserved;
+    info.estimated_used = record.used;
+    info.vm_count = static_cast<std::uint32_t>(record.vms.size());
+    info.worst_penalty = record.worst_penalty;
+    info.sockets.reserve(record.sockets.size());
+    for (const auto& s : record.sockets) {
+      info.sockets.push_back(LcInfo::SocketInfo{s.llc_mb, s.mem_bw_gbps,
+                                                s.llc_demand_mb, s.bw_demand_gbps,
+                                                s.vms});
+    }
+  };
   LcInfo source;
   source.lc = event.lc;
-  source.capacity = it->second.capacity;
-  source.reserved = it->second.reserved;
-  source.estimated_used = it->second.used;
   source.powered_on = it->second.power == LcPower::kOn;
-  source.vm_count = static_cast<std::uint32_t>(it->second.vms.size());
+  fill(source, it->second);
 
   std::vector<LcInfo> others;
   for (const auto& [addr, lc] : lcs_) {
     if (addr == event.lc || lc.power != LcPower::kOn || lc.draining) continue;
     LcInfo info;
     info.lc = addr;
-    info.capacity = lc.capacity;
-    info.reserved = lc.reserved;
-    info.estimated_used = lc.used;
     info.powered_on = true;
-    info.vm_count = static_cast<std::uint32_t>(lc.vms.size());
+    fill(info, lc);
     others.push_back(info);
   }
 
+  // With interference management on, capacity moves must not park a VM
+  // where its predicted multiplier falls below the relocation threshold —
+  // the interference planner would immediately move it away again.
+  const double min_multiplier =
+      config_.interference_aware ? config_.interference_relocation_threshold : 0.0;
   std::vector<RelocationMove> moves;
   if (event.kind == AnomalyEvent::Kind::kOverload) {
     ++counters_.overload_events;
     bump("gm.overload_events");
     trace_event("gm.overload_event");
     moves = plan_overload_relocation(source, vm_loads(it->second), others,
-                                     config_.overload_threshold);
-  } else {
+                                     config_.overload_threshold, min_multiplier);
+  } else if (event.kind == AnomalyEvent::Kind::kUnderload) {
     ++counters_.underload_events;
     bump("gm.underload_events");
     trace_event("gm.underload_event");
     moves = plan_underload_relocation(source, vm_loads(it->second), others,
                                       config_.underload_threshold,
-                                      config_.overload_threshold);
+                                      config_.overload_threshold, min_multiplier);
+  } else {
+    if (!config_.interference_aware) return;
+    ++counters_.interference_events;
+    bump("gm.interference_events");
+    trace_event("gm.interference_event");
+    // In-flight migrations are invisible to the monitoring reports the
+    // planner prices targets with: exclude their destinations (the "empty"
+    // host a noisy VM is already heading for) and their VMs (committed as
+    // victims even if the source's migrating flag has not reported back yet).
+    std::vector<LcInfo> targets;
+    targets.reserve(others.size());
+    for (const LcInfo& lc : others) {
+      bool inbound = false;
+      for (const auto& [vm, dest] : inflight_migrations_) {
+        if (dest == lc.lc) { inbound = true; break; }
+      }
+      if (!inbound) targets.push_back(lc);
+    }
+    std::vector<VmLoad> loads = vm_loads(it->second);
+    std::erase_if(loads, [this](const VmLoad& v) {
+      return inflight_migrations_.count(v.vm) > 0;
+    });
+    moves = plan_interference_relocation(source, loads, targets,
+                                         config_.overload_threshold);
   }
   execute_moves(moves);
 }
@@ -535,16 +647,24 @@ void GroupManager::execute_moves(const std::vector<RelocationMove>& moves) {
     req->destination = move.to;
     stamp_lease(*req, move.from);
     const net::Address source = move.from;
+    inflight_migrations_[move.vm] = move.to;
     endpoint_.call(source, req, config_.rpc_timeout,
-                   [this, source](bool ok, const net::MsgPtr& reply) {
+                   [this, source, vm = move.vm](bool ok, const net::MsgPtr& reply) {
       // The ack only confirms the migration started; completion arrives
       // as a MigrationDone one-way message.
-      if (ok) handle_stale_lc_reply(reply, source);
+      if (ok) {
+        handle_stale_lc_reply(reply, source);
+        const auto* resp = net::msg_cast<MigrateVmResponse>(reply);
+        if (resp != nullptr && !resp->ok) inflight_migrations_.erase(vm);
+      } else {
+        inflight_migrations_.erase(vm);
+      }
     });
   }
 }
 
 void GroupManager::handle_migration_done(const MigrationDone& done) {
+  inflight_migrations_.erase(done.vm);
   if (!done.ok) {
     // The source reverted (or lost) the VM. The destination may still hold a
     // copy if only the adopt confirmation was lost — command it away so a
@@ -600,12 +720,28 @@ void GroupManager::gm_reconfigure() {
   std::map<net::Address, std::size_t> host_index;
   for (std::size_t h = 0; h < hosts.size(); ++h) host_index[hosts[h]] = h;
 
+  // With interference-aware consolidation on, extend the instance so the
+  // packer trades hosts saved against delivered performance.
+  const bool interference =
+      config_.interference_aware && config_.consolidation_interference_weight > 0.0;
+  if (interference) {
+    instance.interference_weight = config_.consolidation_interference_weight;
+    for (const net::Address addr : hosts) {
+      interference::TopologySpec topo;
+      for (const auto& s : lcs_[addr].sockets) {
+        topo.sockets.push_back(interference::SocketSpec{s.llc_mb, s.mem_bw_gbps});
+      }
+      instance.host_topologies.push_back(std::move(topo));
+    }
+  }
+
   consolidation::Placement current;
   std::vector<consolidation::HostIndex> current_raw;
   for (const auto& [addr, lc] : lcs_) {
     if (lc.power != LcPower::kOn || lc.draining) continue;
     for (const auto& [id, vm] : lc.vms) {
       instance.vm_demands.push_back(vm.requested);
+      if (interference) instance.vm_profiles.push_back(vm.profile);
       vm_keys.emplace_back(addr, id);
       current_raw.push_back(static_cast<consolidation::HostIndex>(host_index[addr]));
     }
@@ -634,7 +770,14 @@ void GroupManager::gm_reconfigure() {
       return;
   }
   if (!target.feasible(instance)) return;
-  if (target.hosts_used() >= current.hosts_used()) return;  // not an improvement
+  // Accept only strict improvements. Capacity-only instances compare hosts
+  // used (the historical rule, score == hosts_used there); interference-
+  // aware instances compare the combined score, so a plan that keeps the
+  // host count but un-crowds hot sockets is still worth executing.
+  if (consolidation::score(instance, target) >=
+      consolidation::score(instance, current)) {
+    return;
+  }
 
   ++counters_.reconfigurations;
   bump("gm.reconfigurations");

@@ -40,6 +40,8 @@ class GroupManager final : public sim::Actor {
     std::uint64_t migrations_completed = 0;
     std::uint64_t overload_events = 0;
     std::uint64_t underload_events = 0;
+    std::uint64_t interference_events = 0;  // sustained-penalty anomalies
+    std::uint64_t duplicates_resolved = 0;  // orphan VM copies stopped
     std::uint64_t reconfigurations = 0;
     std::uint64_t suspends = 0;
     std::uint64_t wakeups = 0;
@@ -131,6 +133,8 @@ class GroupManager final : public sim::Actor {
     bool has_descriptor = false;
     VmDescriptor descriptor;  ///< known iff this GM placed the VM
     bool migrating = false;   ///< reported in flight by the LC (don't re-move)
+    interference::MemProfile profile;  ///< from the latest monitor report
+    double penalty = 1.0;              ///< current throughput multiplier
     [[nodiscard]] ResourceVector demand() const {
       return estimator.empty() ? requested : estimator.estimate();
     }
@@ -149,6 +153,10 @@ class GroupManager final : public sim::Actor {
     /// Reported by the LC while it empties out for a restart: no new
     /// placements, no relocation/consolidation targets, no suspends.
     bool draining = false;
+    /// Per-socket shared-resource state from the latest monitor report
+    /// (empty for flat hosts) and the worst VM multiplier on the node.
+    std::vector<LcMonitorData::SocketReport> sockets;
+    double worst_penalty = 1.0;
     std::map<VmId, VmRecord> vms;
   };
   // The GL's view of a GM.
@@ -267,6 +275,12 @@ class GroupManager final : public sim::Actor {
   };
   std::map<VmId, CompletedSubmission> completed_submissions_;
   std::set<VmId> inflight_submissions_;
+  /// Destinations of migrations this GM commanded that have not completed
+  /// yet. Monitoring reports lag the command, so without this the
+  /// interference planner would keep routing victims at a target that looks
+  /// empty but already has a noisy VM on the wire towards it (co-location
+  /// ping-pong). Cleared on MigrationDone, LC rejection, or command timeout.
+  std::map<VmId, net::Address> inflight_migrations_;
   std::map<VmId, std::vector<net::Responder>> submit_waiters_;
 
   std::unique_ptr<DispatchPolicy> dispatch_policy_;

@@ -79,13 +79,34 @@ struct LcMonitorData final : net::Message {
     /// GM inheriting the LC after a failover learns about half-finished
     /// migrations and does not command a second one.
     bool migrating = false;
+    /// Memory-subsystem profile + the throughput multiplier the VM currently
+    /// experiences. Profile-less VMs serialize neither (penalty is then 1 by
+    /// construction), keeping legacy traffic byte-identical.
+    interference::MemProfile profile;
+    double penalty = 1.0;
   };
   std::vector<VmUsage> vms;
+  /// Per-socket shared-resource report (empty on flat hosts): capacity and
+  /// aggregated demand of the socket's LLC and memory-bandwidth pools.
+  struct SocketReport {
+    double llc_mb = 0.0;
+    double mem_bw_gbps = 0.0;
+    double llc_demand_mb = 0.0;
+    double bw_demand_gbps = 0.0;
+    std::uint32_t vms = 0;
+  };
+  std::vector<SocketReport> sockets;
   /// True while the node is being drained for maintenance (rolling upgrade):
   /// the GM must stop placing new VMs on it and let it empty out.
   bool draining = false;
   [[nodiscard]] std::string_view type() const override { return "lc.monitor"; }
-  [[nodiscard]] std::size_t wire_size() const override { return 96 + vms.size() * 72; }
+  [[nodiscard]] std::size_t wire_size() const override {
+    std::size_t bytes = 96 + vms.size() * 72 + sockets.size() * 40;
+    for (const auto& vm : vms) {
+      if (vm.profile.present()) bytes += 32;  // profile (24) + penalty (8)
+    }
+    return bytes;
+  }
 };
 
 // --------------------------------------------------------------------------
@@ -165,7 +186,9 @@ struct GlQueryResponse final : net::Message {
 struct SubmitVmRequest final : net::Message {
   VmDescriptor vm;
   [[nodiscard]] std::string_view type() const override { return "gl.submit_vm"; }
-  [[nodiscard]] std::size_t wire_size() const override { return 120; }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 120 + profile_wire_bytes(vm.mem_profile);
+  }
 };
 
 struct SubmitVmResponse final : net::Message {
@@ -180,7 +203,9 @@ struct SubmitVmResponse final : net::Message {
 struct PlacementRequest final : net::Message {
   VmDescriptor vm;
   [[nodiscard]] std::string_view type() const override { return "gm.place_vm"; }
-  [[nodiscard]] std::size_t wire_size() const override { return 120; }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 120 + profile_wire_bytes(vm.mem_profile);
+  }
 };
 
 struct PlacementResponse final : net::Message {
@@ -194,7 +219,9 @@ struct PlacementResponse final : net::Message {
 struct StartVmRequest final : net::Message {
   VmDescriptor vm;
   [[nodiscard]] std::string_view type() const override { return "lc.start_vm"; }
-  [[nodiscard]] std::size_t wire_size() const override { return 120; }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 120 + profile_wire_bytes(vm.mem_profile);
+  }
 };
 
 struct StartVmResponse final : net::Message {
@@ -228,9 +255,12 @@ struct VmTerminated final : net::Message {
 /// LC -> GM: local anomaly detection (paper §II.A: LCs "detect local
 /// overload/underload anomaly situations and report them").
 struct AnomalyEvent final : net::Message {
-  enum class Kind { kOverload, kUnderload };
+  enum class Kind { kOverload, kUnderload, kInterference };
   Address lc = net::kNullAddress;
   Kind kind = Kind::kOverload;
+  /// kOverload/kUnderload: bottleneck utilization. kInterference: the worst
+  /// (smallest) throughput multiplier observed across the LC's VMs, reusing
+  /// the slot so the wire size stays fixed.
   double utilization = 0.0;
   [[nodiscard]] std::string_view type() const override { return "gm.anomaly"; }
   [[nodiscard]] std::size_t wire_size() const override { return 28; }
@@ -258,7 +288,9 @@ struct AdoptVmRequest final : net::Message {
   double downtime_s = 0.0;
   double remaining_lifetime_s = 0.0;  ///< 0 = unbounded
   [[nodiscard]] std::string_view type() const override { return "lc.adopt_vm"; }
-  [[nodiscard]] std::size_t wire_size() const override { return 128; }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 128 + profile_wire_bytes(vm.mem_profile);
+  }
 };
 
 struct AdoptVmResponse final : net::Message {

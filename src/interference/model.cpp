@@ -1,0 +1,67 @@
+#include "interference/model.hpp"
+
+#include <algorithm>
+
+namespace snooze::interference {
+
+TopologySpec TopologySpec::uniform(std::size_t n, double llc_mb, double mem_bw_gbps) {
+  TopologySpec topo;
+  topo.sockets.assign(n, SocketSpec{llc_mb, mem_bw_gbps});
+  return topo;
+}
+
+const char* to_string(CacheIntensity intensity) {
+  switch (intensity) {
+    case CacheIntensity::kNone: return "none";
+    case CacheIntensity::kLow: return "low";
+    case CacheIntensity::kMedium: return "medium";
+    case CacheIntensity::kHigh: return "high";
+  }
+  return "?";
+}
+
+double sensitivity(CacheIntensity intensity) {
+  switch (intensity) {
+    case CacheIntensity::kNone: return 0.0;
+    case CacheIntensity::kLow: return 0.3;
+    case CacheIntensity::kMedium: return 0.6;
+    case CacheIntensity::kHigh: return 1.0;
+  }
+  return 0.0;
+}
+
+double degradation_multiplier(const MemProfile& vm, const SocketPressure& neighbors,
+                              const SocketSpec& socket) {
+  // A profile-less VM, and a VM alone on its socket, run at full speed by
+  // definition; the early return keeps the 1.0 exact (no FP round-trip).
+  if (!vm.present() || neighbors.vms == 0) return 1.0;
+
+  // Overcommit of the shared resources once this VM joins its neighbors.
+  // Demands below capacity degrade nothing (the working sets fit); only the
+  // fraction past capacity is contended.
+  const double llc_cap = std::max(socket.llc_mb, 1e-9);
+  const double bw_cap = std::max(socket.mem_bw_gbps, 1e-9);
+  const double llc_over =
+      std::max(0.0, (vm.llc_mb + neighbors.llc_demand_mb - socket.llc_mb) / llc_cap);
+  const double bw_over =
+      std::max(0.0, (vm.bw_gbps + neighbors.bw_demand_gbps - socket.mem_bw_gbps) / bw_cap);
+
+  // Cache thrash hurts more than bandwidth queuing (misses serialize on the
+  // same bandwidth the streams already saturate).
+  const double pressure = 1.5 * llc_over + 1.0 * bw_over;
+  return 1.0 / (1.0 + sensitivity(vm.intensity) * pressure);
+}
+
+double worst_multiplier(const std::vector<MemProfile>& all, const SocketSpec& socket) {
+  double worst = 1.0;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    SocketPressure neighbors;
+    for (std::size_t j = 0; j < all.size(); ++j) {
+      if (j != i) neighbors += all[j];
+    }
+    worst = std::min(worst, degradation_multiplier(all[i], neighbors, socket));
+  }
+  return worst;
+}
+
+}  // namespace snooze::interference

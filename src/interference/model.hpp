@@ -1,0 +1,97 @@
+// Memory-subsystem interference model (HotCloud'12-style).
+//
+// The hypervisor's flat capacity vector hides what co-located VMs do to each
+// other on the shared memory subsystem: last-level cache and memory
+// bandwidth are per-socket resources that reservations do not cover. This
+// library models a host as a set of sockets (cores sharing one LLC and one
+// memory-bandwidth pool), gives a VM a memory-subsystem profile
+// (cache-intensity class + bandwidth demand) and maps per-socket co-location
+// pressure to a deterministic throughput multiplier in (0, 1].
+//
+// Contract (pinned by tests/interference_test.cpp):
+//   * the multiplier is always in (0, 1];
+//   * it is exactly 1.0 for a VM alone on its socket, for a VM without a
+//     profile, and on a flat (socket-less) host;
+//   * it is monotone non-increasing in added co-location pressure.
+//
+// Everything here is pure arithmetic — no RNG, no clocks — so enabling the
+// model on a topology-less deployment leaves every simulation bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snooze::interference {
+
+/// One socket: cores sharing a last-level cache and a memory-bandwidth pool.
+struct SocketSpec {
+  double llc_mb = 16.0;       ///< shared last-level cache size
+  double mem_bw_gbps = 25.6;  ///< socket memory bandwidth
+};
+
+/// Host memory topology. An empty socket list is a *flat* host — the
+/// pre-interference model where co-location is free; every multiplier is 1.
+struct TopologySpec {
+  std::vector<SocketSpec> sockets;
+
+  [[nodiscard]] bool flat() const { return sockets.empty(); }
+  [[nodiscard]] std::size_t socket_count() const {
+    return sockets.empty() ? 1 : sockets.size();
+  }
+
+  /// `n` identical sockets.
+  static TopologySpec uniform(std::size_t n, double llc_mb = 16.0,
+                              double mem_bw_gbps = 25.6);
+};
+
+/// How aggressively a VM uses the shared cache (its *sensitivity* to and
+/// *generation* of contention scale together, as in the HotCloud'12 LLC
+/// miss-rate classification). kNone marks "no profile": the VM is invisible
+/// to the model and experiences no degradation.
+enum class CacheIntensity : std::uint8_t { kNone = 0, kLow, kMedium, kHigh };
+
+const char* to_string(CacheIntensity intensity);
+
+/// Sensitivity weight of a class: how much of the socket overcommit turns
+/// into slowdown for a VM of this class.
+double sensitivity(CacheIntensity intensity);
+
+/// A VM's memory-subsystem profile (serializable; rides in VmDescriptor).
+struct MemProfile {
+  CacheIntensity intensity = CacheIntensity::kNone;
+  double llc_mb = 0.0;     ///< LLC working-set demand
+  double bw_gbps = 0.0;    ///< sustained memory-bandwidth demand
+
+  [[nodiscard]] bool present() const { return intensity != CacheIntensity::kNone; }
+
+  friend bool operator==(const MemProfile&, const MemProfile&) = default;
+};
+
+/// Aggregated demand of a set of co-located VMs on one socket.
+struct SocketPressure {
+  double llc_demand_mb = 0.0;
+  double bw_demand_gbps = 0.0;
+  std::uint32_t vms = 0;  ///< profiled VMs contributing to the demand
+
+  SocketPressure& operator+=(const MemProfile& p) {
+    if (p.present()) {
+      llc_demand_mb += p.llc_mb;
+      bw_demand_gbps += p.bw_gbps;
+      ++vms;
+    }
+    return *this;
+  }
+};
+
+/// Throughput multiplier in (0, 1] for a VM with profile `vm` sharing
+/// `socket` with `neighbors` (the pressure of the *other* VMs on the
+/// socket). Exactly 1.0 when the VM has no profile or no profiled neighbor.
+double degradation_multiplier(const MemProfile& vm, const SocketPressure& neighbors,
+                              const SocketSpec& socket);
+
+/// Worst (smallest) multiplier across a profiled population `all` packed on
+/// one socket: each VM sees the others as its neighbors. 1.0 for <= 1 VM.
+double worst_multiplier(const std::vector<MemProfile>& all, const SocketSpec& socket);
+
+}  // namespace snooze::interference

@@ -21,6 +21,9 @@ std::vector<hypervisor::HostSpec> build_cluster(const ClusterSpec& spec) {
     }
     host.capacity = spec.capacity.scaled(factor);
     host.power = spec.power;
+    if (!spec.topology_classes.empty()) {
+      host.topology = spec.topology_classes[h % spec.topology_classes.size()];
+    }
     out.push_back(std::move(host));
   }
   return out;

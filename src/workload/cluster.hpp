@@ -18,6 +18,12 @@ struct ClusterSpec {
   /// per-host factor in [1-h_spread, 1+h_spread]. 0 = homogeneous.
   double capacity_spread = 0.0;
   std::uint64_t seed = 42;
+
+  /// Socket/LLC topology classes cycled round-robin across the fleet (host h
+  /// gets class h % size): mixed socket counts and LLC sizes model hardware
+  /// generations bought over time. Empty (default) builds flat hosts and
+  /// leaves the interference model inert.
+  std::vector<interference::TopologySpec> topology_classes;
 };
 
 /// Materialize the host specs described by `spec`.

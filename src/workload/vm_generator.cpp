@@ -14,6 +14,21 @@ std::vector<VmClass> default_vm_classes() {
   };
 }
 
+std::vector<VmClass> interference_vm_classes() {
+  using interference::CacheIntensity;
+  using interference::MemProfile;
+  auto classes = default_vm_classes();
+  // Streaming batch worker: big bandwidth appetite, small cache footprint.
+  classes[0].mem_profile = MemProfile{CacheIntensity::kLow, 2.0, 4.0};
+  // Web/API serving: moderate on both shared resources.
+  classes[1].mem_profile = MemProfile{CacheIntensity::kMedium, 6.0, 6.0};
+  // In-memory cache: LLC-resident working set, noticeable bandwidth.
+  classes[2].mem_profile = MemProfile{CacheIntensity::kHigh, 10.0, 8.0};
+  // Analytics/scan: thrashes the LLC and saturates bandwidth.
+  classes[3].mem_profile = MemProfile{CacheIntensity::kHigh, 14.0, 14.0};
+  return classes;
+}
+
 std::vector<VmSpec> VmGenerator::batch(std::size_t n) {
   std::vector<VmSpec> out;
   out.reserve(n);
@@ -37,6 +52,7 @@ VmSpec ClassVmGenerator::next() {
   spec.requested = cls.demand;
   spec.memory_mb = cls.memory_mb;
   spec.dirty_rate_mbps = cls.dirty_rate_mbps;
+  spec.mem_profile = cls.mem_profile;
   return spec;
 }
 

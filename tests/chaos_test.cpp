@@ -231,6 +231,9 @@ TEST(Invariants, ExcusedVmIsNotReported) {
 TEST(Invariants, DuplicateVmInstanceIsReported) {
   core::SystemSpec spec;
   spec.seed = 42;
+  // Three GMs: one is promoted GL, leaving two working groups so the rogue
+  // copies can land under *different* GMs (same-GM copies get resolved).
+  spec.group_managers = 3;
   spec.local_controllers = 4;
   core::SnoozeSystem system(spec);
   system.start();
@@ -241,22 +244,80 @@ TEST(Invariants, DuplicateVmInstanceIsReported) {
   InvariantChecker checker(system, options);
   checker.start();
 
-  // Bypass the management hierarchy and start the same VM on two LCs
-  // directly — exactly the split-brain placement the checker must flag.
+  // Bypass the management hierarchy and start the same VM on two LCs under
+  // *different* GMs — the split-brain placement the checker must flag.
+  // (Same-GM duplicates no longer persist: the GM stops the orphan copy on
+  // its next monitoring report — see DuplicateUnderOneGmIsResolved.)
+  const auto& lcs = system.local_controllers();
+  std::size_t second = 1;
+  for (std::size_t i = 1; i < lcs.size(); ++i) {
+    if (lcs[i]->gm() != lcs[0]->gm()) {
+      second = i;
+      break;
+    }
+  }
+  ASSERT_NE(lcs[second]->gm(), lcs[0]->gm());
   const auto vm = system.make_vm({0.1, 0.1, 0.1});
   net::RpcEndpoint rogue(system.engine(), system.network(),
                          system.network().allocate_address(), "rogue");
-  for (std::size_t i = 0; i < 2; ++i) {
+  for (const std::size_t i : {std::size_t{0}, second}) {
     auto start = std::make_shared<core::StartVmRequest>();
     start->vm = vm;
-    rogue.call(system.local_controllers()[i]->address(), start, 5.0,
-               [](bool, const net::MsgPtr&) {});
+    rogue.call(lcs[i]->address(), start, 5.0, [](bool, const net::MsgPtr&) {});
   }
   system.engine().run_until(system.engine().now() + 30.0);
   EXPECT_FALSE(checker.ok());
   ASSERT_FALSE(checker.violations().empty());
   EXPECT_NE(checker.violations().front().find("duplicate"), std::string::npos)
       << checker.violations().front();
+}
+
+TEST(Invariants, DuplicateUnderOneGmIsResolved) {
+  core::SystemSpec spec;
+  spec.seed = 42;
+  spec.local_controllers = 4;
+  core::SnoozeSystem system(spec);
+  system.start();
+  ASSERT_TRUE(system.run_until_stable(60.0));
+
+  InvariantChecker::Options options;
+  options.duplicate_grace = 15.0;
+  InvariantChecker checker(system, options);
+  checker.start();
+
+  // The same rogue double-start, but both copies land under one GM: its
+  // monitoring reconciliation must notice the VM is already recorded on a
+  // sibling LC and stop the orphan before the grace window expires.
+  const auto& lcs = system.local_controllers();
+  std::size_t second = 1;
+  for (std::size_t i = 1; i < lcs.size(); ++i) {
+    if (lcs[i]->gm() == lcs[0]->gm()) {
+      second = i;
+      break;
+    }
+  }
+  ASSERT_EQ(lcs[second]->gm(), lcs[0]->gm());
+  const auto vm = system.make_vm({0.1, 0.1, 0.1});
+  net::RpcEndpoint rogue(system.engine(), system.network(),
+                         system.network().allocate_address(), "rogue");
+  for (const std::size_t i : {std::size_t{0}, second}) {
+    auto start = std::make_shared<core::StartVmRequest>();
+    start->vm = vm;
+    rogue.call(lcs[i]->address(), start, 5.0, [](bool, const net::MsgPtr&) {});
+  }
+  system.engine().run_until(system.engine().now() + 60.0);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  std::uint64_t resolved = 0;
+  for (const auto& gm : system.group_managers()) {
+    resolved += gm->counters().duplicates_resolved;
+  }
+  EXPECT_GE(resolved, 1u);
+  // Exactly one live copy remains.
+  std::size_t live = 0;
+  for (const auto& lc : lcs) {
+    if (lc->host().vms().count(vm.id) > 0) ++live;
+  }
+  EXPECT_EQ(live, 1u);
 }
 
 // --- End-to-end seeded chaos runs --------------------------------------------

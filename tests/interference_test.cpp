@@ -1,0 +1,299 @@
+// Interference subsystem tests.
+//
+// Pins the model contract (multiplier in (0,1], exact 1.0 for a VM alone /
+// profile-less / on a flat host, monotone non-increasing in added
+// co-location pressure), the Host's per-socket accounting, the
+// interference-aware placement policy and its capacity-only fallback, the
+// targeted relocation planner, and — via a 50-seed chaos sweep over a
+// socketed, profiled cluster — that interference-driven placement and
+// migration never violate the capacity/liveness invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chaos/runner.hpp"
+#include "core/policies.hpp"
+#include "core/relocation.hpp"
+#include "hypervisor/host.hpp"
+#include "interference/model.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace snooze;
+using interference::CacheIntensity;
+using interference::MemProfile;
+using interference::SocketPressure;
+using interference::SocketSpec;
+using interference::TopologySpec;
+
+// --- Model properties --------------------------------------------------------
+
+TEST(InterferenceModel, MultiplierAlwaysInUnitInterval) {
+  util::Rng rng(2024);
+  const CacheIntensity classes[] = {CacheIntensity::kNone, CacheIntensity::kLow,
+                                    CacheIntensity::kMedium, CacheIntensity::kHigh};
+  for (int i = 0; i < 2000; ++i) {
+    const MemProfile vm{classes[static_cast<std::size_t>(rng.uniform(0.0, 4.0))],
+                        rng.uniform(0.0, 64.0), rng.uniform(0.0, 64.0)};
+    SocketPressure neighbors;
+    const int n = static_cast<int>(rng.uniform(0.0, 6.0));
+    for (int j = 0; j < n; ++j) {
+      neighbors += MemProfile{CacheIntensity::kHigh, rng.uniform(0.0, 64.0),
+                              rng.uniform(0.0, 64.0)};
+    }
+    const SocketSpec socket{rng.uniform(0.5, 32.0), rng.uniform(0.5, 32.0)};
+    const double m = interference::degradation_multiplier(vm, neighbors, socket);
+    ASSERT_GT(m, 0.0);
+    ASSERT_LE(m, 1.0);
+  }
+}
+
+TEST(InterferenceModel, ExactlyOneWhenAloneOrUnprofiled) {
+  const SocketSpec socket{8.0, 10.0};
+  const MemProfile heavy{CacheIntensity::kHigh, 32.0, 32.0};
+  // Alone on the socket: bit-exact 1.0, however large the demand.
+  EXPECT_EQ(interference::degradation_multiplier(heavy, SocketPressure{}, socket), 1.0);
+  // No profile: bit-exact 1.0, however crowded the socket.
+  SocketPressure crowded;
+  for (int i = 0; i < 8; ++i) crowded += heavy;
+  EXPECT_EQ(interference::degradation_multiplier(MemProfile{}, crowded, socket), 1.0);
+}
+
+TEST(InterferenceModel, MonotoneNonIncreasingInAddedPressure) {
+  util::Rng rng(99);
+  const SocketSpec socket{16.0, 25.6};
+  for (int i = 0; i < 500; ++i) {
+    const MemProfile vm{CacheIntensity::kMedium, rng.uniform(0.0, 32.0),
+                        rng.uniform(0.0, 32.0)};
+    SocketPressure neighbors;
+    double prev = interference::degradation_multiplier(vm, neighbors, socket);
+    for (int j = 0; j < 6; ++j) {
+      neighbors += MemProfile{CacheIntensity::kLow, rng.uniform(0.0, 16.0),
+                              rng.uniform(0.0, 16.0)};
+      const double next = interference::degradation_multiplier(vm, neighbors, socket);
+      ASSERT_LE(next, prev) << "adding a neighbor sped the VM up";
+      prev = next;
+    }
+  }
+}
+
+TEST(InterferenceModel, FitsWithinCapacityDegradesNothing) {
+  const SocketSpec socket{16.0, 25.6};
+  const MemProfile vm{CacheIntensity::kHigh, 4.0, 5.0};
+  SocketPressure neighbors;
+  neighbors += MemProfile{CacheIntensity::kHigh, 4.0, 5.0};
+  // 8 MB of 16, 10 Gbps of 25.6: the working sets fit, nothing is contended.
+  EXPECT_EQ(interference::degradation_multiplier(vm, neighbors, socket), 1.0);
+}
+
+TEST(InterferenceModel, WorstMultiplierMatchesPairwiseComputation) {
+  const SocketSpec socket{8.0, 10.0};
+  const std::vector<MemProfile> all = {{CacheIntensity::kHigh, 6.0, 6.0},
+                                       {CacheIntensity::kLow, 6.0, 6.0}};
+  // Both see identical neighbors; the high-intensity VM suffers more.
+  SocketPressure other;
+  other += all[1];
+  EXPECT_EQ(interference::worst_multiplier(all, socket),
+            interference::degradation_multiplier(all[0], other, socket));
+  EXPECT_LT(interference::worst_multiplier(all, socket), 1.0);
+}
+
+// --- Host socket accounting --------------------------------------------------
+
+hypervisor::VmSpec profiled_vm(hypervisor::VmId id, MemProfile profile) {
+  hypervisor::VmSpec spec;
+  spec.id = id;
+  spec.requested = {0.1, 0.1, 0.1};
+  spec.mem_profile = profile;
+  return spec;
+}
+
+TEST(HostSockets, AutoPlacementSpreadsAcrossSockets) {
+  hypervisor::HostSpec spec;
+  spec.topology = TopologySpec::uniform(2, 8.0, 10.0);
+  hypervisor::Host host(spec);
+  const MemProfile p{CacheIntensity::kHigh, 6.0, 6.0};
+  host.place(profiled_vm(1, p));
+  host.place(profiled_vm(2, p));
+  EXPECT_NE(host.socket_of(1), host.socket_of(2));
+  // Each alone on its socket: both run at full speed, bit-exact.
+  EXPECT_EQ(host.vm_penalty(1), 1.0);
+  EXPECT_EQ(host.vm_penalty(2), 1.0);
+  EXPECT_EQ(host.worst_penalty(), 1.0);
+}
+
+TEST(HostSockets, ExplicitColocationDegradesAndEvictClears) {
+  hypervisor::HostSpec spec;
+  spec.topology = TopologySpec::uniform(2, 8.0, 10.0);
+  hypervisor::Host host(spec);
+  const MemProfile p{CacheIntensity::kHigh, 6.0, 6.0};
+  host.place(profiled_vm(1, p), nullptr, 0);
+  host.place(profiled_vm(2, p), nullptr, 0);
+  EXPECT_EQ(host.socket_of(1), 0u);
+  EXPECT_EQ(host.socket_of(2), 0u);
+  const SocketPressure pressure = host.socket_pressure(0);
+  EXPECT_EQ(pressure.vms, 2u);
+  EXPECT_DOUBLE_EQ(pressure.llc_demand_mb, 12.0);
+  EXPECT_LT(host.vm_penalty(1), 1.0);
+  EXPECT_LT(host.worst_penalty(), 1.0);
+  host.evict(2);
+  EXPECT_EQ(host.vm_penalty(1), 1.0);
+  EXPECT_EQ(host.worst_penalty(), 1.0);
+}
+
+TEST(HostSockets, FlatHostIsExactlyNeutral) {
+  hypervisor::Host host(hypervisor::HostSpec{});  // flat topology
+  const MemProfile p{CacheIntensity::kHigh, 32.0, 32.0};
+  host.place(profiled_vm(1, p));
+  host.place(profiled_vm(2, p));
+  host.place(profiled_vm(3, p));
+  EXPECT_EQ(host.socket_count(), 1u);
+  EXPECT_EQ(host.vm_penalty(1), 1.0);
+  EXPECT_EQ(host.worst_penalty(), 1.0);
+  // Penalty scaling of used() must be a bit-exact no-op on flat hosts.
+  const hypervisor::ResourceVector used = host.used(1.0);
+  EXPECT_DOUBLE_EQ(used.cpu(), 0.3);
+}
+
+TEST(HostSockets, PenaltyScalesHostUsage) {
+  hypervisor::HostSpec spec;
+  spec.topology = TopologySpec::uniform(1, 8.0, 10.0);
+  hypervisor::Host host(spec);
+  const MemProfile p{CacheIntensity::kHigh, 6.0, 6.0};
+  host.place(profiled_vm(1, p));
+  host.place(profiled_vm(2, p));
+  ASSERT_LT(host.worst_penalty(), 1.0);
+  // Delivered usage is the requested usage scaled by each VM's multiplier.
+  const double expected = 0.2 * host.vm_penalty(1);
+  EXPECT_NEAR(host.used(1.0).cpu(), expected, 1e-12);
+  EXPECT_GT(host.socket_utilization(0, 1.0), 0.0);
+}
+
+// --- Placement policy --------------------------------------------------------
+
+core::LcInfo make_lc(net::Address addr, std::uint32_t vms, double llc_demand,
+                     double bw_demand) {
+  core::LcInfo lc;
+  lc.lc = addr;
+  lc.capacity = {1.0, 1.0, 1.0};
+  lc.reserved = {0.1 * vms, 0.1 * vms, 0.1 * vms};
+  lc.estimated_used = lc.reserved;
+  lc.vm_count = vms;
+  lc.sockets.push_back({8.0, 10.0, llc_demand, bw_demand, vms});
+  return lc;
+}
+
+TEST(LeastInterferencePlacement, AvoidsContendedSocket) {
+  auto policy = core::make_placement_policy(core::PlacementPolicyKind::kLeastInterference);
+  core::VmDescriptor vm;
+  vm.requested = {0.1, 0.1, 0.1};
+  vm.mem_profile = {CacheIntensity::kHigh, 6.0, 6.0};
+  // LC 1 already runs two noisy VMs; LC 2 is empty.
+  const std::vector<core::LcInfo> lcs = {make_lc(1, 2, 12.0, 12.0),
+                                         make_lc(2, 0, 0.0, 0.0)};
+  EXPECT_EQ(policy->choose(vm, lcs), 2u);
+}
+
+TEST(LeastInterferencePlacement, FallsBackToCapacityWithoutProfiles) {
+  auto policy = core::make_placement_policy(core::PlacementPolicyKind::kLeastInterference);
+  auto best_fit = core::make_placement_policy(core::PlacementPolicyKind::kBestFit);
+  core::VmDescriptor vm;
+  vm.requested = {0.1, 0.1, 0.1};  // no mem_profile: capacity-only path
+  const std::vector<core::LcInfo> lcs = {make_lc(1, 3, 0.0, 0.0),
+                                         make_lc(2, 1, 0.0, 0.0),
+                                         make_lc(3, 7, 0.0, 0.0)};
+  // Every predicted penalty is zero, so the residual-capacity tiebreak must
+  // make the same choice a pure best-fit policy makes.
+  EXPECT_EQ(policy->choose(vm, lcs), best_fit->choose(vm, lcs));
+}
+
+TEST(LeastInterferencePlacement, PredictedPenaltyZeroForFlatOrUnprofiled) {
+  core::VmDescriptor vm;
+  vm.requested = {0.1, 0.1, 0.1};
+  core::LcInfo flat;
+  flat.lc = 1;
+  flat.capacity = {1.0, 1.0, 1.0};
+  EXPECT_EQ(core::predicted_penalty(vm, flat), 0.0);  // no sockets reported
+  vm.mem_profile = {CacheIntensity::kHigh, 6.0, 6.0};
+  EXPECT_EQ(core::predicted_penalty(vm, flat), 0.0);
+  vm.mem_profile = {};
+  EXPECT_EQ(core::predicted_penalty(vm, make_lc(2, 2, 12.0, 12.0)), 0.0);
+}
+
+// --- Relocation planner ------------------------------------------------------
+
+TEST(InterferenceRelocation, MovesNoisiestVmToQuietestTarget) {
+  core::LcInfo degraded = make_lc(1, 2, 10.0, 9.0);
+  const std::vector<core::VmLoad> vms = {
+      {101, {0.1, 0.1, 0.1}, {0.1, 0.1, 0.1}, {CacheIntensity::kMedium, 4.0, 3.0}, 0.6},
+      {102, {0.1, 0.1, 0.1}, {0.1, 0.1, 0.1}, {CacheIntensity::kHigh, 6.0, 6.0}, 0.5},
+  };
+  const std::vector<core::LcInfo> others = {make_lc(2, 2, 12.0, 12.0),
+                                            make_lc(3, 0, 0.0, 0.0)};
+  const auto moves =
+      core::plan_interference_relocation(degraded, vms, others, 0.9);
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].vm, 102u);  // largest weighted shared-resource demand
+  EXPECT_EQ(moves[0].from, 1u);
+  EXPECT_EQ(moves[0].to, 3u);  // the empty LC, not the equally-noisy one
+}
+
+TEST(InterferenceRelocation, NoMoveWithoutStrictImprovement) {
+  core::LcInfo degraded = make_lc(1, 2, 12.0, 12.0);
+  const std::vector<core::VmLoad> vms = {
+      {101, {0.1, 0.1, 0.1}, {0.1, 0.1, 0.1}, {CacheIntensity::kHigh, 6.0, 6.0}, 0.5},
+  };
+  // The only target is just as contended as the source: migrating would
+  // thrash, so the planner must stand pat.
+  const std::vector<core::LcInfo> others = {make_lc(2, 2, 12.0, 12.0)};
+  EXPECT_TRUE(core::plan_interference_relocation(degraded, vms, others, 0.9).empty());
+}
+
+TEST(InterferenceRelocation, IgnoresUnprofiledVms) {
+  core::LcInfo degraded = make_lc(1, 2, 6.0, 6.0);
+  const std::vector<core::VmLoad> vms = {
+      {101, {0.1, 0.1, 0.1}, {0.1, 0.1, 0.1}, MemProfile{}, 1.0},
+  };
+  const std::vector<core::LcInfo> others = {make_lc(2, 0, 0.0, 0.0)};
+  EXPECT_TRUE(core::plan_interference_relocation(degraded, vms, others, 0.9).empty());
+}
+
+// --- Chaos sweep -------------------------------------------------------------
+
+// Interference-aware control on a socketed, profiled cluster must hold every
+// capacity/liveness invariant the capacity-only system holds, across 50
+// seeded fault schedules. Short horizons keep the sweep tier-1 friendly.
+TEST(InterferenceChaosSweep, FiftySeedsHoldInvariants) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    chaos::ChaosRunConfig cfg;
+    cfg.seed = seed;
+    cfg.spec.duration = 40.0;
+    cfg.vms = 8;
+    cfg.config.interference_aware = true;
+    cfg.config.placement_policy = core::PlacementPolicyKind::kLeastInterference;
+    cfg.host_topology = TopologySpec::uniform(2, 12.0, 16.0);
+    cfg.vm_profiles = {{CacheIntensity::kHigh, 6.0, 6.0},
+                       {CacheIntensity::kMedium, 4.0, 3.0},
+                       MemProfile{},
+                       {CacheIntensity::kLow, 2.0, 2.0}};
+    const auto result = chaos::run_chaos(cfg);
+    EXPECT_TRUE(result.converged) << "seed " << seed << "\n" << result.report;
+    EXPECT_TRUE(result.invariants_ok) << "seed " << seed << "\n" << result.report;
+  }
+}
+
+TEST(InterferenceChaosSweep, ProfiledRunIsDeterministic) {
+  chaos::ChaosRunConfig cfg;
+  cfg.seed = 21;
+  cfg.spec.duration = 40.0;
+  cfg.config.interference_aware = true;
+  cfg.host_topology = TopologySpec::uniform(2, 12.0, 16.0);
+  cfg.vm_profiles = {{CacheIntensity::kHigh, 6.0, 6.0}};
+  const auto first = chaos::run_chaos(cfg);
+  const auto second = chaos::run_chaos(cfg);
+  EXPECT_EQ(first.trace_hash, second.trace_hash);
+  EXPECT_EQ(first.report, second.report);
+}
+
+}  // namespace
