@@ -57,6 +57,17 @@ struct SloConfig {
   /// (1 - multiplier) seconds per second of wall time it runs degraded.
   double degraded_vm_seconds_per_min_max = 30.0;
 
+  /// Delta-summary protocol health (NaN — never breaching — in full-summary
+  /// deployments). A full GmSummary costs ~16+ bytes per VM every period;
+  /// the delta stream's steady state is a near-empty header per GM, so
+  /// sustained bytes above this per LC per summary period means the stream
+  /// is stuck re-snapshotting instead of converging to deltas.
+  double summary_bytes_per_lc_period_max = 8.0;
+  /// Age of the stalest GM summary at the acting GL. The GL ages a GM out
+  /// after gm_summary_period * heartbeat_timeout_factor (7 s at defaults);
+  /// alerting below that surfaces a degraded stream before the eviction.
+  double summary_staleness_max_s = 6.0;
+
   int burn_samples = 3;    ///< consecutive breaches before an alert fires
   int clear_samples = 5;   ///< consecutive good samples before it clears
   double clear_fraction = 0.8;  ///< "good" = SLI < clear_fraction * threshold
@@ -84,6 +95,13 @@ struct SnoozeConfig {
   // --- monitoring / estimation ---------------------------------------------
   sim::Time lc_monitor_period = 2.0;     ///< LC -> GM resource monitoring
   sim::Time gm_summary_period = 2.0;     ///< GM -> GL aggregated summary
+  /// Batched delta summaries (GmSummaryDelta stream) instead of full
+  /// per-period GmSummary messages: O(churn) bytes on the wire, snapshot
+  /// fallback on any ack uncertainty, and a GL-side VM->GM ownership
+  /// inventory that resolves cross-GM duplicate VMs. Off by default: the
+  /// delta stream is an acknowledged RPC exchange, so enabling it changes
+  /// the message flow (and thus recorded golden traces).
+  bool delta_summaries = false;
   std::size_t estimator_window = 5;      ///< sliding window length (samples)
   /// Window-max is conservative (never under-estimates recent demand);
   /// EWMA is smoother and tracks trends (see core/estimator.hpp).

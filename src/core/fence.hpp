@@ -1,0 +1,43 @@
+// Epoch fencing for authority-bearing commands (DESIGN.md, "Epoch fencing").
+//
+// Every command that carries management authority (placements, stop/migrate
+// dispatches, suspend/wakeup) is stamped with the sender's election epoch:
+// GL term epochs on GL->GM traffic, GM lease epochs on GM->LC traffic. The
+// receiver keeps one EpochFence per authority domain and refuses anything
+// below the high-water mark with a typed StaleEpochError, so a deposed
+// leader (or a command delayed across a failover) can never act on stale
+// authority.
+//
+// Epoch 0 marks unfenced traffic (monitoring, adoption, boot-time paths)
+// and is always admitted without advancing the high-water mark.
+#pragma once
+
+#include <cstdint>
+
+namespace snooze::core {
+
+struct EpochFence {
+  std::uint64_t high_water = 0;     ///< highest epoch observed so far
+  std::uint64_t rejected = 0;       ///< commands refused as stale
+  std::uint64_t stale_accepts = 0;  ///< tripwire: must stay zero forever
+
+  /// Gate at the dispatch site. Returns false (and counts a rejection) for
+  /// a stale epoch; advances the high-water mark otherwise.
+  [[nodiscard]] bool admit(std::uint64_t epoch) {
+    if (epoch == 0) return true;  // unfenced traffic
+    if (epoch < high_water) {
+      ++rejected;
+      return false;
+    }
+    high_water = epoch;
+    return true;
+  }
+
+  /// Tripwire at the apply site: every applied command must have passed
+  /// admit() first, so a stale epoch reaching here is a fencing bug.
+  void note_applied(std::uint64_t epoch) {
+    if (epoch != 0 && epoch < high_water) ++stale_accepts;
+  }
+};
+
+}  // namespace snooze::core

@@ -42,6 +42,10 @@ void GroupManager::trace_event(std::string_view kind, std::string_view detail) {
 void GroupManager::start() {
   if (started_) return;
   started_ = true;
+  // Fresh summary stream: the first update is a snapshot by construction.
+  summary_encoder_.reset(summary_stream_);
+  summary_gl_ = net::kNullAddress;
+  summary_gl_epoch_ = 0;
   // Listen for GL heartbeats (to track the current leader).
   endpoint_.network().join_group(gl_group_, endpoint_.address());
   election_.set_on_demoted([this] { step_down("session expired"); });
@@ -133,12 +137,23 @@ void GroupManager::handle_oneway(const net::Envelope& env) {
     handle_migration_done(*done);
   } else if (const auto* terminated = net::msg_cast<VmTerminated>(env.payload)) {
     handle_vm_terminated(*terminated);
+  } else if (const auto* revoke = net::msg_cast<RevokeVmRequest>(env.payload)) {
+    // GL authority domain: a deposed leader's revoke must never stop a VM.
+    if (!gl_fence_.admit(env.epoch)) {
+      bump("fence.rejected");
+      trace_event("gm.fence_rejected", "epoch=" + std::to_string(env.epoch));
+      return;
+    }
+    gl_fence_.note_applied(env.epoch);
+    handle_revoke_vm(*revoke);
   }
 }
 
 void GroupManager::handle_request(const net::Envelope& env, net::Responder responder) {
   if (const auto* join = net::msg_cast<LcJoinRequest>(env.payload)) {
     handle_lc_join(*join, responder);
+  } else if (const auto* delta = net::msg_cast<GmSummaryDelta>(env.payload)) {
+    handle_summary_delta(*delta, responder);
   } else if (const auto* assign = net::msg_cast<AssignLcRequest>(env.payload)) {
     handle_assign_lc(*assign, responder);
   } else if (const auto* submit = net::msg_cast<SubmitVmRequest>(env.payload)) {
@@ -173,6 +188,10 @@ void GroupManager::gm_tick_summary() {
   if (leader_) return;  // the GL keeps no LCs and reports no summary
   if (draining_) return;  // silent: the GL ages us out before our restart
   if (current_gl_ == net::kNullAddress) return;
+  if (config_.delta_summaries) {
+    gm_send_summary_delta();
+    return;
+  }
   bump("gm.summaries");
   auto summary = net::make_message<GmSummary>();
   summary->gm = endpoint_.address();
@@ -186,7 +205,87 @@ void GroupManager::gm_tick_summary() {
   }
   summary->lc_count = static_cast<std::uint32_t>(lcs_.size());
   summary->vm_count = static_cast<std::uint32_t>(vm_count());
+  counters_.summary_bytes_sent += summary->wire_size();
   endpoint_.send(current_gl_, summary);
+}
+
+void GroupManager::gm_send_summary_delta() {
+  // A different GL — or the same one under a newer epoch (it restarted or a
+  // successor took over) — holds none of our stream state: re-anchor.
+  if (current_gl_ != summary_gl_ || gl_fence_.high_water != summary_gl_epoch_) {
+    summary_encoder_.force_snapshot();
+    summary_gl_ = current_gl_;
+    summary_gl_epoch_ = gl_fence_.high_water;
+  }
+  auto msg = net::make_message<GmSummaryDelta>();
+  msg->gm = endpoint_.address();
+  VmLocationMap locations;
+  double worst_age = 0.0;
+  for (const auto& [addr, lc] : lcs_) {
+    if (lc.power != LcPower::kOn) continue;
+    msg->capacity += lc.capacity;
+    worst_age = std::max(worst_age, now() - lc.last_heartbeat);
+    for (const auto& [id, vm] : lc.vms) {
+      msg->used += vm.demand();
+      locations[id] = addr;
+    }
+  }
+  msg->lc_count = static_cast<std::uint32_t>(lcs_.size());
+  msg->vm_count = static_cast<std::uint32_t>(vm_count());
+  msg->worst_lc_heartbeat_age = worst_age;
+  const SummaryUpdate update = summary_encoder_.encode(locations);
+  msg->snapshot = update.snapshot;
+  msg->stream = update.stream;
+  msg->seq = update.seq;
+  msg->placed = update.placed;
+  msg->removed = update.removed;
+  if (update.snapshot) {
+    ++counters_.summary_snapshots_sent;
+    bump("gm.summary_snapshots");
+    // Snapshots are the rare re-anchor points of the stream (first contact,
+    // lost ack, GL change); tracing them lets golden traces pin the
+    // delta -> snapshot -> delta sequence around a reconnect.
+    trace_event("gm.summary_snapshot", "stream=" + std::to_string(update.stream) +
+                                           " seq=" + std::to_string(update.seq));
+  } else {
+    ++counters_.summary_deltas_sent;
+    bump("gm.summary_deltas");
+  }
+  counters_.summary_bytes_sent += msg->wire_size();
+  const std::uint64_t seq = update.seq;
+  endpoint_.call(current_gl_, msg, config_.rpc_timeout,
+                 [this, seq](bool ok, const net::MsgPtr& reply) {
+    const auto* ack = ok ? net::msg_cast<GmSummaryAck>(reply) : nullptr;
+    if (ack != nullptr && ack->ok) {
+      summary_encoder_.on_ack(ack->seq);
+      return;
+    }
+    // Explicit rejection or transport timeout: either way the GL may not
+    // hold this update — the next tick snapshots.
+    if (ack != nullptr) {
+      ++counters_.summary_nacks;
+      bump("gm.summary_nacks");
+    }
+    summary_encoder_.on_nack(seq);
+  });
+}
+
+void GroupManager::handle_revoke_vm(const RevokeVmRequest& req) {
+  const auto lc_it = lcs_.find(req.lc);
+  if (lc_it == lcs_.end()) return;
+  const auto vm_it = lc_it->second.vms.find(req.vm);
+  if (vm_it == lc_it->second.vms.end()) return;
+  if (vm_it->second.migrating) return;  // let the migration settle first
+  ++counters_.revokes_honored;
+  bump("gm.revokes_honored");
+  trace_event("gm.vm_revoked", "vm=" + std::to_string(req.vm));
+  auto stop = std::make_shared<StopVmRequest>();
+  stop->vm = req.vm;
+  stamp_lease(*stop, req.lc);
+  endpoint_.send(req.lc, stop);
+  lc_it->second.reserved -= vm_it->second.requested;
+  if (lc_it->second.reserved.any_negative()) lc_it->second.reserved = {};
+  lc_it->second.vms.erase(vm_it);
 }
 
 void GroupManager::handle_lc_join(const LcJoinRequest& req, net::Responder responder) {
@@ -1029,6 +1128,8 @@ void GroupManager::step_down(const char* reason) {
   completed_submissions_.clear();
   inflight_submissions_.clear();
   submit_waiters_.clear();
+  vm_inventory_.clear();
+  vm_conflicts_.clear();
   // Re-enter the election as a fresh candidate: our old znode is gone (a
   // successor exists or the session expired), so a new, strictly higher
   // sequence keeps epochs monotone.
@@ -1067,7 +1168,9 @@ void GroupManager::gl_check_gm_liveness() {
       ++counters_.gm_failures_detected;
       bump("gl.gm_failures_detected");
       trace_event("gl.gm_failed");
+      const net::Address gone = it->first;
       it = gms_.erase(it);
+      drop_gm_inventory(gone);
     } else {
       ++it;
     }
@@ -1079,7 +1182,11 @@ void GroupManager::prune_submission_book() {
   const sim::Time retention = config_.submission_book_retention;
   if (retention <= 0.0) return;
   for (auto it = completed_submissions_.begin(); it != completed_submissions_.end();) {
-    if (now() - it->second.at > retention) {
+    // In delta mode a live VM's book entry is only refreshed on placement
+    // *changes*, so retention alone would prune (and then duplicate on a
+    // client replay) long-lived idle VMs: anything the inventory still lists
+    // as running is exempt.
+    if (now() - it->second.at > retention && vm_inventory_.count(it->first) == 0) {
       it = completed_submissions_.erase(it);
     } else {
       ++it;
@@ -1104,6 +1211,194 @@ void GroupManager::handle_gm_summary(const GmSummary& summary) {
   for (const auto& [vm, lc] : summary.vm_locations) {
     completed_submissions_[vm] = {lc, summary.gm, now()};
   }
+}
+
+void GroupManager::handle_summary_delta(const GmSummaryDelta& delta,
+                                        net::Responder responder) {
+  auto ack = std::make_shared<GmSummaryAck>();
+  ack->seq = delta.seq;
+  if (!leader_) {
+    // Not an authority on the stream (includes the degenerate self-send
+    // right after a step-down): refuse, the GM re-anchors at the real GL.
+    ack->ok = false;
+    responder.respond(ack);
+    return;
+  }
+  GmRecord& record = gms_[delta.gm];
+  SummaryUpdate update;
+  update.snapshot = delta.snapshot;
+  update.stream = delta.stream;
+  update.seq = delta.seq;
+  update.placed = delta.placed;
+  update.removed = delta.removed;
+  const std::uint64_t seq_before = record.decoder.last_seq();
+  const bool synced_before = record.decoder.synced();
+  if (!record.decoder.apply(update)) {
+    ++counters_.summary_rejects;
+    bump("gl.summary_rejected");
+    trace_event("gl.summary_rejected", "gm=" + std::to_string(delta.gm));
+    ack->ok = false;
+    responder.respond(ack);
+    return;
+  }
+  record.info.gm = delta.gm;
+  record.info.used = delta.used;
+  record.info.capacity = delta.capacity;
+  record.info.lc_count = delta.lc_count;
+  record.info.vm_count = delta.vm_count;
+  record.info.worst_lc_heartbeat_age = delta.worst_lc_heartbeat_age;
+  record.last_summary = now();
+  // Sync the VM inventory only when the decoder actually advanced: a
+  // duplicate delivery of an *old* delta is acked (the GM moved on long ago)
+  // but its stale placements must not regress the inventory.
+  const bool advanced = record.decoder.last_seq() != seq_before ||
+                        record.decoder.synced() != synced_before;
+  if (delta.snapshot) {
+    // Re-anchor: claims this GM no longer makes are removals, then the full
+    // state is re-asserted. Both paths are idempotent.
+    const VmLocationMap& state = record.decoder.state();
+    std::vector<VmId> gone;
+    for (const auto& [vm, owner] : vm_inventory_) {
+      if (owner.gm == delta.gm && state.count(vm) == 0) gone.push_back(vm);
+    }
+    for (const VmId vm : gone) note_vm_removed(delta.gm, vm);
+    for (const auto& [vm, lc] : state) note_vm_placed(delta.gm, vm, lc);
+  } else if (advanced) {
+    for (const auto& [vm, lc] : delta.placed) note_vm_placed(delta.gm, vm, lc);
+    for (const VmId vm : delta.removed) note_vm_removed(delta.gm, vm);
+  }
+  resolve_conflicts_for(delta.gm);
+  ack->ok = true;
+  responder.respond(ack);
+}
+
+void GroupManager::note_vm_placed(net::Address gm, VmId vm, net::Address lc) {
+  const auto [it, inserted] = vm_inventory_.try_emplace(vm, VmOwnership{gm, lc, now()});
+  if (inserted) {
+    completed_submissions_[vm] = {lc, gm, now()};
+    return;
+  }
+  VmOwnership& owner = it->second;
+  if (owner.gm == gm) {
+    owner.lc = lc;  // intra-GM move (migration); not a duplicate
+    completed_submissions_[vm] = {lc, gm, now()};
+    return;
+  }
+  if (owner.lc == lc) {
+    // Same LC under a new GM: the LC (with its VMs) rejoined the hierarchy
+    // elsewhere — a legitimate ownership transfer, not a second instance.
+    // The old GM's stale claim retires with its next snapshot or removal.
+    owner = VmOwnership{gm, lc, now()};
+    if (const auto c = vm_conflicts_.find(vm);
+        c != vm_conflicts_.end() && c->second.challenger == gm) {
+      vm_conflicts_.erase(c);
+    }
+    completed_submissions_[vm] = {lc, gm, now()};
+    return;
+  }
+  // Same VM id claimed by two GMs on different LCs: a true cross-GM
+  // duplicate (e.g. a submit replayed against a new GL while the original
+  // placement survived a partition). Deciding on this single report could
+  // kill a healthy VM on a reordered stream, so park the claim and settle it
+  // against the incumbent's next applied summary (resolve_conflicts_for).
+  PendingConflict& conflict = vm_conflicts_[vm];
+  if (conflict.since == 0.0) conflict.since = now();
+  conflict.incumbent = owner.gm;
+  conflict.challenger = gm;
+  conflict.challenger_lc = lc;
+  bump("gl.cross_gm_conflicts");
+  trace_event("gl.cross_gm_conflict", "vm=" + std::to_string(vm));
+}
+
+void GroupManager::note_vm_removed(net::Address gm, VmId vm) {
+  if (const auto c = vm_conflicts_.find(vm);
+      c != vm_conflicts_.end() && c->second.challenger == gm) {
+    vm_conflicts_.erase(c);  // the challenger withdrew its claim
+  }
+  const auto it = vm_inventory_.find(vm);
+  if (it == vm_inventory_.end() || it->second.gm != gm) return;
+  if (const auto c = vm_conflicts_.find(vm);
+      c != vm_conflicts_.end() && c->second.incumbent == gm) {
+    // The incumbent dropped the VM while a challenger waits: the challenger
+    // simply becomes the owner — no instance was ever a duplicate for long.
+    it->second = VmOwnership{c->second.challenger, c->second.challenger_lc, now()};
+    completed_submissions_[vm] = {c->second.challenger_lc, c->second.challenger, now()};
+    vm_conflicts_.erase(c);
+    return;
+  }
+  vm_inventory_.erase(it);
+}
+
+void GroupManager::resolve_conflicts_for(net::Address gm) {
+  const auto gm_it = gms_.find(gm);
+  if (gm_it == gms_.end()) return;
+  const VmLocationMap& state = gm_it->second.decoder.state();
+  for (auto it = vm_conflicts_.begin(); it != vm_conflicts_.end();) {
+    if (it->second.incumbent != gm) {
+      ++it;
+      continue;
+    }
+    const VmId vm = it->first;
+    const PendingConflict conflict = it->second;
+    if (state.count(vm) > 0) {
+      // The incumbent's fresh summary still reports the VM: the challenger's
+      // copy is the duplicate. Revoke it under our election epoch so a
+      // deposed leader's late revoke is fenced off at the GM.
+      ++counters_.cross_gm_duplicates_revoked;
+      bump("gl.cross_gm_duplicates_revoked");
+      trace_event("gl.duplicate_revoked", "vm=" + std::to_string(vm));
+      auto revoke = std::make_shared<RevokeVmRequest>();
+      revoke->vm = vm;
+      revoke->lc = conflict.challenger_lc;
+      revoke->epoch = my_epoch_;
+      endpoint_.send(conflict.challenger, revoke);
+    } else {
+      vm_inventory_[vm] =
+          VmOwnership{conflict.challenger, conflict.challenger_lc, now()};
+      completed_submissions_[vm] = {conflict.challenger_lc, conflict.challenger,
+                                    now()};
+    }
+    it = vm_conflicts_.erase(it);
+  }
+}
+
+void GroupManager::drop_gm_inventory(net::Address gm) {
+  for (auto it = vm_conflicts_.begin(); it != vm_conflicts_.end();) {
+    if (it->second.challenger == gm) {
+      it = vm_conflicts_.erase(it);
+    } else if (it->second.incumbent == gm) {
+      // The incumbent left the fleet: the challenger's copy is the survivor.
+      vm_inventory_[it->first] =
+          VmOwnership{it->second.challenger, it->second.challenger_lc, now()};
+      it = vm_conflicts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = vm_inventory_.begin(); it != vm_inventory_.end();) {
+    if (it->second.gm == gm) {
+      it = vm_inventory_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+double GroupManager::summary_staleness() const {
+  if (!leader_ || gms_.empty()) return -1.0;
+  double worst = 0.0;
+  for (const auto& [addr, record] : gms_) {
+    worst = std::max(worst, now() - record.last_summary);
+  }
+  return worst;
+}
+
+double GroupManager::aggregated_lc_heartbeat_age() const {
+  double worst = -1.0;
+  for (const auto& [addr, record] : gms_) {
+    worst = std::max(worst, record.info.worst_lc_heartbeat_age);
+  }
+  return worst;
 }
 
 void GroupManager::handle_assign_lc(const AssignLcRequest& req, net::Responder responder) {
@@ -1261,6 +1556,8 @@ void GroupManager::fail() {
   completed_submissions_.clear();
   inflight_submissions_.clear();
   submit_waiters_.clear();
+  vm_inventory_.clear();
+  vm_conflicts_.clear();
   leader_ = false;
   started_ = false;
   reconciling_ = false;
@@ -1276,6 +1573,9 @@ void GroupManager::restart() {
   gl_fence_ = {};
   my_epoch_ = 0;
   draining_ = false;
+  // New life, new summary-stream incarnation: a delta duplicated from the
+  // previous life can never collide with the fresh sequence numbers.
+  ++summary_stream_;
   trace_event("gm.restart");
   start();
 }

@@ -23,6 +23,7 @@
 #include "core/messages.hpp"
 #include "core/policies.hpp"
 #include "core/relocation.hpp"
+#include "core/summary_codec.hpp"
 #include "net/rpc.hpp"
 #include "sim/trace.hpp"
 #include "telemetry/telemetry.hpp"
@@ -53,6 +54,14 @@ class GroupManager final : public sim::Actor {
     std::uint64_t reconciliations = 0;       // GL reconcile windows completed
     std::uint64_t migrations_inherited = 0;  // in-flight migrations adopted on failover
     std::uint64_t lcs_fenced_off = 0;        // LCs dropped after a StaleEpoch reply
+    // Delta summary stream (SnoozeConfig::delta_summaries).
+    std::uint64_t summary_deltas_sent = 0;     // GM: incremental updates sent
+    std::uint64_t summary_snapshots_sent = 0;  // GM: full snapshots sent
+    std::uint64_t summary_nacks = 0;           // GM: negative acks received
+    std::uint64_t summary_bytes_sent = 0;      // GM: summary bytes on the wire (both modes)
+    std::uint64_t summary_rejects = 0;         // GL: updates rejected (gap / unsynced)
+    std::uint64_t cross_gm_duplicates_revoked = 0;  // GL: duplicate copies revoked
+    std::uint64_t revokes_honored = 0;         // GM: GL revoke commands executed
   };
 
   GroupManager(sim::Engine& engine, net::Network& network, net::Address coord_service,
@@ -121,6 +130,27 @@ class GroupManager final : public sim::Actor {
     return completed_submissions_.size();
   }
 
+  // --- delta summary stream (GL-side introspection) --------------------------
+  /// The GL's VM -> owner record, built from delta summaries. Empty when
+  /// delta summaries are off or this node is not the leader.
+  struct VmOwnership {
+    net::Address gm = net::kNullAddress;
+    net::Address lc = net::kNullAddress;
+    sim::Time since = 0.0;
+  };
+  [[nodiscard]] const std::map<VmId, VmOwnership>& vm_inventory() const {
+    return vm_inventory_;
+  }
+  /// Unresolved cross-GM duplicate claims awaiting the incumbent's next
+  /// summary (diagnostic; steady state is empty).
+  [[nodiscard]] std::size_t vm_conflict_count() const { return vm_conflicts_.size(); }
+  /// GL: age of the stalest GM summary, in seconds (obs SLI). Negative when
+  /// this node is not the leader or knows no GMs yet.
+  [[nodiscard]] double summary_staleness() const;
+  /// GL: worst LC heartbeat age aggregated hierarchically across GM delta
+  /// summaries. Negative until a delta summary carried the aggregate.
+  [[nodiscard]] double aggregated_lc_heartbeat_age() const;
+
   // --- fault injection ---------------------------------------------------------
   void fail();
   void restart();
@@ -163,6 +193,8 @@ class GroupManager final : public sim::Actor {
   struct GmRecord {
     GmInfo info;
     sim::Time last_summary = 0.0;
+    /// Delta-summary stream state for this GM (inert in full-summary mode).
+    SummaryDecoder decoder;
   };
 
   void handle_oneway(const net::Envelope& env);
@@ -171,6 +203,13 @@ class GroupManager final : public sim::Actor {
   // GM role ------------------------------------------------------------------
   void gm_tick_heartbeat();
   void gm_tick_summary();
+  /// Delta-summary mode: encode the changed VM placements since the last
+  /// acked epoch (or a full snapshot after reconnect / GL change / nack)
+  /// and send them as an acknowledged GmSummaryDelta.
+  void gm_send_summary_delta();
+  /// GL-fenced command: stop a VM copy the GL identified as a cross-GM
+  /// duplicate (a newer placement of the same VM id exists under another GM).
+  void handle_revoke_vm(const RevokeVmRequest& req);
   void gm_check_lc_liveness();
   void gm_energy_check();
   void gm_reconfigure();
@@ -217,6 +256,19 @@ class GroupManager final : public sim::Actor {
   void answer_submit(VmId vm, const net::Responder& responder,
                      const SubmitVmResponse& result);
   void handle_gm_summary(const GmSummary& summary);
+  /// Delta-summary stream: apply one GmSummaryDelta to the sender's decoder,
+  /// sync the VM inventory, and ack (ok=false asks the GM to snapshot).
+  void handle_summary_delta(const GmSummaryDelta& delta, net::Responder responder);
+  /// Inventory bookkeeping for one placed / removed VM from an applied
+  /// summary; detects cross-GM duplicate claims (same VM id under two GMs).
+  void note_vm_placed(net::Address gm, VmId vm, net::Address lc);
+  void note_vm_removed(net::Address gm, VmId vm);
+  /// After applying a summary from `gm`, settle conflicts where `gm` is the
+  /// incumbent: if it still reports the VM, revoke the challenger's copy;
+  /// if it dropped the VM, the challenger simply becomes the owner.
+  void resolve_conflicts_for(net::Address gm);
+  /// Drop a departed GM's inventory entries and settle its conflicts.
+  void drop_gm_inventory(net::Address gm);
   void handle_gl_heartbeat(const GlHeartbeat& hb);
   /// Drop submission-book entries unrefreshed for longer than the retention
   /// window (a live VM is re-acknowledged by every GM summary; an entry that
@@ -282,6 +334,31 @@ class GroupManager final : public sim::Actor {
   /// ping-pong). Cleared on MigrationDone, LC rejection, or command timeout.
   std::map<VmId, net::Address> inflight_migrations_;
   std::map<VmId, std::vector<net::Responder>> submit_waiters_;
+
+  // --- delta summary stream --------------------------------------------------
+  // GM side: encoder state for the outbound stream. The stream id is bumped
+  // on restart() so a delayed delta from a previous life can never be
+  // confused with the fresh stream's sequence numbers.
+  SummaryEncoder summary_encoder_;
+  std::uint64_t summary_stream_ = 1;
+  /// GL (and its epoch) the stream is currently aimed at; any change forces
+  /// a snapshot (the new leader's decoder starts unsynced).
+  net::Address summary_gl_ = net::kNullAddress;
+  std::uint64_t summary_gl_epoch_ = 0;
+
+  // GL side: the cluster-wide VM -> owner inventory assembled from delta
+  // summaries, and cross-GM duplicate claims pending resolution. A conflict
+  // is resolved only on the incumbent's next applied summary — if it still
+  // reports the VM the challenger's copy is revoked, otherwise ownership
+  // transfers — so a single reordered report never kills a healthy VM.
+  struct PendingConflict {
+    net::Address incumbent = net::kNullAddress;
+    net::Address challenger = net::kNullAddress;
+    net::Address challenger_lc = net::kNullAddress;
+    sim::Time since = 0.0;
+  };
+  std::map<VmId, VmOwnership> vm_inventory_;
+  std::map<VmId, PendingConflict> vm_conflicts_;
 
   std::unique_ptr<DispatchPolicy> dispatch_policy_;
   std::unique_ptr<PlacementPolicy> placement_policy_;

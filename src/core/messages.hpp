@@ -58,6 +58,41 @@ struct GmSummary final : net::Message {
   }
 };
 
+/// GM -> GL (RPC; replaces the one-way GmSummary when
+/// SnoozeConfig::delta_summaries is on): batched summary carrying the
+/// aggregates plus only the per-VM location *changes* since the last
+/// acknowledged update — O(churn) on the wire instead of O(VMs). A full
+/// snapshot (`snapshot` set, `placed` complete) re-anchors the stream on
+/// first contact, GL change, reconnect, or any lost/negative ack; see
+/// core/summary_codec.hpp for the exact safety argument.
+struct GmSummaryDelta final : net::Message {
+  Address gm = net::kNullAddress;
+  ResourceVector used;      ///< estimated VM demand over the GM's LCs
+  ResourceVector capacity;  ///< total capacity of powered-on LCs
+  std::uint32_t lc_count = 0;
+  std::uint32_t vm_count = 0;
+  /// Hierarchical heartbeat aggregation: the worst (largest) LC heartbeat
+  /// age this GM currently observes, so the GL tracks fleet-wide liveness
+  /// health in O(GMs) instead of receiving per-LC heartbeats.
+  double worst_lc_heartbeat_age = 0.0;
+  bool snapshot = false;
+  std::uint64_t stream = 0;  ///< sender incarnation (see SummaryUpdate)
+  std::uint64_t seq = 0;     ///< per-stream sequence; deltas apply in order
+  std::vector<std::pair<VmId, Address>> placed;  ///< new or moved VMs
+  std::vector<VmId> removed;                     ///< VMs no longer hosted
+  [[nodiscard]] std::string_view type() const override { return "gm.summary_d"; }
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 104 + placed.size() * 16 + removed.size() * 8;
+  }
+};
+
+struct GmSummaryAck final : net::Message {
+  bool ok = false;  ///< false: update rejected, sender must snapshot
+  std::uint64_t seq = 0;
+  [[nodiscard]] std::string_view type() const override { return "gm.summary_d.r"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 20; }
+};
+
 /// LC -> GM liveness heartbeat.
 struct LcHeartbeat final : net::Message {
   Address lc = net::kNullAddress;
@@ -238,6 +273,18 @@ struct StopVmRequest final : net::Message {
   VmId vm = hypervisor::kNullVm;
   [[nodiscard]] std::string_view type() const override { return "lc.stop_vm"; }
   [[nodiscard]] std::size_t wire_size() const override { return 24; }  // + lease epoch
+};
+
+/// GL -> GM (one-way, GL-epoch fenced): stop the duplicate copy of `vm`
+/// running on `lc`. Sent when the GL's VM->GM ownership inventory (built
+/// from delta summaries) proves two GMs host the same VM and the incumbent
+/// re-asserted it — the challenger's copy is the orphan of a partition-torn
+/// StartVm and must go.
+struct RevokeVmRequest final : net::Message {
+  VmId vm = hypervisor::kNullVm;
+  Address lc = net::kNullAddress;
+  [[nodiscard]] std::string_view type() const override { return "gm.revoke_vm"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 32; }
 };
 
 /// LC -> GM: a VM reached the end of its lifetime and was stopped.

@@ -26,6 +26,10 @@ struct GmInfo {
   ResourceVector capacity;
   std::uint32_t lc_count = 0;
   std::uint32_t vm_count = 0;
+  /// Hierarchical heartbeat aggregation (delta summaries only): the worst
+  /// LC heartbeat age under this GM at summary time. Negative when the GM
+  /// reports via full summaries, which do not carry the aggregate.
+  double worst_lc_heartbeat_age = -1.0;
 
   [[nodiscard]] double load_fraction() const {
     const double cap = capacity.l1_norm();

@@ -63,6 +63,8 @@ HealthMonitor::HealthMonitor(core::SnoozeSystem& system, std::size_t max_rows)
   col_.slo_flaps = store_.add_column("slo.flaps_per_hour");
   col_.interference_p99 = store_.add_column("interference.p99_penalty");
   col_.degraded_vm_s = store_.add_column("interference.degraded_vm_s");
+  col_.summary_bytes_per_lc = store_.add_column("summary.bytes_per_lc_period");
+  col_.summary_staleness = store_.add_column("summary.staleness_s");
 }
 
 void HealthMonitor::start() {
@@ -193,6 +195,36 @@ void HealthMonitor::sample_now() {
   last_penalty_sum_ = penalty_sum;
   last_sample_time_ = now;
 
+  // --- summary protocol (delta-summary deployments only) -------------------
+  // Bytes per LC per summary period over the trailing rate window, and the
+  // stalest GM summary at the acting GL. Both NaN in full-summary mode so
+  // pre-delta deployments evaluate (and alert) exactly as before.
+  double summary_bytes_per_lc = kNaN;
+  double summary_staleness = kNaN;
+  if (system_.spec().config.delta_summaries) {
+    double total_bytes = 0.0;
+    for (const auto& gm : system_.group_managers()) {
+      total_bytes += static_cast<double>(gm->counters().summary_bytes_sent);
+      if (gm->is_leader()) {
+        const double s = gm->summary_staleness();
+        if (s >= 0.0) summary_staleness = s;
+      }
+    }
+    while (!summary_bytes_window_.empty() &&
+           now - summary_bytes_window_.front().time > kRateWindow) {
+      summary_bytes_window_.erase(summary_bytes_window_.begin());
+    }
+    if (!summary_bytes_window_.empty() && assigned > 0.0) {
+      const BytesSample& oldest = summary_bytes_window_.front();
+      if (now > oldest.time) {
+        const double rate = (total_bytes - oldest.bytes) / (now - oldest.time);
+        summary_bytes_per_lc =
+            rate * system_.spec().config.gm_summary_period / assigned;
+      }
+    }
+    summary_bytes_window_.push_back({now, total_bytes});
+  }
+
   // --- latency percentiles --------------------------------------------------
   double p50 = kNaN, p99 = kNaN;
   if (const telemetry::Histogram* h =
@@ -231,6 +263,8 @@ void HealthMonitor::sample_now() {
       flap_window > 0.0 ? slo_.flaps_in_window(now) * 3600.0 / flap_window : 0.0;
   row[col_.interference_p99] = interference_p99;
   row[col_.degraded_vm_s] = degraded_vm_s_accum_;
+  row[col_.summary_bytes_per_lc] = summary_bytes_per_lc;
+  row[col_.summary_staleness] = summary_staleness;
   store_.append_row(now, row);
 
   evaluate_slos(now);
@@ -274,6 +308,10 @@ void HealthMonitor::evaluate_slos(double now) {
        cfg.interference_p99_penalty_max},
       {"submit_p50", store_.latest(col_.submit_p50), cfg.submit_p50_max_s},
       {"submit_p99", store_.latest(col_.submit_p99), cfg.submit_p99_max_s},
+      {"summary_bytes_per_lc", store_.latest(col_.summary_bytes_per_lc),
+       cfg.summary_bytes_per_lc_period_max},
+      {"summary_staleness", store_.latest(col_.summary_staleness),
+       cfg.summary_staleness_max_s},
   };
   for (const auto& sli : slis) {
     const auto transition = slo_.observe(sli.name, sli.value, sli.threshold, now);

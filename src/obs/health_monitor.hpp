@@ -25,6 +25,12 @@
 //                         running VMs; NaN while none report
 //   degraded_vm_rate      degraded-VM-seconds accumulated per minute over a
 //                         trailing 60 s window
+//   summary_bytes_per_lc  GM->GL summary bytes per LC per summary period over
+//                         a trailing 60 s window; NaN until delta summaries
+//                         are enabled (full-summary deployments keep their
+//                         golden traces bit-for-bit)
+//   summary_staleness     age of the stalest GM summary at the acting GL (s);
+//                         NaN without delta summaries or without a leader
 #pragma once
 
 #include <cstdint>
@@ -101,7 +107,16 @@ class HealthMonitor final : public sim::Actor {
     std::size_t placements, migrations, submits, fence_rejected;
     std::size_t mttr_s, failovers, submit_p50, submit_p99, slo_firing, slo_flaps;
     std::size_t interference_p99, degraded_vm_s;
+    std::size_t summary_bytes_per_lc, summary_staleness;
   } col_{};
+
+  /// Trailing-window state of the summary-bytes SLI: (time, cumulative GM
+  /// summary bytes) samples within the rate window.
+  struct BytesSample {
+    double time;
+    double bytes;
+  };
+  std::vector<BytesSample> summary_bytes_window_;
 
   /// Degraded-VM-seconds integrator: every profiled running VM contributes
   /// (1 - multiplier) seconds per second of wall time, accumulated sample to

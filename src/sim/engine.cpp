@@ -7,7 +7,10 @@
 
 namespace snooze::sim {
 
-Engine::Engine(std::uint64_t seed) : rng_(seed) {}
+Engine::Engine(std::uint64_t seed) : rng_(seed) {
+  static_assert(sizeof(Entry) == 16, "bucket entries must pack 4 per cache line");
+  static_assert(sizeof(Slot) == 32, "hot slot records must pack 2 per cache line");
+}
 
 EventId Engine::schedule(Time delay, std::function<void()> fn) {
   assert(delay >= 0.0);
@@ -21,12 +24,15 @@ std::uint32_t Engine::alloc_slot() {
     return slot;
   }
   slots_.emplace_back();
-  return static_cast<std::uint32_t>(slots_.size() - 1);
+  fns_.emplace_back();
+  const auto slot = static_cast<std::uint32_t>(slots_.size() - 1);
+  assert(slot <= kSlotMask && "event slab exceeded the 2^24 entry-key budget");
+  return slot;
 }
 
 void Engine::free_slot(std::uint32_t slot) {
   Slot& s = slots_[slot];
-  s.fn = nullptr;  // release the closure eagerly (it may pin shared state)
+  fns_[slot] = nullptr;  // release the closure eagerly (it may pin shared state)
   s.state = SlotState::kFree;
   ++s.generation;  // outstanding handles to this event become stale
   s.next_free = free_head_;
@@ -34,58 +40,59 @@ void Engine::free_slot(std::uint32_t slot) {
   --pending_;
 }
 
-void Engine::sift_up(std::vector<Entry>& bucket, std::size_t i) {
-  const Entry e = bucket[i];
-  while (i > 0) {
-    const std::size_t p = (i - 1) / 2;
-    if (!Later{}(bucket[p], e)) break;
-    bucket[i] = bucket[p];
-    slots_[bucket[i].slot].pos = static_cast<std::uint32_t>(i);
-    i = p;
+void Engine::bucket_push(Bucket& bucket, const Entry& entry) {
+  if (bucket.empty()) {
+    // A drained ring restarts from index 0 so long-lived buckets don't
+    // accrete dead prefix across window wraps.
+    bucket.v.clear();
+    bucket.head = 0;
+    bucket.v.push_back(entry);
+    return;
   }
-  bucket[i] = e;
-  slots_[e.slot].pos = static_cast<std::uint32_t>(i);
-}
-
-void Engine::sift_down(std::vector<Entry>& bucket, std::size_t i) {
-  const std::size_t n = bucket.size();
-  const Entry e = bucket[i];
-  for (;;) {
-    std::size_t c = 2 * i + 1;
-    if (c >= n) break;
-    if (c + 1 < n && Later{}(bucket[c], bucket[c + 1])) ++c;
-    if (!Later{}(e, bucket[c])) break;
-    bucket[i] = bucket[c];
-    slots_[bucket[i].slot].pos = static_cast<std::uint32_t>(i);
-    i = c;
+  if (entry_before(bucket.v.back(), entry)) {  // the monotone common case
+    bucket.v.push_back(entry);
+    return;
   }
-  bucket[i] = e;
-  slots_[e.slot].pos = static_cast<std::uint32_t>(i);
+  const auto it = std::upper_bound(bucket.v.begin() + bucket.head,
+                                   bucket.v.end(), entry, &Engine::entry_before);
+  bucket.v.insert(it, entry);
 }
 
-void Engine::bucket_push(std::vector<Entry>& bucket, const Entry& entry) {
-  bucket.push_back(entry);
-  sift_up(bucket, bucket.size() - 1);
+void Engine::bucket_pop_front(Bucket& bucket) {
+  ++bucket.head;
+  if (bucket.empty()) {
+    bucket.v.clear();
+    bucket.head = 0;
+  }
 }
 
-void Engine::bucket_remove(std::vector<Entry>& bucket, std::size_t i) {
-  const Entry moved = bucket.back();
-  bucket.pop_back();
-  if (i == bucket.size()) return;  // removed the tail entry itself
-  bucket[i] = moved;
-  slots_[moved.slot].pos = static_cast<std::uint32_t>(i);
-  sift_down(bucket, i);
-  // If sift_down left it in place it may still beat its parent.
-  if (slots_[moved.slot].pos == i) sift_up(bucket, i);
+void Engine::bucket_cancel(Bucket& bucket, const Entry& entry) {
+  const auto begin = bucket.v.begin() + bucket.head;
+  const auto it =
+      std::lower_bound(begin, bucket.v.end(), entry, &Engine::entry_before);
+  assert(it != bucket.v.end() && it->key == entry.key);
+  // Shift whichever side is shorter; cancels typically arrive in the same
+  // seq order the entries did (each RPC reply cancels its own guard), which
+  // makes this a one-element move at the ring's head.
+  if (it - begin <= bucket.v.end() - it - 1) {
+    std::move_backward(begin, it, it + 1);
+    ++bucket.head;
+  } else {
+    bucket.v.erase(it);
+  }
+  if (bucket.empty()) {
+    bucket.v.clear();
+    bucket.head = 0;
+  }
 }
 
 void Engine::mark_occupied(std::uint64_t abs_bucket) {
-  const std::size_t p = abs_bucket & kBucketMask;
+  const std::size_t p = abs_bucket & bucket_mask_;
   occupied_[p >> 6] |= std::uint64_t{1} << (p & 63);
 }
 
 void Engine::clear_occupied(std::uint64_t abs_bucket) {
-  const std::size_t p = abs_bucket & kBucketMask;
+  const std::size_t p = abs_bucket & bucket_mask_;
   occupied_[p >> 6] &= ~(std::uint64_t{1} << (p & 63));
 }
 
@@ -94,27 +101,33 @@ EventId Engine::schedule_at(Time t, std::function<void()> fn) {
   const std::uint64_t seq = next_seq_++;
   const std::uint32_t slot = alloc_slot();
   Slot& s = slots_[slot];
-  s.fn = std::move(fn);
+  fns_[slot] = std::move(fn);
   s.time = t;
   s.seq = seq;
 
   const std::uint64_t b = bucket_of(t);
-  if (b < cursor_ + kNumBuckets) {
+  if (b < cursor_ + num_buckets_) {
     s.state = SlotState::kNear;
-    auto& bucket = buckets_[b & kBucketMask];
+    auto& bucket = buckets_[b & bucket_mask_];
     if (bucket.empty()) mark_occupied(b);
-    bucket_push(bucket, Entry{t, seq, slot});
+    bucket_push(bucket, Entry{t, seq << kSlotBits | slot});
     ++near_count_;
     if (b < scan_hint_) scan_hint_ = b;
   } else {
     s.state = SlotState::kFar;
     far_.emplace(std::make_pair(t, seq), slot);
+    if (t < far_min_time_) {
+      far_min_time_ = t;
+      far_min_bucket_ = b;
+    }
     ++stats_.overflowed;
   }
   ++pending_;
   ++stats_.scheduled;
   stats_.peak_pending = std::max(stats_.peak_pending, pending_);
-  return (static_cast<std::uint64_t>(slot) + 1) << 32 | s.generation;
+  const EventId id = (static_cast<std::uint64_t>(slot) + 1) << 32 | s.generation;
+  if (--retune_countdown_ == 0) maybe_retune();
+  return id;
 }
 
 bool Engine::cancel(EventId id) {
@@ -129,23 +142,24 @@ bool Engine::cancel(EventId id) {
 
   if (s.state == SlotState::kNear) {
     const std::uint64_t b = bucket_of(s.time);
-    auto& bucket = buckets_[b & kBucketMask];
-    // The slot knows its heap position, so removal is a targeted O(log b)
-    // sift — bucket occupancy grows with cluster size, and every successful
-    // RPC lands here, so an O(b) scan would dominate 10k-LC runs.
-    bucket_remove(bucket, s.pos);
+    auto& bucket = buckets_[b & bucket_mask_];
+    // (time, seq) relocates the entry by binary search — every successful
+    // RPC lands here, so this must not degrade to a full-bucket scan.
+    bucket_cancel(bucket, Entry{s.time, s.seq << kSlotBits | slot});
     if (bucket.empty()) clear_occupied(b);
     --near_count_;
   } else {
     far_.erase(std::make_pair(s.time, s.seq));
+    if (s.time <= far_min_time_) update_far_min();
   }
   free_slot(slot);
   ++stats_.cancelled;
+  if (--retune_countdown_ == 0) maybe_retune();
   return true;
 }
 
 void Engine::promote_far() {
-  const std::uint64_t horizon = cursor_ + kNumBuckets;
+  const std::uint64_t horizon = cursor_ + num_buckets_;
   while (!far_.empty()) {
     const auto it = far_.begin();
     const std::uint64_t b = bucket_of(it->first.first);
@@ -153,14 +167,79 @@ void Engine::promote_far() {
     const std::uint32_t slot = it->second;
     Slot& s = slots_[slot];
     s.state = SlotState::kNear;
-    auto& bucket = buckets_[b & kBucketMask];
+    auto& bucket = buckets_[b & bucket_mask_];
     if (bucket.empty()) mark_occupied(b);
-    bucket_push(bucket, Entry{s.time, s.seq, slot});
+    bucket_push(bucket, Entry{s.time, s.seq << kSlotBits | slot});
     ++near_count_;
     if (b < scan_hint_) scan_hint_ = b;
     far_.erase(it);
     ++stats_.promoted;
   }
+  update_far_min();
+}
+
+void Engine::update_far_min() {
+  if (far_.empty()) {
+    far_min_time_ = kTimeInfinity;
+    far_min_bucket_ = std::numeric_limits<std::uint64_t>::max();
+  } else {
+    far_min_time_ = far_.begin()->first.first;
+    far_min_bucket_ = bucket_of(far_min_time_);
+  }
+}
+
+void Engine::maybe_retune() {
+  retune_countdown_ = kRetuneInterval;
+  const std::size_t target = std::clamp(
+      std::bit_ceil(pending_ * kBucketsPerEvent + 1), kMinBuckets, kMaxBuckets);
+  // 4x hysteresis in both directions: a population oscillating around a
+  // power-of-two boundary must not flip the geometry back and forth.
+  if (target >= num_buckets_ * 4 || target * 4 <= num_buckets_) {
+    resize_buckets(target);
+  }
+}
+
+void Engine::resize_buckets(std::size_t new_count) {
+  std::vector<Bucket> old = std::move(buckets_);
+
+  num_buckets_ = new_count;
+  bucket_mask_ = new_count - 1;
+  width_ = kWindowSeconds / static_cast<double>(new_count);
+  inv_width_ = static_cast<double>(new_count) / kWindowSeconds;
+  buckets_.assign(new_count, {});
+  occupied_.assign(new_count / 64, 0);
+  // All pending times are >= now_, so every rehashed entry lands at or past
+  // the new cursor; the old cursor/hint are meaningless under the new width.
+  cursor_ = bucket_of(now_);
+  scan_hint_ = cursor_;
+  near_count_ = 0;
+
+  const std::uint64_t horizon = cursor_ + num_buckets_;
+  for (auto& src : old) {
+    for (std::size_t i = src.head; i < src.v.size(); ++i) {
+      const Entry& e = src.v[i];
+      const std::uint32_t slot = entry_slot(e);
+      const std::uint64_t b = bucket_of(e.time);
+      if (b < horizon) {
+        auto& bucket = buckets_[b & bucket_mask_];
+        if (bucket.empty()) mark_occupied(b);
+        bucket_push(bucket, e);
+        ++near_count_;
+      } else {
+        // The new horizon can sit up to one old bucket earlier in absolute
+        // time; entries past it spill to the far map like any overflow.
+        Slot& s = slots_[slot];
+        s.state = SlotState::kFar;
+        far_.emplace(std::make_pair(s.time, s.seq), slot);
+        ++stats_.overflowed;
+      }
+    }
+  }
+  // The cached far minimum's bucket index is stale under the new width.
+  update_far_min();
+  // Symmetrically, the new horizon can cover times the old one did not.
+  if (far_min_bucket_ < horizon) promote_far();
+  ++stats_.resizes;
 }
 
 bool Engine::peek(Time& time, std::uint64_t& abs_bucket) {
@@ -169,8 +248,8 @@ bool Engine::peek(Time& time, std::uint64_t& abs_bucket) {
     // the near window), so the first occupied bucket holds the winner.
     std::uint64_t b = std::max(scan_hint_, cursor_);
     for (;;) {
-      assert(b < cursor_ + kNumBuckets);
-      const std::size_t p = b & kBucketMask;
+      assert(b < cursor_ + num_buckets_);
+      const std::size_t p = b & bucket_mask_;
       const std::uint64_t word = occupied_[p >> 6] >> (p & 63);
       if (word != 0) {
         b += static_cast<std::uint64_t>(std::countr_zero(word));
@@ -179,7 +258,7 @@ bool Engine::peek(Time& time, std::uint64_t& abs_bucket) {
       b += 64 - (p & 63);  // jump to the next bitmap word
     }
     scan_hint_ = b;
-    time = buckets_[b & kBucketMask].front().time;
+    time = buckets_[b & bucket_mask_].front().time;
     abs_bucket = b;
     return true;
   }
@@ -200,28 +279,32 @@ std::size_t Engine::run_until(Time until) {
 
     std::uint32_t slot;
     if (near) {
-      auto& bucket = buckets_[b & kBucketMask];
-      slot = bucket.front().slot;
-      bucket_remove(bucket, 0);
+      auto& bucket = buckets_[b & bucket_mask_];
+      slot = entry_slot(bucket.front());
+      bucket_pop_front(bucket);
       if (bucket.empty()) clear_occupied(b);
       --near_count_;
     } else {
       slot = far_.begin()->second;
       far_.erase(far_.begin());
+      update_far_min();
     }
     // Advancing the cursor widens the near window; pull far events that the
-    // new horizon now covers before the callback schedules against it.
+    // new horizon now covers before the callback schedules against it. The
+    // cached minimum's bucket index keeps this one integer compare per pop —
+    // no tree walk, no int→float conversion.
     cursor_ = b;
     scan_hint_ = std::max(scan_hint_, b);
     now_ = t;
-    promote_far();
+    if (far_min_bucket_ < cursor_ + num_buckets_) promote_far();
 
-    auto fn = std::move(slots_[slot].fn);
+    auto fn = std::move(fns_[slot]);
     free_slot(slot);
     fn();
     ++fired;
     ++processed_;
     ++stats_.fired;
+    if (--retune_countdown_ == 0) maybe_retune();
   }
   if (pending_ == 0 && until != kTimeInfinity && now_ < until) {
     // Advance the clock to the horizon so callers can rely on now()==until.

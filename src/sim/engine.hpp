@@ -5,18 +5,28 @@
 // components of the simulated Snooze deployment (network, coordination
 // service, controllers) run on one engine; virtual time is in seconds.
 //
-// The event queue is an indexed calendar queue sized for 10k-LC topologies:
+// The event queue is an indexed calendar queue sized for 100k-LC topologies:
 //
-//   - near events (within ~64 s of the drain cursor) live in fixed-width
-//     time buckets, each a small binary heap of 24-byte POD entries, so
-//     schedule/pop touch a handful of cache lines instead of sifting a
-//     global heap of closures;
+//   - near events (within 64 s of the drain cursor) live in fixed-width
+//     time buckets, each a sorted ring of 16-byte POD entries: control-plane
+//     events cluster on shared instants and arrive in (time, seq) order, so
+//     the common insert is a push_back, the pop a head-index bump — no
+//     sifting a global heap of closures, no per-entry position bookkeeping;
+//   - the bucket geometry is population-adaptive: the 64 s window is carved
+//     into more (narrower) buckets as the pending-event count grows, keeping
+//     per-bucket occupancy — and thus sift depth and scattered position
+//     updates — roughly constant from 100 to 100k LCs. Rescaling rehashes
+//     the near entries but never reorders anything: pop order is a pure
+//     function of (time, seq), not of the geometry;
 //   - far events overflow into an ordered map and are promoted in bulk as
-//     the cursor advances;
-//   - callbacks are stored once in a slab of pooled slots; EventId encodes
-//     (slot, generation), making cancel() a true O(1) removal — the entry
-//     is taken out of its bucket immediately, no tombstone ever reaches the
-//     hot pop path. Every successful RPC cancels its timeout this way.
+//     the cursor advances; the far map's minimum time is cached so the
+//     per-pop promotion check is a float compare, not a tree walk;
+//   - callbacks are stored once in a slab of pooled slots, split hot/cold:
+//     the queue paths touch only the 32-byte bookkeeping records, never the
+//     std::function cold array. EventId encodes (slot, generation), making
+//     cancel() a true removal — binary search by (time, seq) inside the
+//     sorted bucket, shorter-side shift — so no tombstone ever reaches the
+//     hot pop path.
 //
 // Determinism contract: events pop in exactly (time ascending, scheduling
 // sequence ascending) order — byte-identical to the original binary-heap
@@ -82,6 +92,10 @@ class Engine {
   /// them. The leak tests assert on exactly this equality.
   [[nodiscard]] std::size_t queued_entries() const;
 
+  /// Current calendar geometry (population-adaptive; see maybe_retune()).
+  [[nodiscard]] std::size_t bucket_count() const { return num_buckets_; }
+  [[nodiscard]] double bucket_width() const { return width_; }
+
   /// Queue/throughput counters. Cheap enough to maintain unconditionally;
   /// telemetry mirrors them into the metrics registry on demand
   /// (Telemetry::sample_engine) so sampling never schedules events.
@@ -91,6 +105,7 @@ class Engine {
     std::uint64_t cancelled = 0;    ///< events removed by cancel()
     std::uint64_t overflowed = 0;   ///< events that entered the far map
     std::uint64_t promoted = 0;     ///< far events moved into near buckets
+    std::uint64_t resizes = 0;      ///< bucket-geometry retunes (grow + shrink)
     std::size_t peak_pending = 0;   ///< high-water mark of pending events
     double run_wall_seconds = 0.0;  ///< wall-clock time spent inside run_until
   };
@@ -108,50 +123,88 @@ class Engine {
   util::Rng& rng() { return rng_; }
 
  private:
-  // Calendar geometry: 16384 buckets of 1/256 s cover a 64 s near window —
-  // heartbeats, RPC timeouts and retry backoffs all land in buckets; only
-  // long-lived timers (VM lifetimes, soak horizons) take the far map. The
-  // narrow width keeps per-bucket occupancy (and thus sift depth) low even
-  // with 10k LCs heartbeating: fewer scattered position updates per event.
-  static constexpr double kBucketWidth = 1.0 / 256.0;
-  static constexpr double kInvBucketWidth = 256.0;
-  static constexpr std::size_t kNumBuckets = 16384;
-  static constexpr std::size_t kBucketMask = kNumBuckets - 1;
+  // Calendar geometry: a fixed 64 s near window carved into a power-of-two
+  // number of buckets. The count scales with the pending-event population
+  // (kMinBuckets at <1k pending up to kMaxBuckets at 100k-LC scale), so
+  // per-bucket occupancy stays O(1): heartbeats, RPC timeouts and retry
+  // backoffs all land in buckets; only long-lived timers (VM lifetimes,
+  // soak horizons) take the far map. Both window and widths are powers of
+  // two, so bucket_of() is an exact scale-and-truncate — no rounding drift
+  // across rescales.
+  static constexpr double kWindowSeconds = 64.0;
+  static constexpr std::size_t kMinBuckets = std::size_t{1} << 14;  // 1/256 s
+  /// The cap is where the table stops paying for itself: narrower buckets
+  /// pull distinct instants apart (worth +6-14% events/s at 25k-100k LCs
+  /// going 2^19 → 2^20, measured under the sorted-ring buckets), but past
+  /// 2^20 the bucket-header array and occupancy bitmap outgrow cache and
+  /// 2^21 measures flat-to-worse at 50k-100k. Same-instant events can never
+  /// be split by geometry, so beyond the cap occupancy is bounded by the
+  /// clustering the workload itself dictates.
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;  // 1/16384 s
+  /// Retune cadence: geometry is re-evaluated every this many queue
+  /// operations (schedules + pops + cancels) — deterministic, no clocks.
+  static constexpr std::uint32_t kRetuneInterval = 1024;
+  /// Target ~16 buckets per pending event; growth/shrink trigger only on a
+  /// >=4x mismatch so the geometry never thrashes around a boundary.
+  static constexpr std::size_t kBucketsPerEvent = 16;
   static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
 
-  /// Bucket-heap element; PODs this small make sift operations cache-cheap.
+  /// Bucket element, packed to 16 bytes (4 per cache line): the slot index
+  /// shares a word with the sequence number. Slots are bounded far below
+  /// 2^24 concurrent events in practice; seq gets the remaining 40 bits
+  /// (~10^12 events). For equal times the key compares exactly like seq —
+  /// seqs are unique, so the low slot bits never decide an ordering.
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (std::uint64_t{1} << kSlotBits) - 1;
   struct Entry {
     Time time;
-    std::uint64_t seq;
-    std::uint32_t slot;
+    std::uint64_t key;  ///< seq << kSlotBits | slot
   };
-  /// Min-heap order on (time, seq) — the engine-wide determinism contract.
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  [[nodiscard]] static std::uint32_t entry_slot(const Entry& e) {
+    return static_cast<std::uint32_t>(e.key & kSlotMask);
+  }
+  /// Strict (time, seq) order — the engine-wide determinism contract.
+  [[nodiscard]] static bool entry_before(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.key < b.key;
+  }
+
+  /// One calendar bucket: a ring over a sorted vector. Control-plane
+  /// workloads cluster many events on the same instant and schedule them in
+  /// ascending (time, seq) order — heartbeat fan-outs, reply timers, retry
+  /// backoffs all append monotonically — so keeping the vector sorted makes
+  /// the common insert a push_back, the pop a head-index bump, and an
+  /// in-seq-order cancel a one-element shift. A binary heap here pays a
+  /// full-depth sift plus scattered position-index writes on every pop of a
+  /// cluster; the sorted ring pays nothing. Out-of-order inserts (far-map
+  /// promotions racing fresh schedules, mixed-width instants at small
+  /// populations) fall back to binary search + contiguous 16-byte-POD
+  /// memmove, which stays cheap at observed cluster sizes.
+  struct Bucket {
+    std::vector<Entry> v;
+    std::uint32_t head = 0;  ///< first live element; [head, v.size()) is sorted
+    [[nodiscard]] bool empty() const { return head == v.size(); }
+    [[nodiscard]] std::size_t size() const { return v.size() - head; }
+    [[nodiscard]] const Entry& front() const { return v[head]; }
   };
 
   enum class SlotState : std::uint8_t { kFree, kNear, kFar };
 
-  /// Callback storage; stable address for the event's lifetime.
+  /// Hot per-event bookkeeping (32 bytes): everything the queue paths touch.
+  /// The callback itself lives in the parallel cold array fns_ and is only
+  /// accessed on schedule and fire. (time, seq) is enough to re-locate the
+  /// entry inside its sorted bucket on cancel — no position index to
+  /// maintain on every entry move.
   struct Slot {
-    std::function<void()> fn;
     Time time = 0.0;
     std::uint64_t seq = 0;
     std::uint32_t generation = 1;
     std::uint32_t next_free = kNoSlot;
-    /// Index of this event's Entry within its bucket heap (near events
-    /// only). Maintained by the sift routines so cancel() jumps straight to
-    /// the entry instead of scanning the bucket — at 10k LCs buckets hold
-    /// dozens of entries and a linear scan per cancel dominates the run.
-    std::uint32_t pos = 0;
     SlotState state = SlotState::kFree;
   };
 
-  [[nodiscard]] static std::uint64_t bucket_of(Time t) {
-    const double scaled = t * kInvBucketWidth;
+  [[nodiscard]] std::uint64_t bucket_of(Time t) const {
+    const double scaled = t * inv_width_;
     // Clamp anything beyond the representable horizon (including +inf) into
     // the far map; the cast below would otherwise be UB.
     if (scaled >= 9.2e18) return std::numeric_limits<std::uint64_t>::max();
@@ -162,14 +215,24 @@ class Engine {
   void free_slot(std::uint32_t slot);
   void mark_occupied(std::uint64_t abs_bucket);
   void clear_occupied(std::uint64_t abs_bucket);
-  // Position-tracking binary-heap primitives over one bucket; every entry
-  // move updates slots_[entry.slot].pos.
-  void bucket_push(std::vector<Entry>& bucket, const Entry& entry);
-  void bucket_remove(std::vector<Entry>& bucket, std::size_t i);
-  void sift_up(std::vector<Entry>& bucket, std::size_t i);
-  void sift_down(std::vector<Entry>& bucket, std::size_t i);
+  // Sorted-ring primitives over one bucket.
+  static void bucket_push(Bucket& bucket, const Entry& entry);
+  static void bucket_pop_front(Bucket& bucket);
+  static void bucket_cancel(Bucket& bucket, const Entry& entry);
   /// Move far events whose bucket is now inside the near window.
   void promote_far();
+  /// Absolute time of the first bucket past the near window.
+  [[nodiscard]] Time horizon_time() const {
+    return static_cast<double>(cursor_ + num_buckets_) * width_;
+  }
+  /// Recompute the cached minimum of the far map (time and bucket) after any
+  /// mutation of its front or of the bucket width.
+  void update_far_min();
+  /// Re-evaluate the bucket geometry against the pending population
+  /// (amortized: called every kRetuneInterval queue operations).
+  void maybe_retune();
+  /// Rebuild the near buckets under a new bucket count (same 64 s window).
+  void resize_buckets(std::size_t new_count);
   /// Locate the next pending event without consuming it. Returns false when
   /// the queue is empty; otherwise fills (time, abs_bucket) of the winner.
   bool peek(Time& time, std::uint64_t& abs_bucket);
@@ -182,19 +245,30 @@ class Engine {
   Stats stats_;
 
   std::vector<Slot> slots_;
+  std::vector<std::function<void()>> fns_;  ///< cold callback array (|| slots_)
   std::uint32_t free_head_ = kNoSlot;
 
   /// Drain cursor: absolute index of the bucket of the last popped event.
-  /// Every pending near event lives in [cursor_, cursor_ + kNumBuckets).
+  /// Every pending near event lives in [cursor_, cursor_ + num_buckets_).
   std::uint64_t cursor_ = 0;
   /// First absolute bucket that may be occupied (scan hint; always >= valid).
   std::uint64_t scan_hint_ = 0;
-  std::vector<std::vector<Entry>> buckets_{kNumBuckets};
-  std::vector<std::uint64_t> occupied_ = std::vector<std::uint64_t>(kNumBuckets / 64, 0);
+  std::size_t num_buckets_ = kMinBuckets;
+  std::uint64_t bucket_mask_ = kMinBuckets - 1;
+  double width_ = kWindowSeconds / static_cast<double>(kMinBuckets);
+  double inv_width_ = static_cast<double>(kMinBuckets) / kWindowSeconds;
+  std::vector<Bucket> buckets_{kMinBuckets};
+  std::vector<std::uint64_t> occupied_ = std::vector<std::uint64_t>(kMinBuckets / 64, 0);
   std::size_t near_count_ = 0;
+  std::uint32_t retune_countdown_ = kRetuneInterval;
 
-  /// Far events, ordered by (time, seq); key order == pop order.
+  /// Far events, ordered by (time, seq); key order == pop order. The
+  /// minimum is cached both as a time and as its absolute bucket index so
+  /// the hot pop path's promotion check is a single integer compare against
+  /// cursor_ + num_buckets_ — no tree walk, no int→float conversion.
   std::map<std::pair<Time, std::uint64_t>, std::uint32_t> far_;
+  Time far_min_time_ = kTimeInfinity;
+  std::uint64_t far_min_bucket_ = std::numeric_limits<std::uint64_t>::max();
 
   util::Rng rng_;
 };

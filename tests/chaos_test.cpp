@@ -320,6 +320,59 @@ TEST(Invariants, DuplicateUnderOneGmIsResolved) {
   EXPECT_EQ(live, 1u);
 }
 
+TEST(Invariants, DuplicateAcrossGmsIsResolved) {
+  core::SystemSpec spec;
+  spec.seed = 42;
+  spec.group_managers = 3;
+  spec.local_controllers = 4;
+  // With the delta-summary stream the GL keeps a VM -> GM ownership
+  // inventory, so the split-brain placement that is merely *reported* in
+  // DuplicateVmInstanceIsReported gets actively resolved: the GL revokes the
+  // challenger copy and exactly one instance survives.
+  spec.config.delta_summaries = true;
+  core::SnoozeSystem system(spec);
+  system.start();
+  ASSERT_TRUE(system.run_until_stable(60.0));
+
+  InvariantChecker::Options options;
+  options.duplicate_grace = 20.0;
+  InvariantChecker checker(system, options);
+  checker.start();
+
+  const auto& lcs = system.local_controllers();
+  std::size_t second = 1;
+  for (std::size_t i = 1; i < lcs.size(); ++i) {
+    if (lcs[i]->gm() != lcs[0]->gm()) {
+      second = i;
+      break;
+    }
+  }
+  ASSERT_NE(lcs[second]->gm(), lcs[0]->gm());
+  const auto vm = system.make_vm({0.1, 0.1, 0.1});
+  net::RpcEndpoint rogue(system.engine(), system.network(),
+                         system.network().allocate_address(), "rogue");
+  for (const std::size_t i : {std::size_t{0}, second}) {
+    auto start = std::make_shared<core::StartVmRequest>();
+    start->vm = vm;
+    rogue.call(lcs[i]->address(), start, 5.0, [](bool, const net::MsgPtr&) {});
+  }
+  system.engine().run_until(system.engine().now() + 60.0);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  std::uint64_t revoked = 0;
+  std::uint64_t honored = 0;
+  for (const auto& gm : system.group_managers()) {
+    revoked += gm->counters().cross_gm_duplicates_revoked;
+    honored += gm->counters().revokes_honored;
+  }
+  EXPECT_GE(revoked, 1u) << "the GL never issued a revocation";
+  EXPECT_GE(honored, 1u) << "no GM honored the revocation";
+  std::size_t live = 0;
+  for (const auto& lc : lcs) {
+    if (lc->host().vms().count(vm.id) > 0) ++live;
+  }
+  EXPECT_EQ(live, 1u) << "exactly one copy must survive resolution";
+}
+
 // --- End-to-end seeded chaos runs --------------------------------------------
 
 TEST(ChaosRun, SingleSeedHoldsInvariantsAndReconverges) {
@@ -366,6 +419,29 @@ TEST(ChaosRun, ExplicitScriptRunsDeterministically) {
   EXPECT_EQ(first.trace_hash, second.trace_hash);
   // Only the two inject actions count; the recover/heal closes do not.
   EXPECT_EQ(first.faults_injected, 2u);
+}
+
+TEST(ChaosRun, DeltaSummariesSurviveSeededPartitions) {
+  // Seed 45 generates the partition/heal shape that historically produced
+  // cross-GM duplicate placements (a GM isolated mid-dispatch, the client
+  // resubmitting to the surviving side, the partition healing with both
+  // copies alive). With the delta-summary stream on, the run must not just
+  // detect that state — it must converge with invariants clean, which
+  // requires the GL inventory to resolve the duplicates and the ack'd delta
+  // stream to survive the same loss/duplication the schedule injects.
+  ChaosRunConfig cfg;
+  cfg.seed = 45;
+  cfg.config.delta_summaries = true;
+  const auto result = run_chaos(cfg);
+  EXPECT_TRUE(result.converged) << result.report;
+  EXPECT_TRUE(result.invariants_ok) << result.report;
+  EXPECT_GT(result.faults_injected, 0u);
+  EXPECT_GT(result.vms_accepted, 0u);
+  // And deterministically so: the ack'd RPC stream must not introduce any
+  // seed-external ordering.
+  const auto again = run_chaos(cfg);
+  EXPECT_EQ(result.trace_hash, again.trace_hash);
+  EXPECT_EQ(result.report, again.report);
 }
 
 // The >= 20-seed acceptance soak lives in chaos_soak_test.cpp (ctest label

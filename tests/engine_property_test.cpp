@@ -14,6 +14,7 @@
 // (queued_entries() == pending_events(), no tombstones).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <optional>
@@ -374,6 +375,129 @@ TEST(EngineOrdering, SlotReuseInvalidatesOldHandles) {
   EXPECT_FALSE(engine.cancel(a));
   EXPECT_EQ(engine.pending_events(), 1u);
   EXPECT_TRUE(engine.cancel(b));
+}
+
+// --- rescale / retune property tests -----------------------------------------
+//
+// The adaptive geometry retunes bucket count/width as the population moves
+// between regimes (1k -> 100k -> back). These tests pin the two properties a
+// resize must preserve: the observable firing order is untouched (checked
+// against the ordered-map reference across every rescale boundary), and
+// cancellation stays physical — queued_entries() == pending_events() at every
+// stage, so no rescale ever strands a dead entry or loses a live one.
+
+TEST(EngineRescale, GrowCancelShrinkPreservesOrderAndLeaksNothing) {
+  sim::Engine engine;
+  util::Rng rng(2026);
+
+  const std::size_t initial_buckets = engine.bucket_count();
+
+  struct Ref {
+    Time t;
+    int token;
+    EventId id;
+    bool cancelled = false;
+  };
+  std::vector<Ref> refs;
+  std::vector<int> fired;
+
+  // Grow: ~100k events across a 40 s burst window plus a far tail beyond the
+  // 64 s near window, pushing the population through several grow retunes.
+  constexpr int kNearEvents = 100000;
+  constexpr int kFarEvents = 800;
+  refs.reserve(kNearEvents + kFarEvents);
+  int token = 0;
+  for (int i = 0; i < kNearEvents + kFarEvents; ++i) {
+    const Time t = i < kNearEvents ? rng.uniform(0.0, 40.0) : rng.uniform(100.0, 5000.0);
+    const int tok = token++;
+    const EventId id = engine.schedule_at(t, [&fired, tok] { fired.push_back(tok); });
+    refs.push_back({t, tok, id});
+  }
+  ASSERT_EQ(engine.pending_events(), refs.size());
+  ASSERT_EQ(engine.queued_entries(), refs.size());
+  EXPECT_GT(engine.stats().resizes, 0u) << "100k events must trigger a grow retune";
+  const std::size_t grown_buckets = engine.bucket_count();
+  EXPECT_GT(grown_buckets, initial_buckets);
+
+  // Staged drain of the first 10 s: firing order must match the reference
+  // across whatever rescale boundaries the drain crosses.
+  for (const double horizon : {2.5, 5.0, 7.5, 10.0}) {
+    engine.run_until(horizon);
+    EXPECT_EQ(engine.queued_entries(), engine.pending_events())
+        << "leak after draining to t=" << horizon;
+  }
+  std::vector<int> expected;
+  for (const Ref& r : refs) {
+    if (r.t <= 10.0) expected.push_back(r.token);
+  }
+  std::stable_sort(expected.begin(), expected.end(), [&refs](int a, int b) {
+    return refs[static_cast<std::size_t>(a)].t < refs[static_cast<std::size_t>(b)].t;
+  });
+  ASSERT_EQ(fired, expected) << "firing order diverged across grow rescales";
+
+  // Shrink: cancel the surviving population down to ~1.5%, checking at every
+  // slice that cancellation through rescales leaves zero physical residue.
+  std::size_t since_check = 0;
+  for (Ref& r : refs) {
+    if (r.t <= 10.0) continue;  // already fired
+    if (rng.uniform() < 0.985) {
+      ASSERT_TRUE(engine.cancel(r.id)) << "live event refused cancellation";
+      r.cancelled = true;
+      if (++since_check == 4096) {
+        since_check = 0;
+        ASSERT_EQ(engine.queued_entries(), engine.pending_events())
+            << "dead-cancel residue mid-shrink";
+      }
+    }
+  }
+  EXPECT_EQ(engine.queued_entries(), engine.pending_events());
+  EXPECT_GT(engine.stats().resizes, 1u) << "the cancel wave must trigger a shrink retune";
+  EXPECT_LT(engine.bucket_count(), grown_buckets)
+      << "geometry must shrink back once the population collapses";
+
+  // Full drain: the sparse survivors (including the far tail) still fire in
+  // exact reference order, and double-cancel of the dead stays rejected.
+  fired.clear();
+  expected.clear();
+  for (const Ref& r : refs) {
+    if (r.t > 10.0 && !r.cancelled) expected.push_back(r.token);
+  }
+  std::stable_sort(expected.begin(), expected.end(), [&refs](int a, int b) {
+    return refs[static_cast<std::size_t>(a)].t < refs[static_cast<std::size_t>(b)].t;
+  });
+  engine.run();
+  EXPECT_EQ(fired, expected) << "firing order diverged across shrink rescales";
+  EXPECT_EQ(engine.pending_events(), 0u);
+  EXPECT_EQ(engine.queued_entries(), 0u);
+  for (const Ref& r : refs) {
+    if (r.cancelled) {
+      ASSERT_FALSE(engine.cancel(r.id)) << "cancelled handle resurrected by a rescale";
+    }
+  }
+}
+
+TEST(EngineRescale, DrainAloneShrinksGeometryBack) {
+  sim::Engine engine;
+  util::Rng rng(7);
+  const std::size_t initial_buckets = engine.bucket_count();
+  int fired = 0;
+  for (int i = 0; i < 100000; ++i) {
+    engine.schedule_at(rng.uniform(0.0, 40.0), [&fired] { ++fired; });
+  }
+  const std::size_t grown_buckets = engine.bucket_count();
+  EXPECT_GT(grown_buckets, initial_buckets);
+  engine.run();
+  EXPECT_EQ(fired, 100000);
+  // The run loop retunes as the population drains; an empty queue must not
+  // be left holding a 100k-sized table.
+  EXPECT_LT(engine.bucket_count(), grown_buckets);
+  EXPECT_EQ(engine.queued_entries(), 0u);
+  // And the geometry stays live: a fresh small population after the collapse
+  // behaves exactly like a young engine.
+  engine.schedule(1.0, [&fired] { ++fired; });
+  engine.schedule(2.0, [&fired] { ++fired; });
+  engine.run();
+  EXPECT_EQ(fired, 100002);
 }
 
 // --- dead-timeout leak tests -------------------------------------------------

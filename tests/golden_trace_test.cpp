@@ -161,6 +161,17 @@ const Scenario kScenarios[] = {
        cfg.host_topology = interference::TopologySpec::uniform(1, 8.0, 10.0);
        cfg.vm_profiles = {{interference::CacheIntensity::kHigh, 6.0, 6.0}};
      }},
+    // Delta-summary stream at scale: 3 GMs / 200 LCs with batched delta
+    // summaries on, one GM isolated mid-stream and healed. Pins the
+    // delta -> (nack/timeout) -> snapshot -> delta sequence byte-exactly:
+    // the reconnecting GM must re-anchor the GL with a snapshot before
+    // resuming deltas, and the GL-side inventory churn from the LCs that
+    // re-registered during the partition must replay identically.
+    {"scale_delta_summary", 1717, {3, 200, 1}, 10,
+     "duration 60\n"
+     "8 isolate gm 1 #1\n"
+     "20 heal #1\n",
+     [](chaos::ChaosRunConfig& cfg) { cfg.config.delta_summaries = true; }},
     // Capacity-only fallback: the interference-aware placement policy on a
     // profile-less workload must degrade to pure capacity scoring (every
     // predicted penalty is zero, the residual-capacity tiebreak decides).

@@ -264,6 +264,60 @@ TEST(HealthMonitor, ChromeTraceGainsCounterLanes) {
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
 }
 
+// --- summary-protocol SLIs ---------------------------------------------------
+
+std::size_t column_of(const obs::TimeSeriesStore& store, const std::string& name) {
+  const auto& cols = store.columns();
+  for (std::size_t i = 0; i < cols.size(); ++i)
+    if (cols[i] == name) return i;
+  ADD_FAILURE() << "no such column: " << name;
+  return 0;
+}
+
+// In a delta-summary deployment the two summary SLIs come alive: bytes per LC
+// per summary period settles to a finite positive rate (steady state is one
+// empty delta per non-leader GM per period) and the GL-side staleness stays
+// within the SLO bound. In the default full-summary mode both stay NaN, so
+// pre-delta deployments evaluate their SLOs exactly as before.
+TEST(HealthMonitor, SummarySlisLiveInDeltaModeAndNanInFullMode) {
+  for (const bool delta : {true, false}) {
+    core::SystemSpec spec;
+    spec.entry_points = 2;
+    spec.group_managers = 2;
+    spec.local_controllers = 6;
+    spec.seed = 18;
+    spec.config.delta_summaries = delta;
+    core::SnoozeSystem system(spec);
+    system.start();
+    ASSERT_TRUE(system.run_until_stable(300.0));
+
+    obs::HealthMonitor monitor(system);
+    monitor.start();
+    std::vector<core::VmDescriptor> vms;
+    for (int i = 0; i < 4; ++i) vms.push_back(system.make_vm({0.1, 0.1, 0.1}));
+    system.client().submit_all(vms, 1.0);
+    system.engine().run_until(system.engine().now() + 120.0);
+
+    const auto& store = monitor.store();
+    const double bytes =
+        store.latest(column_of(store, "summary.bytes_per_lc_period"));
+    const double staleness = store.latest(column_of(store, "summary.staleness_s"));
+    if (delta) {
+      EXPECT_GT(bytes, 0.0);
+      // This topology is far denser in summary senders than production (the
+      // per-LC figure scales with the GM:LC ratio), so only boundedness and
+      // liveness are asserted here; the absolute budget is bench-gated at
+      // production shape (bench_summary_scale).
+      EXPECT_LT(bytes, 1000.0);
+      EXPECT_GE(staleness, 0.0);
+      EXPECT_LT(staleness, test_slo_config().summary_staleness_max_s);
+    } else {
+      EXPECT_TRUE(std::isnan(bytes));
+      EXPECT_TRUE(std::isnan(staleness));
+    }
+  }
+}
+
 // --- failover MTTR SLI vs the raw trace --------------------------------------
 
 // The golden gl_crash scenario: the GL crashes at t=5 and a successor must
