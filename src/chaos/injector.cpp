@@ -120,12 +120,14 @@ void ChaosInjector::execute(const FaultAction& action) {
       apply_partitions();
       system_.network().clear_all_faults();
       system_.network().set_drop_probability(0.0);
-      // Crashed nodes stay down (kHealAll only mends the network), so their
-      // fault windows stay open.
+      // Crashed nodes stay down and gray node faults (slow/steal) persist
+      // (kHealAll only mends the network), so their fault windows stay open.
       for (auto& [addr, span] : isolate_spans_) end_fault_span(span);
       isolate_spans_.clear();
       for (auto& [link, span] : link_spans_) end_fault_span(span);
       link_spans_.clear();
+      for (auto& [link, span] : flaky_spans_) end_fault_span(span);
+      flaky_spans_.clear();
       if (drop_span_.valid()) end_fault_span(drop_span_);
       trace("chaos.heal", "all");
       break;
@@ -146,6 +148,24 @@ void ChaosInjector::execute(const FaultAction& action) {
         end_fault_span(drop_span_);
       }
       trace("chaos.drop", std::to_string(action.drop));
+      break;
+    case ActionKind::kSlow:
+      do_slow(action, true);
+      break;
+    case ActionKind::kUnslow:
+      do_slow(action, false);
+      break;
+    case ActionKind::kSteal:
+      do_steal(action, true);
+      break;
+    case ActionKind::kUnsteal:
+      do_steal(action, false);
+      break;
+    case ActionKind::kFlaky:
+      do_flaky(action, true);
+      break;
+    case ActionKind::kUnflaky:
+      do_flaky(action, false);
       break;
   }
 }
@@ -347,6 +367,129 @@ void ChaosInjector::do_link(const FaultAction& action, bool install) {
   trace(install ? "chaos.link" : "chaos.unlink", detail.str());
 }
 
+void ChaosInjector::do_slow(const FaultAction& action, bool install) {
+  NodeRole role = action.role;
+  int index = action.index;
+  if (!install && action.pair != 0) {
+    const auto it = pair_targets_.find(action.pair);
+    if (it == pair_targets_.end()) {
+      trace("chaos.skip", "unslow #" + std::to_string(action.pair) + ": never slowed");
+      return;
+    }
+    role = it->second.first;
+    index = it->second.second;
+    pair_targets_.erase(it);
+  }
+  // A dead node cannot be slow; the knob survives restarts by design (the
+  // injector, not the component, owns the fault window), so we still clear it
+  // on uninstall even if the node crashed mid-window.
+  const double factor = install ? action.severity : 1.0;
+  switch (role) {
+    case NodeRole::kGm: {
+      auto& gms = system_.group_managers();
+      if (index < 0 || static_cast<std::size_t>(index) >= gms.size()) {
+        trace("chaos.skip", "slow " + target_label(role, index));
+        return;
+      }
+      gms[static_cast<std::size_t>(index)]->set_service_stretch(factor);
+      break;
+    }
+    case NodeRole::kLc: {
+      auto& lcs = system_.local_controllers();
+      if (index < 0 || static_cast<std::size_t>(index) >= lcs.size()) {
+        trace("chaos.skip", "slow " + target_label(role, index));
+        return;
+      }
+      lcs[static_cast<std::size_t>(index)]->set_service_stretch(factor);
+      break;
+    }
+    default:
+      trace("chaos.skip", "slow: bad target");
+      return;
+  }
+  if (install) {
+    if (action.pair != 0) pair_targets_[action.pair] = {role, index};
+    count_fault();
+    std::ostringstream detail;
+    detail << target_label(role, index) << " factor=" << action.severity;
+    slow_spans_[{role, index}] = begin_fault_span("chaos.slow", detail.str());
+    trace("chaos.slow", detail.str());
+  } else {
+    const auto span_it = slow_spans_.find({role, index});
+    if (span_it != slow_spans_.end()) {
+      end_fault_span(span_it->second);
+      slow_spans_.erase(span_it);
+    }
+    trace("chaos.unslow", target_label(role, index));
+  }
+}
+
+void ChaosInjector::do_steal(const FaultAction& action, bool install) {
+  NodeRole role = action.role;
+  int index = action.index;
+  if (!install && action.pair != 0) {
+    const auto it = pair_targets_.find(action.pair);
+    if (it == pair_targets_.end()) {
+      trace("chaos.skip", "unsteal #" + std::to_string(action.pair) + ": never stolen");
+      return;
+    }
+    role = it->second.first;
+    index = it->second.second;
+    pair_targets_.erase(it);
+  }
+  auto& lcs = system_.local_controllers();
+  if (role != NodeRole::kLc || index < 0 ||
+      static_cast<std::size_t>(index) >= lcs.size()) {
+    trace("chaos.skip", "steal " + target_label(role, index));
+    return;
+  }
+  lcs[static_cast<std::size_t>(index)]->set_cpu_steal(install ? action.severity : 0.0);
+  if (install) {
+    if (action.pair != 0) pair_targets_[action.pair] = {role, index};
+    count_fault();
+    std::ostringstream detail;
+    detail << target_label(role, index) << " frac=" << action.severity;
+    steal_spans_[{role, index}] = begin_fault_span("chaos.steal", detail.str());
+    trace("chaos.steal", detail.str());
+  } else {
+    const auto span_it = steal_spans_.find({role, index});
+    if (span_it != steal_spans_.end()) {
+      end_fault_span(span_it->second);
+      steal_spans_.erase(span_it);
+    }
+    trace("chaos.unsteal", target_label(role, index));
+  }
+}
+
+void ChaosInjector::do_flaky(const FaultAction& action, bool install) {
+  const net::Address a = resolve_address(action.role, action.index);
+  const net::Address b = resolve_address(action.role2, action.index2);
+  if (a == net::kNullAddress || b == net::kNullAddress || a == b) {
+    trace("chaos.skip", "flaky: bad endpoints");
+    return;
+  }
+  std::ostringstream detail;
+  detail << target_label(action.role, action.index) << " <-> "
+         << target_label(action.role2, action.index2);
+  const std::pair<net::Address, net::Address> link_key = std::minmax(a, b);
+  if (install) {
+    system_.network().set_link_faults(a, b, action.faults);
+    system_.network().set_link_faults(b, a, action.faults);
+    count_fault();
+    detail << " lat=" << action.faults.flaky_latency;
+    flaky_spans_[link_key] = begin_fault_span("chaos.flaky", detail.str());
+  } else {
+    system_.network().clear_link_faults(a, b);
+    system_.network().clear_link_faults(b, a);
+    const auto span_it = flaky_spans_.find(link_key);
+    if (span_it != flaky_spans_.end()) {
+      end_fault_span(span_it->second);
+      flaky_spans_.erase(span_it);
+    }
+  }
+  trace(install ? "chaos.flaky" : "chaos.unflaky", detail.str());
+}
+
 void ChaosInjector::heal_all_remaining() {
   for (auto& gm : system_.group_managers()) {
     if (!gm->alive()) gm->restart();
@@ -356,6 +499,13 @@ void ChaosInjector::heal_all_remaining() {
   }
   for (auto& ep : system_.entry_points()) {
     if (!ep->alive()) ep->restart();
+  }
+  // Gray node faults end with the run: the final liveness check must start
+  // from a fleet that is not just connected but also full-speed.
+  for (auto& gm : system_.group_managers()) gm->set_service_stretch(1.0);
+  for (auto& lc : system_.local_controllers()) {
+    lc->set_service_stretch(1.0);
+    lc->set_cpu_steal(0.0);
   }
   isolated_.clear();
   pair_isolated_.clear();
@@ -369,6 +519,12 @@ void ChaosInjector::heal_all_remaining() {
   isolate_spans_.clear();
   for (auto& [link, span] : link_spans_) end_fault_span(span);
   link_spans_.clear();
+  for (auto& [key, span] : slow_spans_) end_fault_span(span);
+  slow_spans_.clear();
+  for (auto& [key, span] : steal_spans_) end_fault_span(span);
+  steal_spans_.clear();
+  for (auto& [link, span] : flaky_spans_) end_fault_span(span);
+  flaky_spans_.clear();
   if (drop_span_.valid()) end_fault_span(drop_span_);
   if (chaos_root_.valid()) end_fault_span(chaos_root_, "ok");
   trace("chaos.heal", "final");

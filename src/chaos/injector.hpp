@@ -45,6 +45,12 @@ class ChaosInjector final : public sim::Actor {
   void do_isolate(const FaultAction& action);
   void do_heal(const FaultAction& action);
   void do_link(const FaultAction& action, bool install);
+  /// Gray faults: service-time stretch (gm/lc), CPU steal (lc), and the
+  /// seeded latency-burst link process. Install with the action's severity /
+  /// knobs, uninstall back to healthy.
+  void do_slow(const FaultAction& action, bool install);
+  void do_steal(const FaultAction& action, bool install);
+  void do_flaky(const FaultAction& action, bool install);
   void apply_partitions();
   /// Live target of (role, index); kNullAddress when it cannot be resolved.
   [[nodiscard]] net::Address resolve_address(NodeRole role, int index);
@@ -87,6 +93,9 @@ class ChaosInjector final : public sim::Actor {
   std::map<std::pair<NodeRole, int>, telemetry::SpanContext> crash_spans_;
   std::map<net::Address, telemetry::SpanContext> isolate_spans_;
   std::map<std::pair<net::Address, net::Address>, telemetry::SpanContext> link_spans_;
+  std::map<std::pair<NodeRole, int>, telemetry::SpanContext> slow_spans_;
+  std::map<std::pair<NodeRole, int>, telemetry::SpanContext> steal_spans_;
+  std::map<std::pair<net::Address, net::Address>, telemetry::SpanContext> flaky_spans_;
   telemetry::SpanContext drop_span_;
 };
 

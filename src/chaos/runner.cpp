@@ -106,6 +106,11 @@ ChaosRunResult run_chaos_schedule(const ChaosRunConfig& cfg,
     result.fence_rejected += gm->fence_rejected();
     result.stale_accepts += gm->stale_accepts();
     result.stepdowns += gm->counters().stepdowns;
+    result.slow_flags += gm->counters().slow_flags;
+    result.probations += gm->counters().probations;
+    result.quarantines += gm->counters().quarantines;
+    result.reinstatements += gm->counters().reinstatements;
+    result.quarantine_flaps += gm->counters().quarantine_flaps;
   }
   for (const auto& lc : system.local_controllers()) {
     result.fence_rejected += lc->fence_rejected();
@@ -124,6 +129,12 @@ ChaosRunResult run_chaos_schedule(const ChaosRunConfig& cfg,
   mix(stats.messages_duplicated);
   mix(stats.bytes_sent);
   result.trace_hash = h;
+  if (const auto* c = system.telemetry().metrics().find_counter("rpc.hedges")) {
+    result.rpc_hedges = c->value();
+  }
+  if (const auto* c = system.telemetry().metrics().find_counter("rpc.hedges_won")) {
+    result.rpc_hedges_won = c->value();
+  }
   if (cfg.capture_trace) result.trace_records = system.trace().records();
 
   if (monitor) {
@@ -155,6 +166,13 @@ ChaosRunResult run_chaos_schedule(const ChaosRunConfig& cfg,
          << " stale_accepts=" << result.stale_accepts
          << " stepdowns=" << result.stepdowns
          << " alerts=" << result.slo_alerts_fired;
+  if (result.slow_flags + result.probations + result.quarantines > 0) {
+    report << " slow_flags=" << result.slow_flags
+           << " probations=" << result.probations
+           << " quarantines=" << result.quarantines
+           << " reinstated=" << result.reinstatements
+           << " flaps=" << result.quarantine_flaps;
+  }
   if (autoscaler) {
     report << " scale_ups=" << result.scale_ups
            << " scale_downs=" << result.scale_downs;

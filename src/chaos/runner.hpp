@@ -99,6 +99,14 @@ struct ChaosRunResult {
   std::uint64_t stale_accepts = 0;
   /// Leadership terms abandoned after a stale-epoch signal or session expiry.
   std::uint64_t stepdowns = 0;
+  // --- gray-failure detection / containment (summed over GMs) --------------
+  std::uint64_t slow_flags = 0;        ///< peer-relative slow flags raised
+  std::uint64_t probations = 0;        ///< LCs placed on probation
+  std::uint64_t quarantines = 0;       ///< probation -> quarantine escalations
+  std::uint64_t reinstatements = 0;    ///< quarantined LCs returned to service
+  std::uint64_t quarantine_flaps = 0;  ///< same LC quarantined more than once
+  std::uint64_t rpc_hedges = 0;        ///< backup attempts launched
+  std::uint64_t rpc_hedges_won = 0;    ///< backups that beat the primary
   // --- observability (filled when cfg.health_monitor) ----------------------
   std::uint64_t slo_alerts_fired = 0;
   std::uint64_t slo_alerts_cleared = 0;

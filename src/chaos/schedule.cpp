@@ -22,6 +22,12 @@ const char* to_string(ActionKind kind) {
     case ActionKind::kLink: return "link";
     case ActionKind::kUnlink: return "unlink";
     case ActionKind::kGlobalDrop: return "drop";
+    case ActionKind::kSlow: return "slow";
+    case ActionKind::kUnslow: return "unslow";
+    case ActionKind::kSteal: return "steal";
+    case ActionKind::kUnsteal: return "unsteal";
+    case ActionKind::kFlaky: return "flaky";
+    case ActionKind::kUnflaky: return "unflaky";
   }
   return "?";
 }
@@ -98,6 +104,34 @@ std::string FaultSchedule::to_script() const {
       case ActionKind::kGlobalDrop:
         out << ' ' << a.drop;
         break;
+      case ActionKind::kSlow:
+        append_target(out, a.role, a.index);
+        out << " factor=" << a.severity;
+        if (a.pair != 0) out << " #" << a.pair;
+        break;
+      case ActionKind::kSteal:
+        append_target(out, a.role, a.index);
+        out << " frac=" << a.severity;
+        if (a.pair != 0) out << " #" << a.pair;
+        break;
+      case ActionKind::kUnslow:
+      case ActionKind::kUnsteal:
+        if (a.pair != 0) {
+          out << " #" << a.pair;
+        } else {
+          append_target(out, a.role, a.index);
+        }
+        break;
+      case ActionKind::kFlaky:
+        append_target(out, a.role, a.index);
+        append_target(out, a.role2, a.index2);
+        out << " lat=" << a.faults.flaky_latency << " start=" << a.faults.flaky_start
+            << " stop=" << a.faults.flaky_stop;
+        break;
+      case ActionKind::kUnflaky:
+        append_target(out, a.role, a.index);
+        append_target(out, a.role2, a.index2);
+        break;
     }
     out << '\n';
   }
@@ -126,6 +160,11 @@ FaultSchedule generate_schedule(const ChaosSpec& spec, const Topology& topo,
   // Node pairs with an open link-fault window.
   std::set<std::array<int, 4>> busy_links;
 
+  // Targets inside an open gray-fault (slow/steal) window. Kept separate
+  // from `busy`: a gray node is still up, but stacking a second gray fault
+  // on it would make the window pairing ambiguous.
+  std::set<std::pair<NodeRole, int>> busy_gray;
+
   auto heal_time = [&](sim::Time at) {
     sim::Time t = at + spec.min_heal_time;
     if (spec.mean_extra_heal > 0.0) {
@@ -152,11 +191,12 @@ FaultSchedule generate_schedule(const ChaosSpec& spec, const Topology& topo,
     t += rng.exponential(spec.fault_rate);
     if (t >= spec.duration) break;
 
-    enum { kGl, kGm, kLc, kEp, kIso, kLink, kDrop };
-    const std::array<double, 7> weights{
+    enum { kGl, kGm, kLc, kEp, kIso, kLink, kDrop, kSlowK, kStealK, kFlakyK };
+    const std::array<double, 10> weights{
         spec.weight_crash_gl, spec.weight_crash_gm, spec.weight_crash_lc,
         spec.weight_crash_ep, spec.weight_isolate,  spec.weight_link,
-        spec.weight_global_drop};
+        spec.weight_global_drop, spec.weight_slow,  spec.weight_steal,
+        spec.weight_flaky};
     const std::size_t kind = rng.weighted_index(weights);
 
     FaultAction inject;
@@ -266,6 +306,51 @@ FaultSchedule generate_schedule(const ChaosSpec& spec, const Topology& topo,
         schedule.actions.push_back(close);
         break;
       }
+      case kSlowK: {
+        const auto n = random_node(rng);
+        if (busy.count(n) > 0 || busy_gray.count(n) > 0) continue;
+        busy_gray.insert(n);
+        inject.severity = rng.uniform(1.5, spec.max_slow_factor);
+        open_window(ActionKind::kSlow, ActionKind::kUnslow, n.first, n.second);
+        break;
+      }
+      case kStealK: {
+        const int i =
+            rng.uniform_int<int>(0, static_cast<int>(topo.local_controllers) - 1);
+        if (busy.count({NodeRole::kLc, i}) > 0 ||
+            busy_gray.count({NodeRole::kLc, i}) > 0) {
+          continue;
+        }
+        busy_gray.insert({NodeRole::kLc, i});
+        inject.severity = rng.uniform(0.1, spec.max_steal_frac);
+        open_window(ActionKind::kSteal, ActionKind::kUnsteal, NodeRole::kLc, i);
+        break;
+      }
+      case kFlakyK: {
+        const auto a = random_node(rng);
+        const auto b = random_node(rng);
+        if (a == b) continue;
+        const std::array<int, 4> key{static_cast<int>(a.first), a.second,
+                                     static_cast<int>(b.first), b.second};
+        if (busy_links.count(key) > 0) continue;
+        busy_links.insert(key);
+        inject.kind = ActionKind::kFlaky;
+        inject.role = a.first;
+        inject.index = a.second;
+        inject.role2 = b.first;
+        inject.index2 = b.second;
+        inject.faults.flaky_latency = rng.uniform(0.05, spec.max_flaky_latency);
+        FaultAction close;
+        close.at = heal_time(t);
+        close.kind = ActionKind::kUnflaky;
+        close.role = a.first;
+        close.index = a.second;
+        close.role2 = b.first;
+        close.index2 = b.second;
+        schedule.actions.push_back(inject);
+        schedule.actions.push_back(close);
+        break;
+      }
       case kDrop:
       default: {
         inject.kind = ActionKind::kGlobalDrop;
@@ -284,25 +369,31 @@ FaultSchedule generate_schedule(const ChaosSpec& spec, const Topology& topo,
     // bookkeeping honest without a second queue; schedules are tiny.
     busy.clear();
     busy_links.clear();
+    busy_gray.clear();
     down_gms = down_lcs = down_eps = 0;
     gl_window_open = false;
     std::set<int> healed;
     for (const FaultAction& a : schedule.actions) {
       const bool closes = a.kind == ActionKind::kRecover || a.kind == ActionKind::kHeal ||
-                          a.kind == ActionKind::kUnlink;
+                          a.kind == ActionKind::kUnlink ||
+                          a.kind == ActionKind::kUnslow ||
+                          a.kind == ActionKind::kUnsteal ||
+                          a.kind == ActionKind::kUnflaky;
       if (closes && a.at <= t) {
         if (a.pair != 0) healed.insert(a.pair);
-        if (a.kind == ActionKind::kUnlink) {
+        if (a.kind == ActionKind::kUnlink || a.kind == ActionKind::kUnflaky) {
           busy_links.erase({static_cast<int>(a.role), a.index,
                             static_cast<int>(a.role2), a.index2});
         }
       }
     }
     for (const FaultAction& a : schedule.actions) {
-      if (a.kind == ActionKind::kLink && a.at <= t) {
+      if ((a.kind == ActionKind::kLink || a.kind == ActionKind::kFlaky) && a.at <= t) {
+        const ActionKind closer =
+            a.kind == ActionKind::kLink ? ActionKind::kUnlink : ActionKind::kUnflaky;
         bool open = true;
         for (const FaultAction& c : schedule.actions) {
-          if (c.kind == ActionKind::kUnlink && c.at <= t && c.role == a.role &&
+          if (c.kind == closer && c.at <= t && c.role == a.role &&
               c.index == a.index && c.role2 == a.role2 && c.index2 == a.index2 &&
               c.at >= a.at) {
             open = false;
@@ -313,6 +404,10 @@ FaultSchedule generate_schedule(const ChaosSpec& spec, const Topology& topo,
           busy_links.insert({static_cast<int>(a.role), a.index,
                              static_cast<int>(a.role2), a.index2});
         }
+      }
+      if ((a.kind == ActionKind::kSlow || a.kind == ActionKind::kSteal) && a.at <= t &&
+          (a.pair == 0 || healed.count(a.pair) == 0)) {
+        busy_gray.insert({a.role, a.index});
       }
       if ((a.kind != ActionKind::kCrash && a.kind != ActionKind::kIsolate) || a.at > t) {
         continue;
@@ -480,6 +575,67 @@ FaultSchedule parse_script(const std::string& text) {
       if (action.drop < 0.0 || action.drop > 1.0) {
         fail_at(line_no, "probability must be in [0,1]");
       }
+    } else if (verb == "slow" || verb == "steal") {
+      action.kind = verb == "slow" ? ActionKind::kSlow : ActionKind::kSteal;
+      parse_target(tokens, pos, line_no, action.role, action.index);
+      if (verb == "steal" && action.role != NodeRole::kLc) {
+        fail_at(line_no, "steal only applies to lc nodes");
+      }
+      if (verb == "slow" && action.role != NodeRole::kGm && action.role != NodeRole::kLc) {
+        fail_at(line_no, "slow only applies to gm/lc nodes");
+      }
+      const char* knob = verb == "slow" ? "factor" : "frac";
+      if (pos >= tokens.size() ||
+          tokens[pos].rfind(std::string(knob) + "=", 0) != 0) {
+        fail_at(line_no, verb + std::string(" needs ") + knob + "=<value>");
+      }
+      action.severity =
+          parse_number(tokens[pos++].substr(std::string(knob).size() + 1), line_no, knob);
+      if (verb == "slow" && action.severity <= 1.0) {
+        fail_at(line_no, "slow factor must be > 1");
+      }
+      if (verb == "steal" && (action.severity <= 0.0 || action.severity >= 1.0)) {
+        fail_at(line_no, "steal fraction must be in (0,1)");
+      }
+      action.pair = parse_pair(tokens, pos, line_no);
+    } else if (verb == "unslow" || verb == "unsteal") {
+      action.kind = verb == "unslow" ? ActionKind::kUnslow : ActionKind::kUnsteal;
+      if (pos < tokens.size() && tokens[pos][0] == '#') {
+        action.pair = parse_pair(tokens, pos, line_no);
+        if (action.pair == 0) fail_at(line_no, "bad pair reference");
+      } else {
+        parse_target(tokens, pos, line_no, action.role, action.index);
+      }
+    } else if (verb == "flaky") {
+      action.kind = ActionKind::kFlaky;
+      parse_target(tokens, pos, line_no, action.role, action.index);
+      parse_target(tokens, pos, line_no, action.role2, action.index2);
+      bool saw_lat = false;
+      for (; pos < tokens.size(); ++pos) {
+        const std::string& knob = tokens[pos];
+        const auto eq = knob.find('=');
+        if (eq == std::string::npos) fail_at(line_no, "bad flaky knob '" + knob + "'");
+        const std::string key = knob.substr(0, eq);
+        const double value = parse_number(knob.substr(eq + 1), line_no, key.c_str());
+        if (key == "lat") {
+          if (value <= 0.0) fail_at(line_no, "flaky lat must be > 0");
+          action.faults.flaky_latency = value;
+          saw_lat = true;
+        } else if (key == "start" || key == "stop") {
+          if (value <= 0.0 || value > 1.0) {
+            fail_at(line_no, "flaky " + key + " must be in (0,1]");
+          }
+          (key == "start" ? action.faults.flaky_start : action.faults.flaky_stop) = value;
+        } else {
+          fail_at(line_no, "unknown flaky knob '" + key + "'");
+        }
+      }
+      if (!saw_lat) fail_at(line_no, "flaky needs lat=<seconds>");
+      pos = tokens.size();
+    } else if (verb == "unflaky") {
+      action.kind = ActionKind::kUnflaky;
+      parse_target(tokens, pos, line_no, action.role, action.index);
+      parse_target(tokens, pos, line_no, action.role2, action.index2);
     } else {
       fail_at(line_no, "unknown action '" + verb + "'");
     }

@@ -26,6 +26,16 @@ enum class ActionKind {
   kLink,        ///< install fault knobs on one node pair (both directions)
   kUnlink,      ///< remove the knobs installed by a matching kLink
   kGlobalDrop,  ///< set the global message-loss probability
+
+  // Gray (fail-slow) faults: the node stays up and keeps heartbeating, but
+  // degrades. These are what the slowness detector + quarantine machinery
+  // are built to catch.
+  kSlow,     ///< stretch one node's service times by `severity` (factor > 1)
+  kUnslow,   ///< end a matching kSlow window
+  kSteal,    ///< CPU steal on one LC: `severity` fraction of cycles stolen
+  kUnsteal,  ///< end a matching kSteal window
+  kFlaky,    ///< seeded latency-burst process on one node pair (both ways)
+  kUnflaky,  ///< remove the knobs installed by a matching kFlaky
 };
 
 enum class NodeRole { kNone, kGl, kGm, kLc, kEp };
@@ -45,8 +55,9 @@ struct FaultAction {
   NodeRole role2 = NodeRole::kNone;  ///< second endpoint for kLink/kUnlink
   int index2 = -1;
   int pair = 0;  ///< links inject/heal action pairs; 0 = unpaired
-  net::LinkFaults faults;  ///< knobs for kLink
+  net::LinkFaults faults;  ///< knobs for kLink / kFlaky
   double drop = 0.0;       ///< probability for kGlobalDrop
+  double severity = 0.0;   ///< stretch factor for kSlow, steal frac for kSteal
 };
 
 struct FaultSchedule {
@@ -80,6 +91,11 @@ struct ChaosSpec {
   double weight_isolate = 1.0;
   double weight_link = 2.0;
   double weight_global_drop = 0.5;
+  // Gray-fault weights default to 0 so crash-focused specs (and the seeded
+  // schedules pinned by existing tests) are unchanged; gray soaks opt in.
+  double weight_slow = 0.0;
+  double weight_steal = 0.0;
+  double weight_flaky = 0.0;
 
   // Upper bounds for randomly drawn link/global knobs.
   double max_link_drop = 0.5;
@@ -87,6 +103,12 @@ struct ChaosSpec {
   double max_reorder = 0.3;
   sim::Time max_extra_latency = 0.2;
   double max_global_drop = 0.05;
+  // Drawn ranges for gray faults: slow factor in [1.5, max_slow_factor],
+  // steal fraction in [0.1, max_steal_frac], burst latency in
+  // [0.05, max_flaky_latency].
+  double max_slow_factor = 4.0;
+  double max_steal_frac = 0.6;
+  sim::Time max_flaky_latency = 0.5;
 
   // Targeting floors: never crash/isolate below this many live nodes of a
   // role (keeps a quorum path so reconvergence stays possible).
@@ -117,6 +139,12 @@ struct Topology {
 ///                                  [rdelay=<s>] [lat=<s>]
 ///   <t> unlink <role> <i> <role> <j>
 ///   <t> drop <p>
+///   <t> slow <role> <i> factor=<x> [#id]      (x > 1; gm/lc targets)
+///   <t> unslow #id | <role> <i>
+///   <t> steal lc <i> frac=<f> [#id]           (f in (0,1))
+///   <t> unsteal #id | lc <i>
+///   <t> flaky <role> <i> <role> <j> lat=<s> [start=<p>] [stop=<p>]
+///   <t> unflaky <role> <i> <role> <j>
 ///
 /// Throws std::runtime_error with a line-numbered message on bad input.
 [[nodiscard]] FaultSchedule parse_script(const std::string& text);

@@ -58,11 +58,13 @@ struct SloConfig {
   double degraded_vm_seconds_per_min_max = 30.0;
 
   /// Delta-summary protocol health (NaN — never breaching — in full-summary
-  /// deployments). A full GmSummary costs ~16+ bytes per VM every period;
-  /// the delta stream's steady state is a near-empty header per GM, so
-  /// sustained bytes above this per LC per summary period means the stream
-  /// is stuck re-snapshotting instead of converging to deltas.
-  double summary_bytes_per_lc_period_max = 8.0;
+  /// deployments). The delta stream's steady state is one near-empty header
+  /// (~100 bytes) per sending GM per period *regardless of fleet shape*,
+  /// while re-snapshotting adds ~16 bytes per hosted VM — so bytes per
+  /// sending GM per period separates a converged stream from a stuck one at
+  /// any topology (per-LC normalization does not: a healthy 4-LC cluster
+  /// reads higher per LC than a re-snapshotting 200-LC one).
+  double summary_bytes_per_gm_period_max = 256.0;
   /// Age of the stalest GM summary at the acting GL. The GL ages a GM out
   /// after gm_summary_period * heartbeat_timeout_factor (7 s at defaults);
   /// alerting below that surfaces a degraded stream before the eviction.
@@ -76,6 +78,40 @@ struct SloConfig {
   /// window across all SLIs). A healthy long-horizon run alerts rarely; a
   /// flapping one oscillates — the soak gate reads this as a first-class SLI.
   sim::Time flap_window_s = 3600.0;
+};
+
+/// Gray-failure (fail-slow) detection and containment knobs.
+///
+/// Detection is *peer-relative*: the GM keeps per-LC operation-latency EWMAs
+/// (probe round-trip, StartVm ack, migration slowdown) and scores each LC
+/// against the robust fleet baseline (median / MAD across peers). A node
+/// whose score stays above `z_flag` for `slow_flag_sustain_s` enters
+/// probation (excluded from placement, monitoring trust halved); sustained
+/// degradation escalates to quarantine (evacuate + suspend), and a clean
+/// probe window reinstates it. The GL applies the same scoring to its GMs
+/// (probe round-trip + summary turnaround) and stops dispatching to flagged
+/// GMs — without ever declaring them dead, so a slow-but-alive leader path
+/// never triggers a spurious failover.
+struct GrayConfig {
+  bool detection = true;        ///< master switch for scoring + containment
+  sim::Time probe_period = 5.0; ///< GM->LC and GL->GM latency probe cadence
+  sim::Time probe_timeout = 1.0;
+  /// Service time of a probe on a healthy node; a gray node answers after
+  /// this times its effective slowdown, which is what the scorer sees.
+  sim::Time probe_service_time = 0.005;
+  double ewma_alpha = 0.3;      ///< per-peer latency EWMA smoothing
+  double z_flag = 4.0;          ///< robust z-score that marks a peer slow
+  double z_clear = 2.0;         ///< hysteretic clear threshold (z_clear < z_flag)
+  sim::Time slow_flag_sustain_s = 10.0;  ///< score must stay high this long
+  /// Probation -> quarantine escalation: still flagged after this long on
+  /// probation, the node is evacuated and suspended.
+  sim::Time quarantine_after_s = 20.0;
+  /// Capacity guard: never hold more than this fraction of a group's LCs in
+  /// quarantine at once (escalation is deferred, probation remains).
+  double max_quarantined_fraction = 0.2;
+  sim::Time reinstate_after_s = 30.0;   ///< quarantine dwell before re-probing
+  int reinstate_clean_probes = 3;       ///< consecutive clean evals to reinstate
+  bool hedged_probes = true;  ///< probes ride call_with_hedging (idempotent)
 };
 
 struct SnoozeConfig {
@@ -98,10 +134,10 @@ struct SnoozeConfig {
   /// Batched delta summaries (GmSummaryDelta stream) instead of full
   /// per-period GmSummary messages: O(churn) bytes on the wire, snapshot
   /// fallback on any ack uncertainty, and a GL-side VM->GM ownership
-  /// inventory that resolves cross-GM duplicate VMs. Off by default: the
-  /// delta stream is an acknowledged RPC exchange, so enabling it changes
-  /// the message flow (and thus recorded golden traces).
-  bool delta_summaries = false;
+  /// inventory that resolves cross-GM duplicate VMs. On by default (the
+  /// golden traces are recorded under this mode); set to false for the
+  /// legacy full-summary wire protocol.
+  bool delta_summaries = true;
   std::size_t estimator_window = 5;      ///< sliding window length (samples)
   /// Window-max is conservative (never under-estimates recent demand);
   /// EWMA is smoother and tracks trends (see core/estimator.hpp).
@@ -168,6 +204,9 @@ struct SnoozeConfig {
   /// this window are pruned (their VM terminated and the client's retry
   /// horizon — seconds — is long past). 0 keeps the book forever.
   sim::Time submission_book_retention = 600.0;
+
+  // --- gray-failure resilience ----------------------------------------------
+  GrayConfig gray;
 
   // --- observability ---------------------------------------------------------
   SloConfig slo;

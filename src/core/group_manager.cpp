@@ -30,6 +30,9 @@ GroupManager::GroupManager(sim::Engine& engine, net::Network& network,
   dispatch_policy_ = make_dispatch_policy(config_.dispatch_policy);
   placement_policy_ = make_placement_policy(config_.placement_policy);
   assignment_policy_ = make_assignment_policy(config_.assignment_policy);
+  scorer_ = obs::SlownessScorer(obs::SlownessConfig{
+      config_.gray.ewma_alpha, config_.gray.z_flag, config_.gray.z_clear,
+      config_.gray.slow_flag_sustain_s});
   endpoint_.set_message_handler([this](const net::Envelope& env) { handle_oneway(env); });
   endpoint_.set_request_handler(
       [this](const net::Envelope& env, net::Responder r) { handle_request(env, r); });
@@ -77,6 +80,12 @@ void GroupManager::start() {
       return true;
     });
   }
+  if (config_.gray.detection) {
+    every(config_.gray.probe_period, [this] {
+      gm_probe_peers();
+      return true;
+    });
+  }
   trace_event("gm.start");
 }
 
@@ -104,6 +113,7 @@ std::vector<LcInfo> GroupManager::lc_infos() const {
     info.estimated_used = record.used;
     info.powered_on = record.power == LcPower::kOn;
     info.draining = record.draining;
+    info.probation = record.health != LcHealth::kHealthy;
     info.vm_count = static_cast<std::uint32_t>(record.vms.size());
     info.worst_penalty = record.worst_penalty;
     info.sockets.reserve(record.sockets.size());
@@ -158,6 +168,12 @@ void GroupManager::handle_request(const net::Envelope& env, net::Responder respo
     handle_assign_lc(*assign, responder);
   } else if (const auto* submit = net::msg_cast<SubmitVmRequest>(env.payload)) {
     handle_submit(*submit, env.ctx, responder);
+  } else if (net::msg_cast<ProbeRequest>(env.payload) != nullptr) {
+    // Gray-failure latency probe from the GL: answer after this GM's
+    // effective service time so the GL's scorer sees a slow GM as slow.
+    after(config_.gray.probe_service_time * service_stretch_, [responder] {
+      responder.respond(std::make_shared<ProbeResponse>());
+    });
   } else if (const auto* place = net::msg_cast<PlacementRequest>(env.payload)) {
     // Fence the GL authority domain: a dispatch from a deposed leader gets a
     // typed rejection that tells it to step down, never a placement.
@@ -188,6 +204,18 @@ void GroupManager::gm_tick_summary() {
   if (leader_) return;  // the GL keeps no LCs and reports no summary
   if (draining_) return;  // silent: the GL ages us out before our restart
   if (current_gl_ == net::kNullAddress) return;
+  if (service_stretch_ > 1.0) {
+    // A gray GM assembles its summary slowly. The healthy path (stretch 1)
+    // stays synchronous so event order — and the golden traces — are
+    // untouched by the feature.
+    after((service_stretch_ - 1.0) * 0.1, [this] { gm_emit_summary(); });
+    return;
+  }
+  gm_emit_summary();
+}
+
+void GroupManager::gm_emit_summary() {
+  if (leader_ || draining_ || current_gl_ == net::kNullAddress) return;
   if (config_.delta_summaries) {
     gm_send_summary_delta();
     return;
@@ -302,6 +330,9 @@ void GroupManager::handle_lc_join(const LcJoinRequest& req, net::Responder respo
   record.last_heartbeat = now();
   record.lease_epoch = req.lease_epoch;
   lcs_[req.lc] = std::move(record);
+  // A (re)joining node starts with a cold latency baseline — state from a
+  // previous incarnation must not pre-flag or pre-clear it.
+  scorer_.forget(req.lc);
   resp->ok = true;
   resp->heartbeat_group = gm_group_;
   responder.respond(resp);
@@ -314,7 +345,14 @@ void GroupManager::handle_monitor(const LcMonitorData& data) {
   LcRecord& record = it->second;
   record.last_heartbeat = now();
   record.reserved = data.reserved;
-  record.used = data.used;
+  // Monitoring trust: a node under gray suspicion misreports in ways we
+  // cannot distinguish from truth (CPU steal shrinks delivered usage), so
+  // its reports are blended at half weight instead of overwriting our view.
+  if (record.health == LcHealth::kHealthy) {
+    record.used = data.used;
+  } else {
+    record.used = (record.used + data.used).scaled(0.5);
+  }
   record.draining = data.draining;
   // Reconcile the VM set: adopt new VMs (e.g. inherited after a GM failure),
   // drop those the LC no longer reports, update demand estimators.
@@ -328,6 +366,19 @@ void GroupManager::handle_monitor(const LcMonitorData& data) {
     // reported copy is condemned. Keeping the recorded copy is the
     // deterministic choice; either satisfies the client's submission.
     if (!usage.migrating && record.vms.count(usage.vm) == 0) {
+      // A copy we are still placing is not adopted either way — the pending
+      // StartVm callback records it on success or condemns it on timeout.
+      if (inflight_placements_.count({data.lc, usage.vm}) > 0) continue;
+      // A copy we already aborted (StartVm timeout) is not re-adopted — the
+      // report raced the StopVm. Re-send the abort instead: if the first one
+      // was lost the condemned copy would otherwise run forever.
+      if (condemned_vms_.count({data.lc, usage.vm}) > 0) {
+        auto stop = std::make_shared<StopVmRequest>();
+        stop->vm = usage.vm;
+        stamp_lease(*stop, data.lc);
+        endpoint_.send(data.lc, stop);
+        continue;
+      }
       bool orphan = false;
       for (const auto& [other_addr, other_record] : lcs_) {
         if (other_addr == data.lc) continue;
@@ -408,6 +459,8 @@ void GroupManager::on_lc_failed(net::Address lc) {
   }
   lcs_.erase(it);
   waking_.erase(lc);
+  scorer_.forget(lc);
+  std::erase_if(condemned_vms_, [lc](const auto& p) { return p.first == lc; });
   for (const VmDescriptor& vm : to_reschedule) {
     ++counters_.vms_rescheduled;
     bump("gm.vms_rescheduled");
@@ -423,6 +476,194 @@ void GroupManager::reschedule_vm(const VmDescriptor& vm) {
   handle_placement(req, 0, {},
                    net::Responder(&endpoint_.network(), endpoint_.address(),
                                   endpoint_.address(), 0));
+}
+
+// ---------------------------------------------------------------------------
+// Gray-failure detection and containment
+// ---------------------------------------------------------------------------
+
+std::size_t GroupManager::probation_count() const {
+  std::size_t n = 0;
+  for (const auto& [addr, lc] : lcs_) {
+    if (lc.health == LcHealth::kProbation) ++n;
+  }
+  return n;
+}
+
+std::size_t GroupManager::quarantined_count() const {
+  std::size_t n = 0;
+  for (const auto& [addr, lc] : lcs_) {
+    if (lc.health == LcHealth::kQuarantined) ++n;
+  }
+  return n;
+}
+
+std::size_t GroupManager::gm_probation_count() const {
+  std::size_t n = 0;
+  for (const auto& [addr, record] : gms_) {
+    if (record.info.probation) ++n;
+  }
+  return n;
+}
+
+int GroupManager::lc_health_of(net::Address lc) const {
+  const auto it = lcs_.find(lc);
+  if (it == lcs_.end()) return -1;
+  switch (it->second.health) {
+    case LcHealth::kHealthy: return 0;
+    case LcHealth::kProbation: return 1;
+    case LcHealth::kQuarantined: return 2;
+  }
+  return -1;
+}
+
+void GroupManager::gm_probe_peers() {
+  // The GL probes its GMs; a GM probes its powered-on LCs. Probes are
+  // idempotent, which makes them the canonical hedged-RPC site: a hedge
+  // keeps one flaky link from polluting the latency baseline, while a
+  // genuinely slow *node* is slow on both attempts and still scores high.
+  std::vector<net::Address> targets;
+  if (leader_) {
+    targets.reserve(gms_.size());
+    for (const auto& [addr, record] : gms_) targets.push_back(addr);
+  } else {
+    for (auto& [addr, lc] : lcs_) {
+      if (lc.health == LcHealth::kQuarantined) {
+        // Quarantine rests the node for the dwell window. Past it, wake the
+        // node back up — reinstatement needs fresh probe evidence.
+        if (now() - lc.quarantined_at < config_.gray.reinstate_after_s) continue;
+        if (lc.power == LcPower::kSuspended && waking_.count(addr) == 0) {
+          gm_wake_lc(addr);
+          continue;
+        }
+      }
+      if (lc.power != LcPower::kOn) continue;
+      targets.push_back(addr);
+    }
+  }
+  for (const net::Address target : targets) {
+    bump("gray.probes");
+    const sim::Time sent = now();
+    auto on_reply = [this, target, sent](bool ok, const net::MsgPtr& reply) {
+      (void)reply;
+      // A timeout carries no latency information; hard failures belong to
+      // the heartbeat liveness machinery, not the slowness scorer.
+      if (!ok) return;
+      scorer_.add_sample(target, obs::SlownessMetric::kProbe, now() - sent);
+    };
+    if (config_.gray.hedged_probes) {
+      endpoint_.call_with_hedging(target, std::make_shared<ProbeRequest>(),
+                                  config_.gray.probe_timeout, net::HedgePolicy{},
+                                  std::move(on_reply));
+    } else {
+      endpoint_.call(target, std::make_shared<ProbeRequest>(),
+                     config_.gray.probe_timeout, std::move(on_reply));
+    }
+  }
+  // Scoring uses the samples of previous rounds (this round's replies are
+  // still in flight) — a consistent one-round lag.
+  gm_evaluate_slowness();
+}
+
+void GroupManager::gm_evaluate_slowness() {
+  scorer_.evaluate(now());
+  if (leader_) {
+    // GL role: flag slow GMs off the dispatch path. Never kill them — a
+    // slow-but-alive GM must not lose its group to a spurious failover.
+    for (auto& [addr, record] : gms_) {
+      const bool slow = scorer_.flagged(addr);
+      if (slow && !record.info.probation) {
+        ++counters_.slow_flags;
+        bump("gl.gm_slow_flagged");
+        trace_event("gl.gm_slow", "gm=" + std::to_string(addr));
+      } else if (!slow && record.info.probation) {
+        bump("gl.gm_slow_cleared");
+        trace_event("gl.gm_slow_cleared", "gm=" + std::to_string(addr));
+      }
+      record.info.probation = slow;
+    }
+    return;
+  }
+  apply_containment();
+}
+
+void GroupManager::apply_containment() {
+  std::size_t quarantined = quarantined_count();
+  for (auto& [addr, lc] : lcs_) {
+    const bool slow = scorer_.flagged(addr);
+    switch (lc.health) {
+      case LcHealth::kHealthy:
+        if (slow) {
+          lc.health = LcHealth::kProbation;
+          lc.probation_since = now();
+          ++counters_.slow_flags;
+          ++counters_.probations;
+          bump("gm.lc_probations");
+          trace_event("gm.lc_probation", "lc=" + std::to_string(addr));
+        }
+        break;
+      case LcHealth::kProbation:
+        if (!slow) {
+          // Cleared below the hysteresis threshold: quiet reinstatement.
+          lc.health = LcHealth::kHealthy;
+          bump("gm.lc_probation_cleared");
+          trace_event("gm.lc_probation_cleared", "lc=" + std::to_string(addr));
+        } else if (now() - lc.probation_since >= config_.gray.quarantine_after_s) {
+          // Sustained degradation escalates — but containment must never
+          // amplify an outage: cap the quarantined fraction of the group.
+          // Floor of one so small groups can still quarantine their one bad
+          // node; the guard exists to stop avalanches, not singletons.
+          const auto cap = std::max<std::size_t>(
+              1, static_cast<std::size_t>(config_.gray.max_quarantined_fraction *
+                                          static_cast<double>(lcs_.size())));
+          if (quarantined + 1 > cap) {
+            ++counters_.quarantines_deferred;
+            bump("gm.quarantines_deferred");
+          } else {
+            lc.health = LcHealth::kQuarantined;
+            lc.quarantined_at = now();
+            lc.clean_evals = 0;
+            ++lc.quarantine_count;
+            ++quarantined;
+            ++counters_.quarantines;
+            if (lc.quarantine_count > 1) {
+              ++counters_.quarantine_flaps;
+              bump("gm.quarantine_flaps");
+            }
+            bump("gm.lc_quarantines");
+            trace_event("gm.lc_quarantined", "lc=" + std::to_string(addr));
+            evacuate_lc(addr);
+          }
+        }
+        break;
+      case LcHealth::kQuarantined:
+        if (now() - lc.quarantined_at < config_.gray.reinstate_after_s) {
+          // Emptying-out phase: re-try the evacuation for VMs that had no
+          // headroom earlier, then park the node in low power.
+          if (lc.power == LcPower::kOn) {
+            if (!lc.vms.empty()) {
+              evacuate_lc(addr);
+            } else {
+              gm_suspend_lc(addr);
+            }
+          }
+          lc.clean_evals = 0;
+        } else if (lc.power == LcPower::kOn) {
+          // Re-probing phase (gm_probe_peers woke the node): reinstate after
+          // enough consecutive clean evaluations.
+          if (slow) {
+            lc.clean_evals = 0;
+          } else if (++lc.clean_evals >= config_.gray.reinstate_clean_probes) {
+            lc.health = LcHealth::kHealthy;
+            lc.quarantined_at = 0.0;
+            ++counters_.reinstatements;
+            bump("gm.lc_reinstatements");
+            trace_event("gm.lc_reinstated", "lc=" + std::to_string(addr));
+          }
+        }
+        break;
+    }
+  }
 }
 
 void GroupManager::stamp_lease(net::Message& msg, net::Address lc) const {
@@ -442,6 +683,8 @@ bool GroupManager::handle_stale_lc_reply(const net::MsgPtr& reply, net::Address 
     trace_event("gm.lc_fenced_off");
   }
   waking_.erase(lc);
+  scorer_.forget(lc);
+  std::erase_if(condemned_vms_, [lc](const auto& p) { return p.first == lc; });
   return true;
 }
 
@@ -487,6 +730,9 @@ void GroupManager::handle_placement(const PlacementRequest& req, std::uint64_t e
 
 void GroupManager::place_on(net::Address lc, const VmDescriptor& vm,
                             telemetry::SpanContext span, net::Responder responder) {
+  // A deliberate re-placement on this LC supersedes any earlier abort of the
+  // same VM there.
+  condemned_vms_.erase({lc, vm.id});
   // Reserve optimistically at command time so concurrent placements in the
   // same scheduling window do not all pick the same LC; rolled back if the
   // LC refuses. The LC's own monitoring reports (which include booting VMs)
@@ -524,8 +770,11 @@ void GroupManager::place_on(net::Address lc, const VmDescriptor& vm,
   start->ctx = span;
   stamp_lease(*start, lc);
   const sim::Time timeout = config_.vm_boot_time + config_.rpc_timeout;
+  const sim::Time sent = now();
+  inflight_placements_.insert({lc, vm.id});
   endpoint_.call(lc, start, timeout,
-                 [this, lc, vm, span, responder, booked_socket](bool ok, const net::MsgPtr& reply) {
+                 [this, lc, vm, span, responder, booked_socket, sent](bool ok, const net::MsgPtr& reply) {
+    inflight_placements_.erase({lc, vm.id});
     if (ok && handle_stale_lc_reply(reply, lc)) {
       ++counters_.placements_failed;
       bump("gm.placements_failed");
@@ -543,6 +792,9 @@ void GroupManager::place_on(net::Address lc, const VmDescriptor& vm,
       placement->lc = lc;
       ++counters_.placements_ok;
       bump("gm.placements_ok");
+      // StartVm ack latency is boot-time dominated, which makes it a clean
+      // per-LC slowdown sample (peer-relative, so fleet-wide load cancels).
+      scorer_.add_sample(lc, obs::SlownessMetric::kStartVm, now() - sent);
       if (it != lcs_.end()) {
         VmRecord record;
         record.requested = vm.requested;
@@ -570,8 +822,13 @@ void GroupManager::place_on(net::Address lc, const VmDescriptor& vm,
       }
       if (resp == nullptr) {
         // Timeout: the LC may have started the VM and only the response was
-        // lost. Abort the potential orphan — the GL will place the VM on
-        // some other node after we report failure.
+        // lost — or (fail-slow) is still booting it. Abort the potential
+        // orphan and condemn the (LC, VM) pair: a slow-but-alive LC keeps
+        // monitoring-reporting the doomed copy until the abort lands, and
+        // adopting that report would let the idempotent replay path ack a
+        // submission whose VM this StopVm is about to kill.
+        condemned_vms_.insert({lc, vm.id});
+        if (it != lcs_.end()) it->second.vms.erase(vm.id);
         auto stop = std::make_shared<StopVmRequest>();
         stop->vm = vm.id;
         stamp_lease(*stop, lc);
@@ -591,6 +848,7 @@ void GroupManager::try_wakeup_then_place(const VmDescriptor& vm,
   for (const auto& [addr, lc] : lcs_) {
     if (lc.power != LcPower::kSuspended) continue;
     if (waking_.count(addr)) continue;
+    if (lc.health != LcHealth::kHealthy) continue;  // quarantined: stays down
     if (vm.requested.fits_within(lc.capacity)) {
       target = addr;
       break;
@@ -682,7 +940,10 @@ void GroupManager::handle_anomaly(const AnomalyEvent& event) {
 
   std::vector<LcInfo> others;
   for (const auto& [addr, lc] : lcs_) {
-    if (addr == event.lc || lc.power != LcPower::kOn || lc.draining) continue;
+    if (addr == event.lc || lc.power != LcPower::kOn || lc.draining ||
+        lc.health != LcHealth::kHealthy) {
+      continue;
+    }
     LcInfo info;
     info.lc = addr;
     info.powered_on = true;
@@ -764,6 +1025,13 @@ void GroupManager::execute_moves(const std::vector<RelocationMove>& moves) {
 
 void GroupManager::handle_migration_done(const MigrationDone& done) {
   inflight_migrations_.erase(done.vm);
+  // Actual/predicted pre-copy ratio: ~1 on a healthy source, proportional to
+  // the slowdown on a fail-slow one. Dimensionless, so peers are directly
+  // comparable regardless of VM size.
+  if (done.ok && done.expected_s > 1e-9 && lcs_.count(done.from) > 0) {
+    scorer_.add_sample(done.from, obs::SlownessMetric::kMigration,
+                       done.duration_s / done.expected_s);
+  }
   if (!done.ok) {
     // The source reverted (or lost) the VM. The destination may still hold a
     // copy if only the adopt confirmation was lost — command it away so a
@@ -795,6 +1063,7 @@ void GroupManager::handle_migration_done(const MigrationDone& done) {
 }
 
 void GroupManager::handle_vm_terminated(const VmTerminated& done) {
+  condemned_vms_.erase({done.lc, done.vm});
   const auto it = lcs_.find(done.lc);
   if (it == lcs_.end()) return;
   const auto vm_it = it->second.vms.find(done.vm);
@@ -811,7 +1080,10 @@ void GroupManager::gm_reconfigure() {
   std::vector<std::pair<net::Address, VmId>> vm_keys;
   consolidation::Instance instance;
   for (const auto& [addr, lc] : lcs_) {
-    if (lc.power != LcPower::kOn || lc.draining) continue;
+    if (lc.power != LcPower::kOn || lc.draining ||
+        lc.health != LcHealth::kHealthy) {
+      continue;
+    }
     hosts.push_back(addr);
     instance.host_capacities.push_back(lc.capacity);
   }
@@ -837,7 +1109,10 @@ void GroupManager::gm_reconfigure() {
   consolidation::Placement current;
   std::vector<consolidation::HostIndex> current_raw;
   for (const auto& [addr, lc] : lcs_) {
-    if (lc.power != LcPower::kOn || lc.draining) continue;
+    if (lc.power != LcPower::kOn || lc.draining ||
+        lc.health != LcHealth::kHealthy) {
+      continue;
+    }
     for (const auto& [id, vm] : lc.vms) {
       instance.vm_demands.push_back(vm.requested);
       if (interference) instance.vm_profiles.push_back(vm.profile);
@@ -903,7 +1178,12 @@ void GroupManager::gm_reconfigure() {
 void GroupManager::gm_energy_check() {
   if (leader_) return;
   for (auto& [addr, lc] : lcs_) {
-    if (lc.power != LcPower::kOn || lc.draining) continue;
+    // Non-healthy nodes belong to the containment machinery, which owns
+    // their power state (quarantine suspends, reinstatement wakes).
+    if (lc.power != LcPower::kOn || lc.draining ||
+        lc.health != LcHealth::kHealthy) {
+      continue;
+    }
     const bool idle = lc.vms.empty();
     if (!idle) {
       lc.idle_since = -1.0;
@@ -971,7 +1251,8 @@ std::size_t GroupManager::scale_wake(std::size_t n) {
   std::size_t commanded = 0;
   for (const auto& [addr, lc] : lcs_) {
     if (commanded >= n) break;
-    if (lc.power != LcPower::kSuspended || waking_.count(addr) > 0 || lc.draining) {
+    if (lc.power != LcPower::kSuspended || waking_.count(addr) > 0 || lc.draining ||
+        lc.health != LcHealth::kHealthy) {
       continue;
     }
     gm_wake_lc(addr);
@@ -984,7 +1265,10 @@ std::size_t GroupManager::scale_suspend(std::size_t n) {
   std::vector<net::Address> idle;
   for (const auto& [addr, lc] : lcs_) {
     if (idle.size() >= n) break;
-    if (lc.power != LcPower::kOn || lc.draining || !lc.vms.empty()) continue;
+    if (lc.power != LcPower::kOn || lc.draining || !lc.vms.empty() ||
+        lc.health != LcHealth::kHealthy) {
+      continue;
+    }
     idle.push_back(addr);
   }
   for (net::Address addr : idle) gm_suspend_lc(addr);
@@ -1011,6 +1295,8 @@ void GroupManager::begin_drain() {
     endpoint_.multicast(gm_group_, resign);
     lcs_.clear();
     waking_.clear();
+    condemned_vms_.clear();
+    inflight_placements_.clear();
   }
 }
 
@@ -1030,7 +1316,10 @@ std::size_t GroupManager::evacuate_lc(net::Address source) {
   for (const auto& [id, vm] : source_it->second.vms) {
     if (vm.migrating) continue;  // already on the wire
     for (const auto& [addr, lc] : lcs_) {
-      if (addr == source || lc.power != LcPower::kOn || lc.draining) continue;
+      if (addr == source || lc.power != LcPower::kOn || lc.draining ||
+          lc.health != LcHealth::kHealthy) {
+        continue;
+      }
       if ((lc.reserved + planned[addr] + vm.requested).fits_within(lc.capacity)) {
         planned[addr] += vm.requested;
         moves.push_back(RelocationMove{id, source, addr});
@@ -1072,7 +1361,11 @@ void GroupManager::become_leader(std::uint64_t epoch) {
     endpoint_.multicast(gm_group_, resign);
     lcs_.clear();
     waking_.clear();
+    condemned_vms_.clear();
+    inflight_placements_.clear();
   }
+  // Role change: the scorer now baselines GMs, not LCs.
+  scorer_.clear();
 
   // Reconciliation window: defer client work (submissions, LC assignments)
   // until the GM summaries arriving under this term have rebuilt our soft
@@ -1130,6 +1423,7 @@ void GroupManager::step_down(const char* reason) {
   submit_waiters_.clear();
   vm_inventory_.clear();
   vm_conflicts_.clear();
+  scorer_.clear();  // back to GM role: LC baselines start cold
   // Re-enter the election as a fresh candidate: our old znode is gone (a
   // successor exists or the session expired), so a new, strictly higher
   // sequence keeps epochs monotone.
@@ -1171,6 +1465,7 @@ void GroupManager::gl_check_gm_liveness() {
       const net::Address gone = it->first;
       it = gms_.erase(it);
       drop_gm_inventory(gone);
+      scorer_.forget(gone);
     } else {
       ++it;
     }
@@ -1202,6 +1497,14 @@ void GroupManager::handle_gm_summary(const GmSummary& summary) {
   record.info.capacity = summary.capacity;
   record.info.lc_count = summary.lc_count;
   record.info.vm_count = summary.vm_count;
+  // Summary inter-arrival gap: a gray GM assembles its reports slowly, so
+  // its stream stutters relative to its peers. Outage-sized gaps (the GM was
+  // down or partitioned) belong to the liveness machinery, not the scorer.
+  const sim::Time gap = now() - record.last_summary;
+  if (record.last_summary > 0.0 &&
+      gap < config_.gm_summary_period * config_.heartbeat_timeout_factor) {
+    scorer_.add_sample(summary.gm, obs::SlownessMetric::kSummary, gap);
+  }
   record.last_summary = now();
   // Reconciliation: adopt the GM's VM locations into the submission book.
   // A client retrying a submission whose accept was lost when the previous
@@ -1247,6 +1550,12 @@ void GroupManager::handle_summary_delta(const GmSummaryDelta& delta,
   record.info.lc_count = delta.lc_count;
   record.info.vm_count = delta.vm_count;
   record.info.worst_lc_heartbeat_age = delta.worst_lc_heartbeat_age;
+  // Same inter-arrival slowness signal as the full-summary path.
+  const sim::Time gap = now() - record.last_summary;
+  if (record.last_summary > 0.0 &&
+      gap < config_.gm_summary_period * config_.heartbeat_timeout_factor) {
+    scorer_.add_sample(delta.gm, obs::SlownessMetric::kSummary, gap);
+  }
   record.last_summary = now();
   // Sync the VM inventory only when the decoder actually advanced: a
   // duplicate delivery of an *old* delta is acked (the GM moved on long ago)
@@ -1327,6 +1636,12 @@ void GroupManager::note_vm_removed(net::Address gm, VmId vm) {
     return;
   }
   vm_inventory_.erase(it);
+  // Retire the idempotency-book entry with the inventory: once no GM hosts
+  // the VM, replaying "ok, it lives on LC x" to a client retry would accept
+  // a submission whose VM is already gone (e.g. a fail-slow copy the GM
+  // adopted from a monitoring report and then aborted). The client's retry
+  // dispatches afresh instead.
+  completed_submissions_.erase(vm);
 }
 
 void GroupManager::resolve_conflicts_for(net::Address gm) {
@@ -1410,7 +1725,16 @@ void GroupManager::handle_assign_lc(const AssignLcRequest& req, net::Responder r
     responder.respond(resp);
     return;
   }
-  const net::Address gm = assignment_policy_->assign(gm_infos());
+  // Prefer GMs not under gray suspicion; if the whole fleet is flagged the
+  // filter would turn a slowdown into an outage, so fall back to everyone.
+  std::vector<GmInfo> infos = gm_infos();
+  std::vector<GmInfo> healthy;
+  healthy.reserve(infos.size());
+  for (const GmInfo& info : infos) {
+    if (!info.probation) healthy.push_back(info);
+  }
+  const net::Address gm =
+      assignment_policy_->assign(healthy.empty() ? infos : healthy);
   resp->ok = gm != net::kNullAddress;
   resp->gm = gm;
   responder.respond(resp);
@@ -1457,8 +1781,17 @@ void GroupManager::handle_submit(const SubmitVmRequest& req, telemetry::SpanCont
   bump("gl.dispatches");
   const auto span = telemetry::begin_span(tel(), ctx, "gl.dispatch", name(),
                                           "vm=" + std::to_string(req.vm.id));
-  std::vector<net::Address> candidates =
-      dispatch_policy_->candidates(req.vm, gm_infos(), config_.max_dispatch_candidates);
+  // Dispatch steers around probationed GMs (same fallback rule as LC
+  // assignment: an all-flagged fleet keeps serving).
+  std::vector<GmInfo> infos = gm_infos();
+  std::vector<GmInfo> healthy_gms;
+  healthy_gms.reserve(infos.size());
+  for (const GmInfo& info : infos) {
+    if (!info.probation) healthy_gms.push_back(info);
+  }
+  std::vector<net::Address> candidates = dispatch_policy_->candidates(
+      req.vm, healthy_gms.empty() ? infos : healthy_gms,
+      config_.max_dispatch_candidates);
   if (candidates.empty()) {
     ++counters_.dispatch_failures;
     bump("gl.dispatch_failures");
@@ -1553,11 +1886,14 @@ void GroupManager::fail() {
   lcs_.clear();
   gms_.clear();
   waking_.clear();
+  condemned_vms_.clear();
+  inflight_placements_.clear();
   completed_submissions_.clear();
   inflight_submissions_.clear();
   submit_waiters_.clear();
   vm_inventory_.clear();
   vm_conflicts_.clear();
+  scorer_.clear();
   leader_ = false;
   started_ = false;
   reconciling_ = false;

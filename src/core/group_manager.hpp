@@ -25,6 +25,7 @@
 #include "core/relocation.hpp"
 #include "core/summary_codec.hpp"
 #include "net/rpc.hpp"
+#include "obs/slowness.hpp"
 #include "sim/trace.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -62,6 +63,13 @@ class GroupManager final : public sim::Actor {
     std::uint64_t summary_rejects = 0;         // GL: updates rejected (gap / unsynced)
     std::uint64_t cross_gm_duplicates_revoked = 0;  // GL: duplicate copies revoked
     std::uint64_t revokes_honored = 0;         // GM: GL revoke commands executed
+    // Gray-failure detection / containment.
+    std::uint64_t slow_flags = 0;            // peers first flagged slow (GM+GL)
+    std::uint64_t probations = 0;            // LCs placed on probation
+    std::uint64_t quarantines = 0;           // probation -> quarantine escalations
+    std::uint64_t quarantines_deferred = 0;  // blocked by max_quarantined_fraction
+    std::uint64_t reinstatements = 0;        // quarantined LCs returned to service
+    std::uint64_t quarantine_flaps = 0;      // an LC quarantined a second+ time
   };
 
   GroupManager(sim::Engine& engine, net::Network& network, net::Address coord_service,
@@ -151,9 +159,29 @@ class GroupManager final : public sim::Actor {
   /// summaries. Negative until a delta summary carried the aggregate.
   [[nodiscard]] double aggregated_lc_heartbeat_age() const;
 
+  // --- gray-failure detection -------------------------------------------------
+  /// LCs currently on probation / in quarantine (GM role; obs SLI inputs).
+  [[nodiscard]] std::size_t probation_count() const;
+  [[nodiscard]] std::size_t quarantined_count() const;
+  /// GMs the GL currently flags as slow (GL role).
+  [[nodiscard]] std::size_t gm_probation_count() const;
+  /// Containment state of one managed LC: 0 healthy, 1 probation,
+  /// 2 quarantined, -1 not managed by this GM (CLI / obs rendering).
+  [[nodiscard]] int lc_health_of(net::Address lc) const;
+  /// Cumulative seconds this GM's circuit breakers spent open (obs SLI).
+  [[nodiscard]] double breaker_open_seconds() const {
+    return endpoint_.breaker_open_seconds();
+  }
+
   // --- fault injection ---------------------------------------------------------
   void fail();
   void restart();
+
+  // --- gray (fail-slow) injection ---------------------------------------------
+  /// Service-time stretch > 1 delays this GM's summary assembly and probe
+  /// turnaround (heartbeats keep flowing). Injector-owned, like the LC knob.
+  void set_service_stretch(double factor) { service_stretch_ = factor; }
+  [[nodiscard]] double service_stretch() const { return service_stretch_; }
 
  private:
   // Per-VM knowledge within a GM.
@@ -170,6 +198,9 @@ class GroupManager final : public sim::Actor {
     }
   };
   enum class LcPower { kOn, kSuspended, kWaking };
+  /// Gray-failure containment ladder. Probation keeps the node serving its
+  /// VMs but excludes it from new work; quarantine evacuates and suspends it.
+  enum class LcHealth { kHealthy, kProbation, kQuarantined };
   struct LcRecord {
     ResourceVector capacity;
     ResourceVector reserved;
@@ -187,6 +218,12 @@ class GroupManager final : public sim::Actor {
     /// (empty for flat hosts) and the worst VM multiplier on the node.
     std::vector<LcMonitorData::SocketReport> sockets;
     double worst_penalty = 1.0;
+    /// Gray-failure containment state machine (apply_containment()).
+    LcHealth health = LcHealth::kHealthy;
+    sim::Time probation_since = 0.0;
+    sim::Time quarantined_at = 0.0;
+    int clean_evals = 0;       ///< consecutive unflagged evals while reinstating
+    int quarantine_count = 0;  ///< lifetime quarantines (>1 counts as a flap)
     std::map<VmId, VmRecord> vms;
   };
   // The GL's view of a GM.
@@ -213,6 +250,17 @@ class GroupManager final : public sim::Actor {
   void gm_check_lc_liveness();
   void gm_energy_check();
   void gm_reconfigure();
+  /// Gray-failure detection round: probe peers (GL -> GMs, GM -> LCs), then
+  /// re-score the fleet with the samples of previous rounds.
+  void gm_probe_peers();
+  /// Re-evaluate the slowness scorer and run the containment state machine
+  /// (GM role) or refresh GM probation flags (GL role).
+  void gm_evaluate_slowness();
+  /// GM role: drive each LC's healthy -> probation -> quarantined ->
+  /// reinstated ladder from the scorer's flags.
+  void apply_containment();
+  /// Send the (possibly stretch-delayed) summary for this tick.
+  void gm_emit_summary();
   void handle_lc_join(const LcJoinRequest& req, net::Responder responder);
   void handle_monitor(const LcMonitorData& data);
   void handle_anomaly(const AnomalyEvent& event);
@@ -334,6 +382,18 @@ class GroupManager final : public sim::Actor {
   /// ping-pong). Cleared on MigrationDone, LC rejection, or command timeout.
   std::map<VmId, net::Address> inflight_migrations_;
   std::map<VmId, std::vector<net::Responder>> submit_waiters_;
+  /// (LC, VM) pairs with an in-flight StartVm this GM issued. A slow LC's
+  /// monitoring report can list the booting copy before the ack arrives;
+  /// adopting it would smuggle an unconfirmed placement into the summary
+  /// stream (and the GL's idempotency book) that the timeout path may yet
+  /// abort. The call's callback settles the pair either way.
+  std::set<std::pair<net::Address, VmId>> inflight_placements_;
+  /// (LC, VM) pairs whose StartVm timed out and were aborted with a StopVm.
+  /// A slow-but-alive LC keeps monitoring-reporting the booting copy until
+  /// the abort lands; adopting that report would let the idempotent
+  /// placement replay ack a submission whose VM is about to be killed.
+  /// Entries lift on re-placement, termination, or LC removal.
+  std::set<std::pair<net::Address, VmId>> condemned_vms_;
 
   // --- delta summary stream --------------------------------------------------
   // GM side: encoder state for the outbound stream. The stream id is bumped
@@ -363,6 +423,11 @@ class GroupManager final : public sim::Actor {
   std::unique_ptr<DispatchPolicy> dispatch_policy_;
   std::unique_ptr<PlacementPolicy> placement_policy_;
   std::unique_ptr<AssignmentPolicy> assignment_policy_;
+
+  /// Peer-relative fail-slow scorer: over LCs in GM mode, over GMs in GL
+  /// mode (cleared on every role change so baselines never mix).
+  obs::SlownessScorer scorer_;
+  double service_stretch_ = 1.0;  ///< gray-fault injection (1 = healthy)
 
   Counters counters_;
 };

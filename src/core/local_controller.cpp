@@ -202,7 +202,10 @@ void LocalController::send_monitor_data() {
   data->lc = endpoint_.address();
   data->capacity = host_.capacity();
   data->reserved = host_.reserved();
-  data->used = host_.used(now());
+  // Under CPU steal the node *delivers* only (1-steal) of what its VMs
+  // consume — the monitoring stream under-reports exactly the way a stolen
+  // node's perf counters do, which is what makes gray failures hard to see.
+  data->used = host_.used(now()).scaled(1.0 - cpu_steal_);
   for (const auto& [id, vm] : host_.vms()) {
     const auto meta = vm_meta_.find(id);
     const bool migrating = meta != vm_meta_.end() && meta->second.migrating;
@@ -309,6 +312,13 @@ void LocalController::handle_request(const net::Envelope& env, net::Responder re
     auto resp = std::make_shared<WakeupResponse>();
     resp->ok = true;  // already awake
     responder.respond(resp);
+  } else if (net::msg_cast<ProbeRequest>(env.payload) != nullptr) {
+    // Gray-failure latency probe: answer after this node's *effective*
+    // service time, so the GM's peer-relative scorer observes the real
+    // slowdown a gray node imposes on every operation.
+    after(config_.gray.probe_service_time * effective_slowdown(), [responder] {
+      responder.respond(std::make_shared<ProbeResponse>());
+    });
   }
 }
 
@@ -347,7 +357,7 @@ void LocalController::handle_start_vm(const StartVmRequest& req,
   vm_meta_[req.vm.id] = meta;
 
   const VmId id = req.vm.id;
-  after(config_.vm_boot_time, [this, id, span, responder] {
+  after(config_.vm_boot_time * effective_slowdown(), [this, id, span, responder] {
     hypervisor::Vm* booted = host_.find(id);
     if (booted == nullptr) {  // evicted meanwhile
       telemetry::end_span(tel(), span, "evicted");
@@ -361,8 +371,10 @@ void LocalController::handle_start_vm(const StartVmRequest& req,
       // Contention stretches runtime: a VM delivering a fraction `penalty`
       // of its throughput needs 1/penalty the wall time to finish the same
       // work. Exactly 1.0 (and a no-op) for unprofiled or flat deployments.
-      const double stretched =
-          meta_ref.descriptor.lifetime_s / host_.vm_penalty(id);
+      // CPU steal compounds the same way: (1-steal) delivered cycles per
+      // second means 1/(1-steal) the wall time.
+      const double stretched = meta_ref.descriptor.lifetime_s / host_.vm_penalty(id) /
+                               std::max(1e-6, 1.0 - cpu_steal_);
       meta_ref.stop_at = now() + stretched;
       meta_ref.stop_event = after(stretched, [this, id] { terminate_vm(id); });
     }
@@ -435,8 +447,12 @@ void LocalController::run_migration(hypervisor::VmId id, net::Address dest) {
   bump("lc.migrations_started");
   trace_event("lc.migration_start");
 
-  // Pre-copy runs for cost.total_s; then the destination adopts the VM.
-  after(cost.total_s, [this, id, dest, cost] {
+  // Pre-copy runs for cost.total_s (stretched on a gray node — a fail-slow
+  // NIC/hypervisor transfers at a fraction of the modeled rate); then the
+  // destination adopts the VM. The actual/expected ratio rides MigrationDone
+  // to the GM as a slowdown sample.
+  const double actual_s = cost.total_s * effective_slowdown();
+  after(actual_s, [this, id, dest, cost, actual_s] {
     const auto it = vm_meta_.find(id);
     hypervisor::Vm* source_vm = host_.find(id);
     if (it == vm_meta_.end() || source_vm == nullptr) {
@@ -457,7 +473,7 @@ void LocalController::run_migration(hypervisor::VmId id, net::Address dest) {
     adopt_policy.max_attempts = 3;
     adopt_policy.base_backoff = 0.25;
     endpoint_.call_with_retries(dest, adopt, config_.rpc_timeout, adopt_policy,
-                   [this, id, dest](bool ok, const net::MsgPtr& reply) {
+                   [this, id, dest, cost, actual_s](bool ok, const net::MsgPtr& reply) {
       const auto* resp2 = ok ? net::msg_cast<AdoptVmResponse>(reply) : nullptr;
       const bool adopted = resp2 != nullptr && resp2->ok;
       auto done = std::make_shared<MigrationDone>();
@@ -465,6 +481,8 @@ void LocalController::run_migration(hypervisor::VmId id, net::Address dest) {
       done->from = endpoint_.address();
       done->to = dest;
       done->ok = adopted;
+      done->duration_s = actual_s;
+      done->expected_s = cost.total_s;
       const auto meta2 = vm_meta_.find(id);
       hypervisor::Vm* vm2 = host_.find(id);
       if (adopted) {

@@ -7,6 +7,7 @@
 // requesting a GM assignment from the GL, and joining that GM.
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <map>
 #include <optional>
@@ -92,6 +93,23 @@ class LocalController final : public sim::Actor {
   /// Power the node back on as a fresh, empty LC; it rejoins the hierarchy.
   void restart();
 
+  // --- gray (fail-slow) injection ---------------------------------------------
+  /// Service-time stretch: a factor > 1 multiplies this node's operation
+  /// latencies (VM boot, migration pre-copy, probe turnaround) while
+  /// heartbeats keep flowing — the classic fail-slow signature. Not reset by
+  /// restart(): the chaos injector owns the window and heals it explicitly.
+  void set_service_stretch(double factor) { service_stretch_ = factor; }
+  [[nodiscard]] double service_stretch() const { return service_stretch_; }
+  /// CPU steal in [0,1): the fraction of cycles a noisy co-tenant (or a
+  /// failing hypervisor) takes. Delivered usage shrinks by (1-steal) and VM
+  /// runtimes stretch by 1/(1-steal).
+  void set_cpu_steal(double frac) { cpu_steal_ = frac; }
+  [[nodiscard]] double cpu_steal() const { return cpu_steal_; }
+  /// Combined slowdown applied to service latencies.
+  [[nodiscard]] double effective_slowdown() const {
+    return service_stretch_ / std::max(1e-6, 1.0 - cpu_steal_);
+  }
+
  private:
   enum class State { kStopped, kDiscovering, kJoining, kAssigned };
 
@@ -166,6 +184,8 @@ class LocalController final : public sim::Actor {
   /// threshold (-1 while healthy). Drives the sustained-penalty anomaly.
   sim::Time interference_low_since_ = -1.0;
   hypervisor::MigrationModel migration_model_;
+  double service_stretch_ = 1.0;  ///< gray-fault injection (1 = healthy)
+  double cpu_steal_ = 0.0;        ///< gray-fault injection (0 = healthy)
 
   std::map<hypervisor::VmId, VmMeta> vm_meta_;
   util::TimeWeighted running_vms_;

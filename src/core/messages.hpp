@@ -352,8 +352,30 @@ struct MigrationDone final : net::Message {
   Address from = net::kNullAddress;
   Address to = net::kNullAddress;
   bool ok = false;
+  /// Actual pre-copy wall time vs. the migration model's prediction for this
+  /// VM. Their ratio is a per-LC slowdown sample for the gray-failure
+  /// detector: a fail-slow node transfers at a fraction of its link rate.
+  double duration_s = 0.0;
+  double expected_s = 0.0;
   [[nodiscard]] std::string_view type() const override { return "gm.migr_done"; }
-  [[nodiscard]] std::size_t wire_size() const override { return 32; }
+  [[nodiscard]] std::size_t wire_size() const override { return 48; }
+};
+
+// --------------------------------------------------------------------------
+// Gray-failure detection
+// --------------------------------------------------------------------------
+
+/// GM -> LC and GL -> GM: latency probe (RPC, idempotent — the canonical
+/// call_with_hedging site). The round-trip time, scored peer-relative,
+/// is the primary fail-slow signal.
+struct ProbeRequest final : net::Message {
+  [[nodiscard]] std::string_view type() const override { return "gray.probe"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 8; }
+};
+
+struct ProbeResponse final : net::Message {
+  [[nodiscard]] std::string_view type() const override { return "gray.probe.r"; }
+  [[nodiscard]] std::size_t wire_size() const override { return 8; }
 };
 
 // --------------------------------------------------------------------------

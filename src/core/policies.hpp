@@ -30,6 +30,10 @@ struct GmInfo {
   /// LC heartbeat age under this GM at summary time. Negative when the GM
   /// reports via full summaries, which do not carry the aggregate.
   double worst_lc_heartbeat_age = -1.0;
+  /// Flagged slow by the GL's peer-relative scorer: dispatch and assignment
+  /// avoid this GM while healthy alternatives exist (it is never declared
+  /// dead — a slow-but-alive leader path must not trigger failover).
+  bool probation = false;
 
   [[nodiscard]] double load_fraction() const {
     const double cap = capacity.l1_norm();
@@ -46,6 +50,9 @@ struct LcInfo {
   ResourceVector estimated_used;  ///< demand estimate from monitoring
   bool powered_on = true;
   bool draining = false;  ///< drained for maintenance: no new placements
+  /// On probation or quarantined by the gray-failure detector: excluded from
+  /// placement and relocation exactly like a draining node.
+  bool probation = false;
   std::uint32_t vm_count = 0;
 
   /// Per-socket shared-resource state from the latest monitor report (empty
@@ -62,7 +69,8 @@ struct LcInfo {
   double worst_penalty = 1.0;
 
   [[nodiscard]] bool fits(const ResourceVector& demand) const {
-    return powered_on && !draining && (reserved + demand).fits_within(capacity);
+    return powered_on && !draining && !probation &&
+           (reserved + demand).fits_within(capacity);
   }
   [[nodiscard]] double utilization() const {
     return estimated_used.max_utilization(capacity);

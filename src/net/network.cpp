@@ -39,9 +39,10 @@ LinkFaults Network::effective_faults(Address from, Address to) const {
   LinkFaults out;
   out.drop = drop_probability_;
   out.reorder_delay = 0.0;
+  out.flaky_latency = 0.0;
   auto fold = [&out](const LinkFaults& f) {
     // Independent loss processes compose; the strongest duplication /
-    // reordering knob wins; latency spikes stack.
+    // reordering / flaky knob wins; latency spikes stack.
     out.drop = 1.0 - (1.0 - out.drop) * (1.0 - f.drop);
     out.duplicate = std::max(out.duplicate, f.duplicate);
     if (f.reorder > out.reorder ||
@@ -50,6 +51,11 @@ LinkFaults Network::effective_faults(Address from, Address to) const {
       out.reorder_delay = f.reorder_delay;
     }
     out.extra_latency += f.extra_latency;
+    if (f.flaky_latency > out.flaky_latency) {
+      out.flaky_latency = f.flaky_latency;
+      out.flaky_start = f.flaky_start;
+      out.flaky_stop = f.flaky_stop;
+    }
   };
   if (const auto it = node_faults_.find(from); it != node_faults_.end()) fold(it->second);
   if (const auto it = node_faults_.find(to); it != node_faults_.end()) fold(it->second);
@@ -136,6 +142,17 @@ bool Network::send(Address from, Address to, MsgPtr msg) {
     // Bounded reordering: hold the message back so later sends overtake it.
     latency += engine_.rng().uniform(0.0, faults.reorder_delay);
   }
+  if (faults.flaky_latency > 0.0) {
+    // Flaky link: advance the per-link burst state one step, then stretch
+    // this message if the link is inside a burst episode.
+    bool& bursting = flaky_bursting_[{from, to}];
+    bursting = bursting ? !engine_.rng().chance(faults.flaky_stop)
+                        : engine_.rng().chance(faults.flaky_start);
+    if (bursting) {
+      latency += engine_.rng().uniform(faults.flaky_latency * 0.5,
+                                       faults.flaky_latency);
+    }
+  }
   const bool duplicated =
       faults.duplicate > 0.0 && engine_.rng().chance(faults.duplicate);
   Envelope env{from, to, msg, msg->ctx, msg->epoch};
@@ -201,6 +218,7 @@ void Network::update_fault_flag() {
 void Network::set_link_faults(Address from, Address to, LinkFaults faults) {
   if (faults.clear()) {
     link_faults_.erase({from, to});
+    flaky_bursting_.erase({from, to});
   } else {
     link_faults_[{from, to}] = faults;
   }
@@ -209,6 +227,7 @@ void Network::set_link_faults(Address from, Address to, LinkFaults faults) {
 
 void Network::clear_link_faults(Address from, Address to) {
   link_faults_.erase({from, to});
+  flaky_bursting_.erase({from, to});
   update_fault_flag();
 }
 
@@ -234,6 +253,7 @@ void Network::clear_node_faults(Address node) {
 void Network::clear_all_faults() {
   link_faults_.clear();
   node_faults_.clear();
+  flaky_bursting_.clear();
   update_fault_flag();
 }
 

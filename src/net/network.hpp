@@ -62,8 +62,18 @@ struct LinkFaults {
   sim::Time reorder_delay = 0.05;  ///< max extra delay when reordered (uniform)
   sim::Time extra_latency = 0.0;   ///< deterministic added latency (spike)
 
+  // Gray-failure knob: a seeded two-state burst process. While a link is
+  // "bursting", every message gets uniform extra latency in
+  // [flaky_latency/2, flaky_latency]; the state machine advances one step per
+  // message (enter with flaky_start, leave with flaky_stop), so a single
+  // fault entry produces correlated latency episodes rather than iid spikes.
+  sim::Time flaky_latency = 0.0;  ///< max burst latency; 0 disables the knob
+  double flaky_start = 0.05;      ///< per-message probability a burst begins
+  double flaky_stop = 0.25;       ///< per-message probability a burst ends
+
   [[nodiscard]] bool clear() const {
-    return drop == 0.0 && duplicate == 0.0 && reorder == 0.0 && extra_latency == 0.0;
+    return drop == 0.0 && duplicate == 0.0 && reorder == 0.0 &&
+           extra_latency == 0.0 && flaky_latency == 0.0;
   }
 };
 
@@ -175,6 +185,10 @@ class Network {
   double drop_probability_ = 0.0;
   std::map<std::pair<Address, Address>, LinkFaults> link_faults_;
   std::map<Address, LinkFaults> node_faults_;
+  /// Burst state of the flaky-link process per directed link. Advanced one
+  /// step per message that crosses a link with flaky_latency > 0; erased
+  /// whenever the faults feeding it are cleared.
+  std::map<std::pair<Address, Address>, bool> flaky_bursting_;
   /// True while any probabilistic fault source is configured; when false,
   /// send() skips the per-message fault fold entirely (the common case on
   /// the 10k-LC scaling path).

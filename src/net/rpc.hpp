@@ -6,11 +6,21 @@
 // with timeouts. Request handlers receive a Responder and may reply
 // immediately or later (e.g. a Group Manager deferring a placement response
 // until a suspended node has been woken up).
+//
+// Gray-failure hardening: multi-attempt calls (retries, hedges) share a call
+// group, so a *slow* reply that arrives after its attempt's soft timeout but
+// before the overall call gave up still wins — it cancels the scheduled
+// retry instead of racing it. call_with_hedging() launches one backup
+// attempt after a p99-derived delay (idempotent call sites only), and a
+// per-destination circuit breaker (closed/open/half-open on consecutive
+// timeouts) lets opted-in callers fail fast at known-bad destinations.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "net/network.hpp"
 #include "sim/actor.hpp"
@@ -71,6 +81,10 @@ struct RetryPolicy {
   /// (an attempt already in flight still runs to its own timeout).
   /// 0 = unbounded (attempts alone limit the sequence).
   sim::Time max_total = 0.0;
+  /// Consult the destination's circuit breaker before each attempt and fail
+  /// fast while it is open. Opt-in: legacy call sites (elections, heartbeat
+  /// companions) keep their exact timing unless they ask for it.
+  bool use_breaker = false;
 
   /// Exponential schedule: delay before the attempt following failed attempt
   /// `attempt` (1-based), base * multiplier^(n-1) plus uniform jitter of up
@@ -80,6 +94,21 @@ struct RetryPolicy {
   /// Decorrelated-jitter schedule: delay after a failed attempt whose own
   /// backoff was `prev` (pass 0 for the first failure).
   [[nodiscard]] sim::Time next_backoff(sim::Time prev, util::Rng& rng) const;
+};
+
+/// Hedge pacing for call_with_hedging().
+struct HedgePolicy {
+  /// Fixed delay before the backup attempt; 0 = derive from the observed
+  /// p99 latency to that destination (clamped to [min_delay, max_delay]).
+  sim::Time hedge_delay = 0.0;
+  sim::Time min_delay = 0.02;
+  sim::Time max_delay = 2.0;
+};
+
+/// Per-destination circuit-breaker knobs (one config per endpoint).
+struct BreakerConfig {
+  int threshold = 5;            ///< consecutive timeouts that open the breaker
+  sim::Time open_duration = 10.0;  ///< open -> half-open after this long
 };
 
 class RpcEndpoint final : public Endpoint {
@@ -103,6 +132,7 @@ class RpcEndpoint final : public Endpoint {
 
   void set_message_handler(MessageHandler handler) { on_oneway_ = std::move(handler); }
   void set_request_handler(RequestHandler handler) { on_request_ = std::move(handler); }
+  void set_breaker_config(BreakerConfig config) { breaker_config_ = config; }
 
   /// Fire-and-forget unicast.
   void send(Address to, MsgPtr msg);
@@ -119,9 +149,24 @@ class RpcEndpoint final : public Endpoint {
   /// callback fires exactly once, with the first successful reply or the
   /// final timeout. Replies — including explicit rejections — never trigger
   /// a retry; only transport-level timeouts do, so request handlers must
-  /// stay idempotent under duplicated requests.
+  /// stay idempotent under duplicated requests. A reply that arrives after
+  /// its own attempt timed out but before the overall call resolved still
+  /// completes the call and cancels the pending retry (slow != lost).
   void call_with_retries(Address to, MsgPtr request, sim::Time timeout,
                          RetryPolicy policy, ReplyCallback cb);
+
+  /// Tail-latency hedging: send the request, and if no reply lands within
+  /// the hedge delay, send one backup copy of the same request to the same
+  /// destination. First reply wins; the caller sees exactly one callback.
+  /// Only valid for idempotent requests (probes, monitor pulls, summary
+  /// fetches) — the destination may execute the request twice.
+  void call_with_hedging(Address to, MsgPtr request, sim::Time timeout,
+                         HedgePolicy policy, ReplyCallback cb);
+
+  /// Circuit-breaker state for `to` (consulted by opted-in retry calls).
+  [[nodiscard]] bool breaker_open(Address to) const;
+  /// Cumulative seconds any of this endpoint's breakers spent open.
+  [[nodiscard]] double breaker_open_seconds() const;
 
   /// Simulate a process crash: detach from the network and drop all pending
   /// calls *without* firing their callbacks (the process is gone).
@@ -134,15 +179,59 @@ class RpcEndpoint final : public Endpoint {
 
  private:
   struct PendingCall {
-    ReplyCallback cb;
+    ReplyCallback cb;             ///< set for plain call(); empty when grouped
     sim::EventId timeout_event = 0;
     telemetry::SpanContext span;  ///< per-attempt rpc span (invalid if untraced)
     sim::Time started = 0.0;
+    Address to = kNullAddress;
+    std::uint64_t group = 0;  ///< call-group id; 0 = plain single-shot call
+    bool timed_out = false;   ///< soft timeout fired, reply may still win
+  };
+
+  /// One logical multi-attempt call (retry sequence or hedge pair). The
+  /// group owns the user callback; completion (first reply, final timeout,
+  /// breaker fast-fail) fires it exactly once and reaps every attempt.
+  struct CallGroup {
+    ReplyCallback cb;
+    Address to = kNullAddress;
+    std::vector<std::uint64_t> attempts;  ///< outstanding attempt rpc ids
+    sim::EventId pending_event = 0;       ///< scheduled retry / hedge launch
+    bool hedged = false;
+    std::uint64_t primary = 0;  ///< first attempt id (hedge accounting)
+  };
+
+  /// Latency history + breaker state for one destination.
+  struct DestStats {
+    static constexpr std::size_t kRing = 32;
+    std::array<float, kRing> latency{};
+    std::size_t count = 0;  ///< total samples (ring index = count % kRing)
+    int consecutive_timeouts = 0;
+    enum class Breaker { kClosed, kOpen, kHalfOpen } breaker = Breaker::kClosed;
+    sim::Time open_until = 0.0;
+    sim::Time opened_at = 0.0;
   };
 
   void attempt_call(Address to, MsgPtr request, sim::Time timeout,
                     const RetryPolicy& policy, int attempt, sim::Time prev_backoff,
-                    sim::Time deadline, ReplyCallback cb);
+                    sim::Time deadline, std::uint64_t group_id);
+  /// Send one grouped attempt; `on_timeout` runs at its soft timeout (the
+  /// pending entry stays alive so a late reply can still win the group).
+  std::uint64_t send_attempt(Address to, const MsgPtr& request, sim::Time timeout,
+                             std::uint64_t group_id, std::function<void()> on_timeout);
+  /// Resolve a call group exactly once and reap its outstanding attempts.
+  void complete_group(std::uint64_t group_id, bool ok, const MsgPtr& reply,
+                      std::uint64_t winner);
+  /// Fail the group if every attempt timed out and nothing else is scheduled.
+  void finish_if_exhausted(std::uint64_t group_id);
+  /// Fire `cb(false, nullptr)` asynchronously (breaker fast-fail path).
+  void fail_async(ReplyCallback cb);
+
+  [[nodiscard]] sim::Time hedge_delay(Address to, const HedgePolicy& policy) const;
+  /// True when the breaker permits an attempt now (may transition to
+  /// half-open as a side effect).
+  bool breaker_allows(Address to);
+  void note_reply(Address to, sim::Time latency);
+  void note_timeout(Address to);
 
   sim::Engine& engine_;
   Network& network_;
@@ -150,7 +239,12 @@ class RpcEndpoint final : public Endpoint {
   std::string name_;
   bool up_ = true;
   std::uint64_t next_rpc_id_ = 1;
+  std::uint64_t next_group_id_ = 1;
   std::unordered_map<std::uint64_t, PendingCall> pending_;
+  std::unordered_map<std::uint64_t, CallGroup> groups_;
+  std::unordered_map<Address, DestStats> dest_stats_;
+  BreakerConfig breaker_config_;
+  double breaker_open_s_ = 0.0;
   std::shared_ptr<bool> alive_;
   MessageHandler on_oneway_;
   RequestHandler on_request_;

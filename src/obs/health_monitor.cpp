@@ -63,8 +63,12 @@ HealthMonitor::HealthMonitor(core::SnoozeSystem& system, std::size_t max_rows)
   col_.slo_flaps = store_.add_column("slo.flaps_per_hour");
   col_.interference_p99 = store_.add_column("interference.p99_penalty");
   col_.degraded_vm_s = store_.add_column("interference.degraded_vm_s");
-  col_.summary_bytes_per_lc = store_.add_column("summary.bytes_per_lc_period");
+  col_.summary_bytes_per_gm = store_.add_column("summary.bytes_per_gm_period");
   col_.summary_staleness = store_.add_column("summary.staleness_s");
+  col_.gray_slow_nodes = store_.add_column("gray.slow_nodes");
+  col_.gray_quarantined = store_.add_column("gray.quarantined");
+  col_.rpc_hedges_won = store_.add_column("rpc.hedges_won");
+  col_.breaker_open_s = store_.add_column("breaker.open_s");
 }
 
 void HealthMonitor::start() {
@@ -196,34 +200,59 @@ void HealthMonitor::sample_now() {
   last_sample_time_ = now;
 
   // --- summary protocol (delta-summary deployments only) -------------------
-  // Bytes per LC per summary period over the trailing rate window, and the
-  // stalest GM summary at the acting GL. Both NaN in full-summary mode so
-  // pre-delta deployments evaluate (and alert) exactly as before.
-  double summary_bytes_per_lc = kNaN;
+  // Bytes per summary-sending GM per period over the trailing rate window,
+  // and the stalest GM summary at the acting GL. Both NaN in full-summary
+  // mode so pre-delta deployments evaluate (and alert) exactly as before.
+  // Normalized per sender, not per LC: a converged delta stream costs one
+  // near-empty header per GM per period whatever the fleet shape, so the
+  // same threshold works for a 4-LC test cluster and a 200-LC production
+  // shape.
+  double summary_bytes_per_gm = kNaN;
   double summary_staleness = kNaN;
   if (system_.spec().config.delta_summaries) {
     double total_bytes = 0.0;
+    double senders = 0.0;
     for (const auto& gm : system_.group_managers()) {
       total_bytes += static_cast<double>(gm->counters().summary_bytes_sent);
       if (gm->is_leader()) {
         const double s = gm->summary_staleness();
         if (s >= 0.0) summary_staleness = s;
+      } else if (gm->alive()) {
+        ++senders;
       }
     }
     while (!summary_bytes_window_.empty() &&
            now - summary_bytes_window_.front().time > kRateWindow) {
       summary_bytes_window_.erase(summary_bytes_window_.begin());
     }
-    if (!summary_bytes_window_.empty() && assigned > 0.0) {
+    if (!summary_bytes_window_.empty() && senders > 0.0) {
       const BytesSample& oldest = summary_bytes_window_.front();
       if (now > oldest.time) {
         const double rate = (total_bytes - oldest.bytes) / (now - oldest.time);
-        summary_bytes_per_lc =
-            rate * system_.spec().config.gm_summary_period / assigned;
+        summary_bytes_per_gm =
+            rate * system_.spec().config.gm_summary_period / senders;
       }
     }
     summary_bytes_window_.push_back({now, total_bytes});
   }
+
+  // --- gray-failure detection ----------------------------------------------
+  // Slow nodes = LCs held on probation or in quarantine by their GM, plus GMs
+  // the acting GL flags (read-only state, so sampling stays deterministic).
+  double gray_slow = 0.0, gray_quarantined = 0.0, breaker_open_s = 0.0;
+  for (const auto& gm : system_.group_managers()) {
+    gray_slow += static_cast<double>(gm->probation_count() + gm->quarantined_count());
+    gray_quarantined += static_cast<double>(gm->quarantined_count());
+    if (gm->is_leader()) gray_slow += static_cast<double>(gm->gm_probation_count());
+    breaker_open_s += gm->breaker_open_seconds();
+  }
+  double hedges_won = 0.0;
+  if (const telemetry::Counter* c =
+          system_.telemetry().metrics().find_counter("rpc.hedges_won")) {
+    hedges_won = static_cast<double>(c->value());
+  }
+  telemetry::gauge_set(&system_.telemetry(), "gray.slow_nodes", gray_slow);
+  telemetry::gauge_set(&system_.telemetry(), "gray.quarantined", gray_quarantined);
 
   // --- latency percentiles --------------------------------------------------
   double p50 = kNaN, p99 = kNaN;
@@ -263,8 +292,12 @@ void HealthMonitor::sample_now() {
       flap_window > 0.0 ? slo_.flaps_in_window(now) * 3600.0 / flap_window : 0.0;
   row[col_.interference_p99] = interference_p99;
   row[col_.degraded_vm_s] = degraded_vm_s_accum_;
-  row[col_.summary_bytes_per_lc] = summary_bytes_per_lc;
+  row[col_.summary_bytes_per_gm] = summary_bytes_per_gm;
   row[col_.summary_staleness] = summary_staleness;
+  row[col_.gray_slow_nodes] = gray_slow;
+  row[col_.gray_quarantined] = gray_quarantined;
+  row[col_.rpc_hedges_won] = hedges_won;
+  row[col_.breaker_open_s] = breaker_open_s;
   store_.append_row(now, row);
 
   evaluate_slos(now);
@@ -308,8 +341,8 @@ void HealthMonitor::evaluate_slos(double now) {
        cfg.interference_p99_penalty_max},
       {"submit_p50", store_.latest(col_.submit_p50), cfg.submit_p50_max_s},
       {"submit_p99", store_.latest(col_.submit_p99), cfg.submit_p99_max_s},
-      {"summary_bytes_per_lc", store_.latest(col_.summary_bytes_per_lc),
-       cfg.summary_bytes_per_lc_period_max},
+      {"summary_bytes_per_gm", store_.latest(col_.summary_bytes_per_gm),
+       cfg.summary_bytes_per_gm_period_max},
       {"summary_staleness", store_.latest(col_.summary_staleness),
        cfg.summary_staleness_max_s},
   };
@@ -391,11 +424,18 @@ std::string HealthMonitor::top(std::size_t n) const {
   });
   if (n != 0 && nodes.size() > n) nodes.resize(n);
 
-  util::Table table(
-      {"node", "power", "vms", "util", "sock_util", "penalty", "hb_age", "energy_j"});
+  util::Table table({"node", "power", "vms", "util", "sock_util", "penalty", "gray",
+                     "hb_age", "energy_j"});
   for (const Node& node : nodes) {
     const core::LocalController& lc = *node.lc;
     const bool alive = lc.alive();
+    std::string gray = "-";
+    for (const auto& gm : system_.group_managers()) {
+      const int health = gm->lc_health_of(lc.address());
+      if (health < 0) continue;
+      gray = health == 0 ? "ok" : health == 1 ? "probation" : "quarantine";
+      break;
+    }
     std::string sock_util = "-";
     std::string penalty = "-";
     if (alive) {
@@ -413,7 +453,8 @@ std::string HealthMonitor::top(std::size_t n) const {
     table.add_row({lc.name(), alive ? power_state_name(lc.power_state()) : "dead",
                    std::to_string(node.vms),
                    alive ? util::Table::pct(lc.host().utilization(now)) : "-", sock_util,
-                   penalty, alive ? util::Table::num(lc.gm_heartbeat_age(now), 2) : "-",
+                   penalty, gray,
+                   alive ? util::Table::num(lc.gm_heartbeat_age(now), 2) : "-",
                    util::Table::num(node.energy, 0)});
   }
   return table.to_string();

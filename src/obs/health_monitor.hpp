@@ -25,12 +25,19 @@
 //                         running VMs; NaN while none report
 //   degraded_vm_rate      degraded-VM-seconds accumulated per minute over a
 //                         trailing 60 s window
-//   summary_bytes_per_lc  GM->GL summary bytes per LC per summary period over
-//                         a trailing 60 s window; NaN until delta summaries
-//                         are enabled (full-summary deployments keep their
-//                         golden traces bit-for-bit)
+//   summary_bytes_per_gm  GM->GL summary bytes per sending (alive, non-GL) GM
+//                         per summary period over a trailing 60 s window; NaN
+//                         until delta summaries are enabled (full-summary
+//                         deployments keep their golden traces bit-for-bit)
 //   summary_staleness     age of the stalest GM summary at the acting GL (s);
 //                         NaN without delta summaries or without a leader
+//   gray.slow_nodes       nodes currently flagged slow: LCs on probation or in
+//                         quarantine (summed over GMs) + GMs the GL flags
+//   gray.quarantined      LCs currently quarantined (evacuated + suspended)
+//   rpc.hedges_won        cumulative hedged calls where the backup beat the
+//                         primary (telemetry registry)
+//   breaker.open_s        cumulative circuit-breaker open seconds across GM
+//                         endpoints
 #pragma once
 
 #include <cstdint>
@@ -107,7 +114,8 @@ class HealthMonitor final : public sim::Actor {
     std::size_t placements, migrations, submits, fence_rejected;
     std::size_t mttr_s, failovers, submit_p50, submit_p99, slo_firing, slo_flaps;
     std::size_t interference_p99, degraded_vm_s;
-    std::size_t summary_bytes_per_lc, summary_staleness;
+    std::size_t summary_bytes_per_gm, summary_staleness;
+    std::size_t gray_slow_nodes, gray_quarantined, rpc_hedges_won, breaker_open_s;
   } col_{};
 
   /// Trailing-window state of the summary-bytes SLI: (time, cumulative GM

@@ -268,8 +268,17 @@ void RollingUpgrade::step_settling() {
 }
 
 void RollingUpgrade::roll_back() {
-  const Wave& wave = waves_[wave_index_];
   ++rollbacks_;
+  if (phase_ == Phase::kGate) {
+    // Paused at the wave gate: begin_wave() has not run yet, so no node of
+    // this wave was drained or restarted — nothing to undo (wave_node_done_
+    // still describes the previous wave, or is empty on the first).
+    trace_event("ops.upgrade_rolled_back",
+                "wave=" + std::to_string(wave_index_ + 1) + " nodes=0");
+    state_ = UpgradeState::kRolledBack;
+    return;
+  }
+  const Wave& wave = waves_[wave_index_];
   trace_event("ops.upgrade_rolled_back",
               "wave=" + std::to_string(wave_index_ + 1) +
                   " nodes=" + std::to_string(wave.nodes.size()));

@@ -42,58 +42,96 @@ TEST(ScheduleGenerator, ProducesFaultsAtDefaultRate) {
   EXPECT_FALSE(schedule.actions.empty());
 }
 
+// Audit that every fault window a schedule opens is closed by the horizon.
+// Crash/isolate/slow/steal windows pair through ids; link/flaky windows pair
+// through their endpoint quadruple; global loss closes with a drop-0 action.
+void audit_window_pairing(const FaultSchedule& schedule, std::uint64_t seed) {
+  std::map<int, const FaultAction*> open;
+  std::multimap<std::array<int, 4>, const FaultAction*> open_links;
+  auto link_key = [](const FaultAction& a) {
+    return std::array<int, 4>{static_cast<int>(a.role), a.index,
+                              static_cast<int>(a.role2), a.index2};
+  };
+  double last_global_drop = 0.0;
+  for (const auto& action : schedule.actions) {
+    EXPECT_LE(action.at, schedule.duration) << "seed " << seed;
+    switch (action.kind) {
+      case ActionKind::kCrash:
+      case ActionKind::kIsolate:
+      case ActionKind::kSlow:
+      case ActionKind::kSteal:
+        ASSERT_NE(action.pair, 0) << "seed " << seed << ": unpaired window";
+        open[action.pair] = &action;
+        break;
+      case ActionKind::kRecover:
+      case ActionKind::kHeal:
+      case ActionKind::kUnslow:
+      case ActionKind::kUnsteal: {
+        const auto it = open.find(action.pair);
+        ASSERT_NE(it, open.end()) << "seed " << seed << ": close without open";
+        // A window never closes before it opened.
+        EXPECT_GE(action.at, it->second->at) << "seed " << seed;
+        open.erase(it);
+        break;
+      }
+      case ActionKind::kLink:
+      case ActionKind::kFlaky:
+        open_links.emplace(link_key(action), &action);
+        break;
+      case ActionKind::kUnlink:
+      case ActionKind::kUnflaky: {
+        const auto it = open_links.find(link_key(action));
+        ASSERT_NE(it, open_links.end())
+            << "seed " << seed << ": unlink without link";
+        EXPECT_GE(action.at, it->second->at) << "seed " << seed;
+        open_links.erase(it);
+        break;
+      }
+      case ActionKind::kGlobalDrop:
+        last_global_drop = action.drop;
+        break;
+      case ActionKind::kHealAll:
+        break;
+    }
+  }
+  EXPECT_TRUE(open.empty()) << "seed " << seed << ": window never healed";
+  EXPECT_TRUE(open_links.empty()) << "seed " << seed << ": link never unfaulted";
+  EXPECT_EQ(last_global_drop, 0.0) << "seed " << seed << ": loss left on";
+}
+
 TEST(ScheduleGenerator, EveryWindowHealsWithinTheHorizon) {
   const ChaosSpec spec;
   for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    audit_window_pairing(generate_schedule(spec, Topology{}, seed), seed);
+  }
+}
+
+TEST(ScheduleGenerator, GrayWindowsPairAndHealToo) {
+  ChaosSpec spec;
+  spec.weight_slow = 2.0;
+  spec.weight_steal = 2.0;
+  spec.weight_flaky = 2.0;
+  bool saw_gray = false;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
     const auto schedule = generate_schedule(spec, Topology{}, seed);
-    // Crash/isolate windows pair through ids; link windows pair through their
-    // endpoint quadruple; global loss closes with an explicit drop-0 action.
-    std::map<int, const FaultAction*> open;
-    std::multimap<std::array<int, 4>, const FaultAction*> open_links;
-    auto link_key = [](const FaultAction& a) {
-      return std::array<int, 4>{static_cast<int>(a.role), a.index,
-                                static_cast<int>(a.role2), a.index2};
-    };
-    double last_global_drop = 0.0;
-    for (const auto& action : schedule.actions) {
-      EXPECT_LE(action.at, schedule.duration) << "seed " << seed;
-      switch (action.kind) {
-        case ActionKind::kCrash:
-        case ActionKind::kIsolate:
-          ASSERT_NE(action.pair, 0) << "seed " << seed << ": unpaired window";
-          open[action.pair] = &action;
-          break;
-        case ActionKind::kRecover:
-        case ActionKind::kHeal: {
-          const auto it = open.find(action.pair);
-          ASSERT_NE(it, open.end()) << "seed " << seed << ": close without open";
-          // A window never closes before it opened.
-          EXPECT_GE(action.at, it->second->at) << "seed " << seed;
-          open.erase(it);
-          break;
-        }
-        case ActionKind::kLink:
-          open_links.emplace(link_key(action), &action);
-          break;
-        case ActionKind::kUnlink: {
-          const auto it = open_links.find(link_key(action));
-          ASSERT_NE(it, open_links.end())
-              << "seed " << seed << ": unlink without link";
-          EXPECT_GE(action.at, it->second->at) << "seed " << seed;
-          open_links.erase(it);
-          break;
-        }
-        case ActionKind::kGlobalDrop:
-          last_global_drop = action.drop;
-          break;
-        case ActionKind::kHealAll:
-          break;
+    audit_window_pairing(schedule, seed);
+    for (const auto& a : schedule.actions) {
+      if (a.kind == ActionKind::kSlow) {
+        EXPECT_GT(a.severity, 1.0) << "seed " << seed;
+        EXPECT_LE(a.severity, spec.max_slow_factor) << "seed " << seed;
+        saw_gray = true;
+      } else if (a.kind == ActionKind::kSteal) {
+        EXPECT_EQ(a.role, NodeRole::kLc) << "seed " << seed;
+        EXPECT_GT(a.severity, 0.0) << "seed " << seed;
+        EXPECT_LE(a.severity, spec.max_steal_frac) << "seed " << seed;
+        saw_gray = true;
+      } else if (a.kind == ActionKind::kFlaky) {
+        EXPECT_GT(a.faults.flaky_latency, 0.0) << "seed " << seed;
+        saw_gray = true;
       }
     }
-    EXPECT_TRUE(open.empty()) << "seed " << seed << ": window never healed";
-    EXPECT_TRUE(open_links.empty()) << "seed " << seed << ": link never unfaulted";
-    EXPECT_EQ(last_global_drop, 0.0) << "seed " << seed << ": loss left on";
   }
+  EXPECT_TRUE(saw_gray) << "gray weights produced no gray faults in 10 seeds";
 }
 
 TEST(ScheduleGenerator, RespectsCrashFloors) {
@@ -178,6 +216,63 @@ TEST(Script, RejectsBadNumbers) {
                std::runtime_error);
   EXPECT_THROW((void)parse_script("duration 60\n5 link gm 0 lc 1 drop=lots\n"),
                std::runtime_error);
+}
+
+TEST(Script, ParsesGrayFaults) {
+  const auto schedule = parse_script(
+      "duration 80\n"
+      "5 slow lc 2 factor=3.5 #1\n"
+      "30 unslow #1\n"
+      "10 slow gm 1 factor=2\n"
+      "35 unslow gm 1\n"
+      "15 steal lc 4 frac=0.4 #2\n"
+      "40 unsteal #2\n"
+      "20 flaky gm 0 lc 3 lat=0.3 start=0.1 stop=0.5\n"
+      "45 unflaky gm 0 lc 3\n");
+  ASSERT_EQ(schedule.actions.size(), 8u);
+  const auto& slow = schedule.actions[0];
+  EXPECT_EQ(slow.kind, ActionKind::kSlow);
+  EXPECT_EQ(slow.role, NodeRole::kLc);
+  EXPECT_EQ(slow.index, 2);
+  EXPECT_DOUBLE_EQ(slow.severity, 3.5);
+  EXPECT_EQ(slow.pair, 1);
+  const auto& steal = schedule.actions[2];
+  EXPECT_EQ(steal.kind, ActionKind::kSteal);
+  EXPECT_DOUBLE_EQ(steal.severity, 0.4);
+  const auto& flaky = schedule.actions[3];
+  EXPECT_EQ(flaky.kind, ActionKind::kFlaky);
+  EXPECT_DOUBLE_EQ(flaky.faults.flaky_latency, 0.3);
+  EXPECT_DOUBLE_EQ(flaky.faults.flaky_start, 0.1);
+  EXPECT_DOUBLE_EQ(flaky.faults.flaky_stop, 0.5);
+  // And the gray verbs round-trip through to_script() like everything else.
+  EXPECT_EQ(parse_script(schedule.to_script()).to_script(), schedule.to_script());
+}
+
+TEST(Script, GrayFaultErrorsCarryLineNumbers) {
+  const struct {
+    const char* script;
+    const char* expect;  ///< substring of the error message
+  } cases[] = {
+      {"duration 60\n5 slow lc 0\n", "slow needs factor=<value>"},
+      {"duration 60\n5 slow lc 0 factor=0.5\n", "slow factor must be > 1"},
+      {"duration 60\n5 slow ep 0 factor=2\n", "slow only applies to gm/lc"},
+      {"duration 60\n5 steal gm 0 frac=0.3\n", "steal only applies to lc"},
+      {"duration 60\n5 steal lc 0 frac=1.5\n", "steal fraction must be in (0,1)"},
+      {"duration 60\n5 flaky gm 0 lc 1 start=0.1\n", "flaky needs lat=<seconds>"},
+      {"duration 60\n5 flaky gm 0 lc 1 lat=0.3 wobble=2\n", "unknown flaky knob"},
+      {"duration 60\n5 flaky gm 0 lc 1 lat=0.3 start=2\n",
+       "flaky start must be in (0,1]"},
+  };
+  for (const auto& c : cases) {
+    try {
+      (void)parse_script(c.script);
+      FAIL() << "expected parse error for: " << c.script;
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+      EXPECT_NE(what.find(c.expect), std::string::npos) << what;
+    }
+  }
 }
 
 // --- Invariant checker actually catches violations ---------------------------

@@ -172,6 +172,29 @@ const Scenario kScenarios[] = {
      "8 isolate gm 1 #1\n"
      "20 heal #1\n",
      [](chaos::ChaosRunConfig& cfg) { cfg.config.delta_summaries = true; }},
+    // Full-summary compatibility: delta summaries are the default now, so
+    // this scenario pins the legacy full-summary protocol (the paper's
+    // original GM->GL stream) under a GM crash. Guards the non-delta path
+    // from bit-rot while every other golden runs the delta stream.
+    {"full_summary_small", 1818, {2, 6, 1}, 6,
+     "duration 40\n"
+     "6 crash gm 1 #1\n"
+     "22 recover #1\n",
+     [](chaos::ChaosRunConfig& cfg) { cfg.config.delta_summaries = false; }},
+    // Gray failure: one LC turns fail-slow (keeps heartbeating, serves 4x
+    // slower), a second loses CPU to steal, and one GM->LC link goes flaky.
+    // Pins the whole detection -> containment -> reinstatement event order:
+    // gm.lc_slow_flagged, gm.lc_probation, gm.lc_quarantined (evacuate +
+    // suspend), and gm.lc_reinstated after the faults lift — with zero
+    // leadership churn (slow != dead).
+    {"gray_failslow_ladder", 1919, {2, 8, 1}, 6,
+     "duration 240\n"
+     "5 slow lc 1 factor=4 #1\n"
+     "110 unslow #1\n"
+     "12 steal lc 5 frac=0.5 #2\n"
+     "110 unsteal #2\n"
+     "20 flaky gm 0 lc 3 lat=0.2\n"
+     "90 unflaky gm 0 lc 3\n"},
     // Capacity-only fallback: the interference-aware placement policy on a
     // profile-less workload must degrade to pure capacity scoring (every
     // predicted penalty is zero, the residual-capacity tiebreak decides).

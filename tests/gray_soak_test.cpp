@@ -1,0 +1,59 @@
+// 50-seed fail-slow soak: random gray-fault schedules (service stretch, CPU
+// steal, flaky links — no crashes) on the default cluster. Every run must
+// hold the invariants and reconverge, and the containment ladder must be
+// well-behaved: no quarantine flaps (a node bouncing healthy<->quarantined),
+// and — since nothing ever dies — no leadership churn: a slow-but-alive node
+// must never trigger a spurious election.
+//
+// Lives in its own binary, labeled `soak` in ctest, so the tier-1 suite
+// (`ctest -LE soak`) stays fast while CI runs the sweep in a dedicated step.
+#include <gtest/gtest.h>
+
+#include "chaos/runner.hpp"
+
+namespace {
+
+using namespace snooze;
+using namespace snooze::chaos;
+
+ChaosSpec gray_only_spec() {
+  ChaosSpec spec;
+  spec.weight_crash_gl = 0.0;
+  spec.weight_crash_gm = 0.0;
+  spec.weight_crash_lc = 0.0;
+  spec.weight_crash_ep = 0.0;
+  spec.weight_isolate = 0.0;
+  spec.weight_link = 0.0;
+  spec.weight_global_drop = 0.0;
+  spec.weight_slow = 2.0;
+  spec.weight_steal = 1.0;
+  spec.weight_flaky = 1.0;
+  return spec;
+}
+
+TEST(GraySoak, FiftySeedsFailSlowOnly) {
+  std::uint64_t total_flags = 0;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    ChaosRunConfig cfg;
+    cfg.seed = seed;
+    cfg.spec = gray_only_spec();
+    const auto result = run_chaos(cfg);
+    EXPECT_TRUE(result.converged) << "seed " << seed << ":\n" << result.report;
+    EXPECT_TRUE(result.invariants_ok) << "seed " << seed << ":\n" << result.report;
+    // Containment hysteresis: a reinstated node must not bounce straight
+    // back into quarantine within the run.
+    EXPECT_EQ(result.quarantine_flaps, 0u)
+        << "seed " << seed << ": quarantine flapped\n" << result.report;
+    // Nothing crashed and nothing was partitioned, so leadership must be
+    // rock-steady no matter how slow individual nodes got.
+    EXPECT_EQ(result.stepdowns, 0u)
+        << "seed " << seed << ": slow-but-alive node caused an election\n"
+        << result.report;
+    total_flags += result.slow_flags;
+  }
+  // Across 50 seeds of dedicated gray schedules the detector must actually
+  // fire somewhere — a sweep that never flags anything tests nothing.
+  EXPECT_GT(total_flags, 0u) << "detector never fired across the whole sweep";
+}
+
+}  // namespace

@@ -708,6 +708,166 @@ TEST_F(RpcTest, DeadlineUnsetKeepsLegacyAttemptCount) {
   EXPECT_GE(engine.now(), 5.5);
 }
 
+// --- Late replies vs pending retries (fail-slow, not fail-stop) ---------------
+
+TEST_F(RpcTest, LateReplyWinsOverPendingRetry) {
+  // The server is slow, not dead: it replies after the soft timeout but
+  // before the scheduled retry fires. The late reply must complete the call
+  // (ok=true) and cancel the retry — racing a duplicate attempt against a
+  // reply that is already in flight is exactly the gray-failure bug.
+  std::optional<net::Responder> held;
+  int handled = 0;
+  server.set_request_handler([&](const Envelope&, net::Responder r) {
+    ++handled;
+    held = r;
+  });
+  engine.schedule(1.5, [&] {
+    ASSERT_TRUE(held.has_value());
+    held->respond(std::make_shared<Pong>());
+  });
+  net::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff = 1.0;  // retry would launch at t = 2.0
+  int callbacks = 0;
+  std::optional<bool> result;
+  double done_at = 0.0;
+  client.call_with_retries(server.address(), ping(), 1.0, policy,
+                           [&](bool ok, const MsgPtr&) {
+                             ++callbacks;
+                             result = ok;
+                             done_at = engine.now();
+                           });
+  engine.run();
+  EXPECT_EQ(result, true);
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(handled, 1) << "the pending retry fired despite the reply";
+  EXPECT_LT(done_at, 2.0);  // completed on the late reply, not the retry
+}
+
+// --- Hedged calls --------------------------------------------------------------
+
+TEST_F(RpcTest, HedgeBackupWinsWhenPrimaryStalls) {
+  int handled = 0;
+  server.set_request_handler([&](const Envelope&, net::Responder r) {
+    ++handled;
+    // The first copy stalls forever; the backup is answered immediately.
+    if (handled == 2) r.respond(std::make_shared<Pong>());
+  });
+  net::HedgePolicy policy;
+  policy.hedge_delay = 0.5;
+  int callbacks = 0;
+  std::optional<bool> result;
+  double done_at = 0.0;
+  client.call_with_hedging(server.address(), ping(), 5.0, policy,
+                           [&](bool ok, const MsgPtr&) {
+                             ++callbacks;
+                             result = ok;
+                             done_at = engine.now();
+                           });
+  engine.run();
+  EXPECT_EQ(result, true);
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(handled, 2) << "no backup copy was sent";
+  // The backup launched at the hedge delay and won well before the timeout.
+  EXPECT_GT(done_at, 0.5);
+  EXPECT_LT(done_at, 1.0);
+}
+
+TEST_F(RpcTest, FastPrimarySuppressesTheHedge) {
+  int handled = 0;
+  server.set_request_handler([&](const Envelope&, net::Responder r) {
+    ++handled;
+    r.respond(std::make_shared<Pong>());
+  });
+  net::HedgePolicy policy;
+  policy.hedge_delay = 0.5;
+  std::optional<bool> result;
+  client.call_with_hedging(server.address(), ping(), 5.0, policy,
+                           [&](bool ok, const MsgPtr&) { result = ok; });
+  engine.run();
+  EXPECT_EQ(result, true);
+  EXPECT_EQ(handled, 1) << "a backup was sent although the primary was fast";
+}
+
+TEST_F(RpcTest, HedgeTimesOutOnceWhenBothCopiesDie) {
+  server.go_down();
+  net::HedgePolicy policy;
+  policy.hedge_delay = 0.2;
+  int callbacks = 0;
+  std::optional<bool> result;
+  client.call_with_hedging(server.address(), ping(), 1.0, policy,
+                           [&](bool ok, const MsgPtr&) {
+                             ++callbacks;
+                             result = ok;
+                           });
+  engine.run();
+  EXPECT_EQ(result, false);
+  EXPECT_EQ(callbacks, 1);
+}
+
+// --- Circuit breaker ------------------------------------------------------------
+
+TEST_F(RpcTest, BreakerOpensFastFailsAndRecloses) {
+  server.set_request_handler([](const Envelope&, net::Responder r) {
+    r.respond(std::make_shared<Pong>());
+  });
+  server.go_down();
+  net::BreakerConfig breaker;
+  breaker.threshold = 2;
+  breaker.open_duration = 5.0;
+  client.set_breaker_config(breaker);
+  net::RetryPolicy policy;
+  policy.max_attempts = 1;
+  policy.use_breaker = true;
+  std::vector<double> fail_times;
+  auto failing_call = [&] {
+    client.call_with_retries(server.address(), ping(), 0.5, policy,
+                             [&](bool ok, const MsgPtr&) {
+                               EXPECT_FALSE(ok);
+                               fail_times.push_back(engine.now());
+                             });
+  };
+  failing_call();                       // times out at 0.5 (1st consecutive)
+  engine.schedule(1.0, failing_call);   // times out at 1.5 -> breaker opens
+  engine.schedule(2.0, failing_call);   // open -> fast fail, no 0.5 s wait
+  engine.schedule(6.0, [&] { server.go_up(); });
+  std::optional<bool> final_ok;
+  engine.schedule(8.0, [&] {  // past open_duration: half-open probe succeeds
+    client.call_with_retries(server.address(), ping(), 0.5, policy,
+                             [&](bool ok, const MsgPtr&) { final_ok = ok; });
+  });
+  engine.run();
+  ASSERT_EQ(fail_times.size(), 3u);
+  EXPECT_LT(fail_times[2], 2.4) << "open breaker did not fail fast";
+  EXPECT_EQ(final_ok, true);
+  EXPECT_FALSE(client.breaker_open(server.address()));
+  EXPECT_GT(client.breaker_open_seconds(), 0.0);
+}
+
+TEST_F(RpcTest, BreakerIsOptIn) {
+  // Without use_breaker the same consecutive-timeout pattern never fast-fails:
+  // legacy call sites keep their exact timing.
+  server.go_down();
+  net::BreakerConfig breaker;
+  breaker.threshold = 2;
+  client.set_breaker_config(breaker);
+  net::RetryPolicy policy;
+  policy.max_attempts = 1;
+  std::vector<double> fail_times;
+  auto failing_call = [&] {
+    client.call_with_retries(server.address(), ping(), 0.5, policy,
+                             [&](bool, const MsgPtr&) {
+                               fail_times.push_back(engine.now());
+                             });
+  };
+  failing_call();
+  engine.schedule(1.0, failing_call);
+  engine.schedule(2.0, failing_call);
+  engine.run();
+  ASSERT_EQ(fail_times.size(), 3u);
+  EXPECT_DOUBLE_EQ(fail_times[2], 2.5);  // full timeout, no fast fail
+}
+
 TEST(RetryPolicy, BackoffGrowsExponentiallyAndClamps) {
   util::Rng rng(1);
   net::RetryPolicy policy;
