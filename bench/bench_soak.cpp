@@ -40,6 +40,7 @@
 #include "chaos/schedule.hpp"
 #include "core/snooze.hpp"
 #include "obs/health_monitor.hpp"
+#include "obs/incident.hpp"
 #include "ops/autoscaler.hpp"
 #include "ops/upgrade.hpp"
 #include "util/args.hpp"
@@ -313,6 +314,35 @@ int main(int argc, char** argv) {
   std::printf("energy: %.0f J/VM-h mid-run, %.0f at end (drift %.1f%%)\n\n",
               energy_mid, energy_end, 100.0 * energy_drift);
 
+  // --- incident digest -------------------------------------------------------
+  // Offline pass over the retained trace tail: every episode the day produced,
+  // and — the gate — every invariant breach must sit in an episode with at
+  // least one root-cause hypothesis. A breach nobody can attribute means the
+  // evidence chain has a hole.
+  obs::AddressNames names;
+  for (const auto& gm : system.group_managers()) names[gm->address()] = gm->name();
+  for (const auto& lc : system.local_controllers()) names[lc->address()] = lc->name();
+  const obs::IncidentReport incidents = obs::analyze_incidents(
+      system.trace().records(), &system.telemetry().spans(),
+      system.engine().now(), names);
+  std::size_t incident_hypotheses = 0;
+  std::size_t unattributed_breaches = 0;
+  for (const auto& ep : incidents.episodes) {
+    incident_hypotheses += ep.hypotheses.size();
+    for (const auto& e : ep.evidence) {
+      if (e.kind == "invariant.violation" && ep.hypotheses.empty()) {
+        ++unattributed_breaches;
+      }
+    }
+  }
+  std::printf("incidents: %zu episodes, %zu hypotheses, %zu unattributed "
+              "invariant breaches\n",
+              incidents.episodes.size(), incident_hypotheses,
+              unattributed_breaches);
+  if (!incidents.episodes.empty()) {
+    std::printf("%s\n", incidents.table().c_str());
+  }
+
   bool ok = true;
   auto gate = [&ok](bool pass, const char* what, double value, double limit) {
     std::printf("gate %-26s %12.2f vs %10.2f : %s\n", what, value, limit,
@@ -354,6 +384,8 @@ int main(int argc, char** argv) {
        static_cast<double>(book_2), static_cast<double>(book_1 + book_1 / 2 + 64));
   gate(pend_2 <= pend_1 + pend_1 / 2 + 64, "rss_pending_flat",
        static_cast<double>(pend_2), static_cast<double>(pend_1 + pend_1 / 2 + 64));
+  gate(unattributed_breaches == 0, "incident_unattributed==0",
+       static_cast<double>(unattributed_breaches), 0.0);
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -393,6 +425,9 @@ int main(int argc, char** argv) {
         << ", \"book_peak_h1\": " << book_1 << ", \"book_peak_h2\": " << book_2
         << ", \"pending_peak_h1\": " << pend_1
         << ", \"pending_peak_h2\": " << pend_2 << "},\n";
+    out << "  \"incidents\": {\"episodes\": " << incidents.episodes.size()
+        << ", \"hypotheses\": " << incident_hypotheses
+        << ", \"unattributed_breaches\": " << unattributed_breaches << "},\n";
     out << "  \"gates\": {\"max_flaps_per_hour\": " << max_flaps_per_hour
         << ", \"max_energy_drift\": " << max_energy_drift << "},\n";
     out << "  \"ok\": " << (ok ? "true" : "false") << "\n}\n";

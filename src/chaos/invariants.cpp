@@ -36,6 +36,10 @@ void InvariantChecker::violation(const std::string& message) {
   std::ostringstream out;
   out << "t=" << now() << ": " << message;
   violations_.push_back(out.str());
+  // Also land the breach in the deterministic trace so the incident engine
+  // can open an episode on it. Healthy runs record nothing here, so golden
+  // traces are unaffected.
+  system_.trace().record(name(), "invariant.violation", message);
 }
 
 void InvariantChecker::sample() {

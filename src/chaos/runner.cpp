@@ -4,6 +4,7 @@
 #include <memory>
 #include <sstream>
 
+#include "chaos/ground_truth.hpp"
 #include "chaos/injector.hpp"
 #include "core/system.hpp"
 #include "obs/health_monitor.hpp"
@@ -26,6 +27,14 @@ ChaosRunResult run_chaos_schedule(const ChaosRunConfig& cfg,
   spec.seed = cfg.seed;
   core::SnoozeSystem system(spec);
   system.trace().set_max_records(cfg.max_trace_records);
+  if (cfg.incidents) {
+    // Retain exemplars so the incident report can link the worst submit
+    // bucket to its span tree. Passive: no events, no RNG, no trace records.
+    system.telemetry()
+        .metrics()
+        .histogram("client.submit_latency")
+        .enable_exemplars();
+  }
   system.start();
   system.run_until_stable(cfg.stabilize_bound);
 
@@ -156,6 +165,32 @@ ChaosRunResult run_chaos_schedule(const ChaosRunConfig& cfg,
     result.upgrade_waves_completed = upgrade->waves_completed();
     result.upgrade_nodes = upgrade->nodes_upgraded();
     result.upgrade_pauses = upgrade->pauses();
+  }
+
+  if (cfg.incidents) {
+    obs::AddressNames names;
+    for (const auto& gm : system.group_managers()) {
+      names[gm->address()] = gm->name();
+    }
+    for (const auto& lc : system.local_controllers()) {
+      names[lc->address()] = lc->name();
+    }
+    const double run_end = system.engine().now();
+    result.incidents =
+        obs::analyze_incidents(system.trace().records(),
+                               &system.telemetry().spans(), run_end, names,
+                               cfg.incident_config);
+    const auto faults =
+        extract_injected_faults(system.trace().records(), run_end);
+    const AttributionScore score = score_attribution(result.incidents, faults);
+    result.injected_faults_labeled = faults.size();
+    result.attribution_tp = score.true_positives;
+    result.attribution_fp = score.false_positives;
+    result.attribution_recalled = score.faults_recalled;
+    result.attribution_precision = score.precision();
+    result.attribution_recall = score.recall();
+    result.incident_table = result.incidents.table();
+    result.incident_csv = result.incidents.csv();
   }
 
   std::ostringstream report;

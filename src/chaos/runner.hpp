@@ -14,6 +14,7 @@
 #include "chaos/schedule.hpp"
 #include "core/config.hpp"
 #include "interference/model.hpp"
+#include "obs/incident.hpp"
 #include "ops/autoscaler.hpp"
 #include "ops/upgrade.hpp"
 #include "sim/trace.hpp"
@@ -53,6 +54,14 @@ struct ChaosRunConfig {
   bool health_monitor = true;
   /// Copy the monitor's time-series CSV into ChaosRunResult::timeseries_csv.
   bool capture_timeseries = false;
+  /// Run the incident engine offline once the run is over: segment the
+  /// trace into episodes, rank root-cause hypotheses, and score them against
+  /// the injected schedule's ground-truth labels. Strictly passive — the
+  /// engine only reads records after the last event, so enabling it cannot
+  /// change the trace hash (exemplars are additionally retained on the
+  /// submit-latency histogram to link reports to span trees).
+  bool incidents = false;
+  obs::IncidentConfig incident_config{};
   /// sim::Trace ring cap (see Trace::set_max_records). Chaos runs default to
   /// ring mode so long-horizon schedules hold memory flat; the cap is far
   /// above what any short scenario records, so goldens never trim and their
@@ -113,6 +122,16 @@ struct ChaosRunResult {
   std::uint64_t failover_episodes = 0;
   double failover_mttr_s = -1.0;   ///< < 0: no completed failover episode
   std::string timeseries_csv;      ///< filled when cfg.capture_timeseries
+  // --- incident attribution (filled when cfg.incidents) --------------------
+  obs::IncidentReport incidents;     ///< episodes + ranked hypotheses
+  std::string incident_table;        ///< rendered report (deterministic)
+  std::string incident_csv;
+  std::size_t injected_faults_labeled = 0;  ///< ground-truth faults extracted
+  std::size_t attribution_tp = 0;    ///< matched node-blaming hypotheses
+  std::size_t attribution_fp = 0;    ///< hypotheses matching no fault
+  std::size_t attribution_recalled = 0;  ///< faults matched by >= 1 hypothesis
+  double attribution_precision = 1.0;
+  double attribution_recall = 1.0;
   // --- long-horizon operations (filled when cfg.ops enables them) ----------
   std::uint64_t scale_ups = 0;
   std::uint64_t scale_downs = 0;

@@ -24,6 +24,12 @@ CliSession::CliSession(std::unique_ptr<core::SnoozeSystem> system)
     : system_(std::move(system)),
       monitor_(std::make_unique<obs::HealthMonitor>(*system_)) {
   monitor_->start();
+  // Keep submit-latency exemplars so `metrics show` and incident reports can
+  // link a tail bucket to its span tree. Passive: no events, no RNG.
+  system_->telemetry()
+      .metrics()
+      .histogram("client.submit_latency")
+      .enable_exemplars();
 }
 
 std::unique_ptr<CliSession> CliSession::boot(std::size_t gms, std::size_t lcs,
@@ -59,6 +65,9 @@ std::string CliSession::help() {
          "  health                                     time-series dashboard\n"
          "  health csv <file>                          export the time series as CSV\n"
          "  health path                                critical-path phase breakdown\n"
+         "  incident list                              episodes + root-cause hypotheses\n"
+         "  incident show <id>                         evidence chain for one episode\n"
+         "  incident csv <file>                        export the incident report\n"
          "  slo                                        SLIs vs SLO thresholds (pass/fail)\n"
          "  top [n]                                    busiest LC nodes (incl. per-socket\n"
          "                                             util and interference penalty)\n"
@@ -87,6 +96,7 @@ CommandResult CliSession::execute(const std::string& line) {
   if (cmd == "metrics") return cmd_metrics(args);
   if (cmd == "trace") return cmd_trace(args);
   if (cmd == "health") return cmd_health(args);
+  if (cmd == "incident") return cmd_incident(args);
   if (cmd == "slo") return cmd_slo();
   if (cmd == "top") return cmd_top(args);
   if (cmd == "upgrade") return cmd_upgrade(args);
@@ -322,12 +332,16 @@ CommandResult CliSession::cmd_trace(const std::vector<std::string>& args) {
   if (args.size() < 2) return {false, false, usage};
   const auto& spans = system_->telemetry().spans();
   if (args[0] == "export") {
-    // Spans plus Perfetto counter lanes from the health monitor's series.
+    // Spans plus Perfetto counter lanes from the health monitor's series and
+    // incident windows/evidence instants from the passive incident engine.
     monitor_->sample_now();
-    return write_file(args[1],
-                      obs::chrome_trace_with_counters(spans, system_->engine().now(),
-                                                      monitor_->store()),
-                      "trace export");
+    return write_file(
+        args[1],
+        obs::chrome_trace_with_incidents(
+            obs::chrome_trace_with_counters(spans, system_->engine().now(),
+                                            monitor_->store()),
+            analyze_incidents_now()),
+        "trace export");
   }
   if (args[0] == "csv") {
     return write_file(args[1], telemetry::spans_csv(spans), "trace csv");
@@ -346,6 +360,40 @@ CommandResult CliSession::cmd_health(const std::vector<std::string>& args) {
   }
   if (args[0] == "path") return {true, false, monitor_->critical_path().table()};
   return {false, false, "usage: health | health csv <file> | health path\n"};
+}
+
+obs::IncidentReport CliSession::analyze_incidents_now() const {
+  obs::AddressNames names;
+  for (const auto& gm : system_->group_managers()) {
+    names[gm->address()] = gm->name();
+  }
+  for (const auto& lc : system_->local_controllers()) {
+    names[lc->address()] = lc->name();
+  }
+  return obs::analyze_incidents(system_->trace().records(),
+                                &system_->telemetry().spans(),
+                                system_->engine().now(), names);
+}
+
+CommandResult CliSession::cmd_incident(const std::vector<std::string>& args) {
+  const std::string usage =
+      "usage: incident list | incident show <id> | incident csv <file>\n";
+  if (args.empty()) return {false, false, usage};
+  const obs::IncidentReport report = analyze_incidents_now();
+  if (args[0] == "list") {
+    if (report.episodes.empty()) return {true, false, "no incidents\n"};
+    return {true, false, report.table()};
+  }
+  if (args[0] == "show") {
+    if (args.size() < 2) return {false, false, usage};
+    const int id = static_cast<int>(std::strtol(args[1].c_str(), nullptr, 10));
+    return {true, false, report.show(id, &system_->telemetry().spans())};
+  }
+  if (args[0] == "csv") {
+    if (args.size() < 2) return {false, false, usage};
+    return write_file(args[1], report.csv(), "incident csv");
+  }
+  return {false, false, usage};
 }
 
 CommandResult CliSession::cmd_slo() {

@@ -13,6 +13,7 @@
 
 #include "core/system.hpp"
 #include "obs/health_monitor.hpp"
+#include "obs/incident.hpp"
 #include "ops/autoscaler.hpp"
 #include "ops/upgrade.hpp"
 
@@ -54,6 +55,9 @@ class CliSession {
   CommandResult cmd_metrics(const std::vector<std::string>& args);
   CommandResult cmd_trace(const std::vector<std::string>& args);
   CommandResult cmd_health(const std::vector<std::string>& args);
+  CommandResult cmd_incident(const std::vector<std::string>& args);
+  /// Run the passive incident engine over the current trace snapshot.
+  [[nodiscard]] obs::IncidentReport analyze_incidents_now() const;
   CommandResult cmd_slo();
   CommandResult cmd_top(const std::vector<std::string>& args);
   CommandResult cmd_upgrade(const std::vector<std::string>& args);

@@ -90,7 +90,8 @@ void Client::attempt(VmDescriptor vm, sim::Time started, int attempts_left,
         const sim::Time latency = now() - started;
         latencies_.add(latency);
         telemetry::count(tel(), "client.successes");
-        telemetry::observe(tel(), "client.submit_latency", latency);
+        telemetry::observe(tel(), "client.submit_latency", latency, root,
+                           now());
         telemetry::end_span(tel(), root, "ok");
         if (cb) cb(true, resp->lc, latency);
         return;

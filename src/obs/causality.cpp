@@ -1,0 +1,121 @@
+#include "obs/causality.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace snooze::obs {
+
+namespace {
+
+/// Parse the numeric value after `key=` in a record detail ("lc=17",
+/// "gm=23 score=..."). Returns 0 when absent.
+std::uint64_t parse_u64(std::string_view detail, std::string_view key) {
+  const auto pos = detail.find(key);
+  if (pos == std::string_view::npos) return 0;
+  const char* start = detail.data() + pos + key.size();
+  return std::strtoull(start, nullptr, 10);
+}
+
+/// Value after "sli=" up to the next space.
+std::string parse_sli(std::string_view detail) {
+  const auto pos = detail.find("sli=");
+  if (pos == std::string_view::npos) return {};
+  auto rest = detail.substr(pos + 4);
+  const auto space = rest.find(' ');
+  return std::string(rest.substr(0, space));
+}
+
+std::string name_of(const AddressNames& names, std::uint64_t addr) {
+  const auto it = names.find(addr);
+  if (it != names.end()) return it->second;
+  return "addr:" + std::to_string(addr);
+}
+
+}  // namespace
+
+const char* to_string(FaultClass fc) {
+  switch (fc) {
+    case FaultClass::kCrash: return "crash";
+    case FaultClass::kFailSlow: return "fail-slow";
+    case FaultClass::kNetwork: return "network";
+    case FaultClass::kOverload: return "overload";
+    case FaultClass::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+std::vector<Evidence> collect_evidence(
+    const std::vector<sim::TraceRecord>& records, const AddressNames& names) {
+  std::vector<Evidence> out;
+  // Leadership context, accumulated from the start of the retained trace so
+  // an election can implicate its predecessor.
+  std::string current_gl;
+  std::map<std::string, double> failed_at;  // actor -> last death-log time
+
+  auto add = [&](const sim::TraceRecord& r, FaultClass implies,
+                 std::string target, double weight, bool opener) {
+    out.push_back(Evidence{r.time, r.actor, r.kind, r.detail, implies,
+                           std::move(target), weight, opener});
+  };
+
+  for (const auto& r : records) {
+    // Ground-truth labels from the injector are off limits: diagnosis must
+    // come from the system's own records.
+    if (r.actor == "chaos" || r.kind.rfind("chaos.", 0) == 0) continue;
+
+    if (r.kind == "gm.fail" || r.kind == "lc.fail") {
+      // Death log from the crashing actor itself: certain identity.
+      failed_at[r.actor] = r.time;
+      add(r, FaultClass::kCrash, r.actor, 3.0, true);
+    } else if (r.kind == "gm.elected_gl") {
+      // A re-election implicates the previous leader. If the predecessor
+      // logged its own death recently this corroborates a crash; a leader
+      // that vanished *without* a death log was cut off, not killed.
+      if (!current_gl.empty() && current_gl != r.actor) {
+        const auto it = failed_at.find(current_gl);
+        const bool crashed = it != failed_at.end() && r.time - it->second <= 60.0;
+        if (crashed) {
+          add(r, FaultClass::kCrash, current_gl, 1.0, true);
+        } else {
+          add(r, FaultClass::kNetwork, current_gl, 2.0, true);
+        }
+      }
+      current_gl = r.actor;
+    } else if (r.kind == "gl.gm_failed" || r.kind == "gm.lc_failed") {
+      // Heartbeat-timeout detection; the record names no victim, so it
+      // opens/extends an episode but casts no vote.
+      add(r, FaultClass::kUnknown, {}, 0.0, true);
+    } else if (r.kind == "gm.lc_probation") {
+      add(r, FaultClass::kFailSlow, name_of(names, parse_u64(r.detail, "lc=")),
+          2.0, true);
+    } else if (r.kind == "gm.lc_quarantined") {
+      add(r, FaultClass::kFailSlow, name_of(names, parse_u64(r.detail, "lc=")),
+          3.0, true);
+    } else if (r.kind == "gl.gm_slow") {
+      add(r, FaultClass::kFailSlow, name_of(names, parse_u64(r.detail, "gm=")),
+          2.0, true);
+    } else if (r.kind == "slo.alert") {
+      const std::string sli = parse_sli(r.detail);
+      if (sli.rfind("submit_", 0) == 0) {
+        add(r, FaultClass::kOverload, {}, 0.5, true);
+      } else {
+        add(r, FaultClass::kUnknown, {}, 0.25, true);
+      }
+    } else if (r.kind == "invariant.violation") {
+      add(r, FaultClass::kUnknown, {}, 1.0, true);
+    } else if (r.kind == "gl.reconciled" || r.kind == "gm.stepdown" ||
+               r.kind == "gm.restart" || r.kind == "lc.restart" ||
+               r.kind == "lc.rejoin" || r.kind == "gm.lc_fenced_off" ||
+               r.kind == "gm.lc_probation_cleared" ||
+               r.kind == "gm.lc_reinstated" || r.kind == "gl.gm_slow_cleared" ||
+               r.kind == "slo.clear") {
+      // Recovery / clear markers: timeline context only. They extend an
+      // open episode (recovery is part of the incident) but never open one
+      // and never vote.
+      add(r, FaultClass::kUnknown, {}, 0.0, false);
+    }
+  }
+  return out;
+}
+
+}  // namespace snooze::obs

@@ -1,0 +1,62 @@
+// Causal evidence extraction for incident analysis.
+//
+// Walks the deterministic event trace and turns the records a fault leaves
+// behind into typed *evidence*: a timestamped observation that implies a
+// fault class and (when the record names one) a blamed node, with a vote
+// weight reflecting how specific the signal is. A death log (`gm.fail`,
+// `lc.fail`) is near-certain identity evidence; a containment-ladder record
+// (`gm.lc_probation`, `gl.gm_slow`) names its victim by network address; a
+// failover election implicates the previous leader; an SLO alert is weak,
+// anonymous evidence of overload.
+//
+// Deliberately excluded: every `chaos.*` record. Those are the injector's
+// ground-truth labels — the diagnosis layer must reconstruct what happened
+// from the system's own observable behavior, and the scorer in
+// `chaos/ground_truth.hpp` then grades it against the labels it never saw.
+//
+// Extraction is a pure function of the trace (plus the address→name map the
+// caller supplies for ladder records, which carry numeric addresses): no
+// clocks, no RNG, no events scheduled. Same trace, same evidence.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace snooze::obs {
+
+/// Root-cause taxonomy. Matches the injector's fault kinds coarsely:
+/// crash/restart → kCrash, slow/steal → kFailSlow, isolate/link/drop →
+/// kNetwork; kOverload is a workload-pressure diagnosis no injector action
+/// maps to directly, and kUnknown is the honest "signals, no identity".
+enum class FaultClass { kCrash, kFailSlow, kNetwork, kOverload, kUnknown };
+
+[[nodiscard]] const char* to_string(FaultClass fc);
+
+/// One observation in an episode's causal chain.
+struct Evidence {
+  double time = 0.0;
+  std::string actor;       ///< who recorded it
+  std::string kind;        ///< trace record kind ("gm.fail", "slo.alert", ...)
+  std::string detail;      ///< original record detail
+  FaultClass implies = FaultClass::kUnknown;
+  std::string target;      ///< blamed node name ("lc-3"); empty = anonymous
+  double weight = 0.0;     ///< vote mass toward (implies, target); 0 = timeline-only
+  bool opener = false;     ///< strong enough to open an episode by itself
+};
+
+/// Maps numeric network addresses (as they appear in `lc=<addr>` /
+/// `gm=<addr>` details) back to node names. Built by the caller from the
+/// live system; an unmapped address degrades to "addr:<n>".
+using AddressNames = std::map<std::uint64_t, std::string>;
+
+/// Extract the evidence stream from a trace, in record order. The full
+/// record span is scanned (leadership context accumulates from the start of
+/// the run), but only fault-implicating records become evidence.
+[[nodiscard]] std::vector<Evidence> collect_evidence(
+    const std::vector<sim::TraceRecord>& records, const AddressNames& names);
+
+}  // namespace snooze::obs

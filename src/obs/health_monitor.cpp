@@ -303,6 +303,14 @@ void HealthMonitor::sample_now() {
   evaluate_slos(now);
 }
 
+std::vector<std::string> HealthMonitor::sli_names() {
+  return {"degraded_vm_rate",    "energy_per_vm_hour",
+          "failover_mttr",       "fence_rejected_rate",
+          "heartbeat_staleness", "interference_p99_penalty",
+          "submit_p50",          "submit_p99",
+          "summary_bytes_per_gm", "summary_staleness"};
+}
+
 void HealthMonitor::evaluate_slos(double now) {
   const core::SloConfig& cfg = slo_.config();
 

@@ -68,6 +68,12 @@ class HealthMonitor final : public sim::Actor {
 
   [[nodiscard]] const TimeSeriesStore& store() const { return store_; }
   [[nodiscard]] const SloEvaluator& slo() const { return slo_; }
+
+  /// Every SLI name the monitor is contracted to evaluate, sorted — the
+  /// naming-lint test cross-checks this list against what evaluate_slos
+  /// actually fed the SloEvaluator, so a drifting or silently-dropped SLI
+  /// fails tier-1 instead of rotting as NaN.
+  [[nodiscard]] static std::vector<std::string> sli_names();
   [[nodiscard]] std::uint64_t alerts_fired() const { return alerts_fired_; }
   [[nodiscard]] std::uint64_t alerts_cleared() const { return alerts_cleared_; }
 

@@ -154,6 +154,15 @@ std::string metrics_table(const MetricsRegistry& registry) {
     }
     if (out.tellp() > 0) out << "\n";
     out << table.to_string();
+    // Exemplar lines only for histograms that opted in and retained one, so
+    // runs without exemplars render byte-identically to before.
+    for (const auto& [name, hist] : registry.histograms()) {
+      const auto* worst = hist->worst_exemplar();
+      if (worst == nullptr) continue;
+      out << name << " worst exemplar: value "
+          << util::Table::num(worst->value, 4) << " span " << worst->span_id
+          << " t " << util::Table::num(worst->time, 2) << "\n";
+    }
   }
   if (out.tellp() == 0) return "no metrics recorded\n";
   return out.str();

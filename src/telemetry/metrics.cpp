@@ -36,6 +36,36 @@ void Histogram::observe(double value) {
   sum_ += value;
 }
 
+void Histogram::observe(double value, std::uint64_t span_id, double time) {
+  observe(value);
+  if (exemplars_ == nullptr || span_id == 0) return;
+  Exemplar& slot = (*exemplars_)[static_cast<std::size_t>(bucket_index(value))];
+  if (slot.span_id == 0 || value > slot.value) {
+    slot = Exemplar{value, span_id, time};
+  }
+}
+
+void Histogram::enable_exemplars() {
+  if (exemplars_ == nullptr) {
+    exemplars_ = std::make_unique<std::array<Exemplar, kNumBuckets>>();
+  }
+}
+
+const Histogram::Exemplar* Histogram::exemplar(int i) const {
+  if (exemplars_ == nullptr) return nullptr;
+  const Exemplar& slot = (*exemplars_)[static_cast<std::size_t>(i)];
+  return slot.span_id != 0 ? &slot : nullptr;
+}
+
+const Histogram::Exemplar* Histogram::worst_exemplar() const {
+  if (exemplars_ == nullptr) return nullptr;
+  for (int i = kNumBuckets - 1; i >= 0; --i) {
+    const Exemplar& slot = (*exemplars_)[static_cast<std::size_t>(i)];
+    if (slot.span_id != 0) return &slot;
+  }
+  return nullptr;
+}
+
 double Histogram::percentile(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);

@@ -78,7 +78,30 @@ class Histogram {
   static constexpr int kDecades = 12;
   static constexpr int kNumBuckets = kDecades * kBucketsPerDecade + 2;
 
+  /// Worst sample retained for one log-bucket, with the span id + sim time
+  /// the instrumentation site attached — links a tail bucket back to the
+  /// causal span tree that produced it.
+  struct Exemplar {
+    double value = 0.0;
+    std::uint64_t span_id = 0;  ///< 0 = slot empty
+    double time = 0.0;
+  };
+
   void observe(double value);
+  /// observe() plus exemplar context. Identical to observe(value) unless
+  /// enable_exemplars() was called; a zero span id is never retained.
+  void observe(double value, std::uint64_t span_id, double time);
+
+  /// Allocate exemplar storage. Off by default: until enabled, the
+  /// span-carrying observe() overload behaves exactly like observe(value)
+  /// and exports are byte-identical.
+  void enable_exemplars();
+  [[nodiscard]] bool exemplars_enabled() const { return exemplars_ != nullptr; }
+  /// Exemplar of bucket i; nullptr when disabled or the bucket has none.
+  [[nodiscard]] const Exemplar* exemplar(int i) const;
+  /// The exemplar of the highest occupied bucket (the worst retained
+  /// sample); nullptr when disabled or none retained.
+  [[nodiscard]] const Exemplar* worst_exemplar() const;
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double sum() const { return sum_; }
@@ -101,6 +124,7 @@ class Histogram {
   [[nodiscard]] static int bucket_index(double value);
 
   std::array<std::uint64_t, kNumBuckets> buckets_{};
+  std::unique_ptr<std::array<Exemplar, kNumBuckets>> exemplars_;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;

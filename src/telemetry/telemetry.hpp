@@ -61,6 +61,15 @@ inline void observe(Telemetry* t, std::string_view name, double value) {
   if (t != nullptr) t->metrics().histogram(name).observe(value);
 }
 
+/// observe() carrying exemplar context: when the histogram has exemplars
+/// enabled, the sample's bucket retains its worst (value, span, time).
+inline void observe(Telemetry* t, std::string_view name, double value,
+                    const SpanContext& ctx, double now) {
+  if (t != nullptr) {
+    t->metrics().histogram(name).observe(value, ctx.span_id, now);
+  }
+}
+
 inline void gauge_add(Telemetry* t, std::string_view name, double delta) {
   if (t != nullptr) t->metrics().gauge(name).add(delta);
 }

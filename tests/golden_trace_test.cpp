@@ -39,6 +39,9 @@ struct Scenario {
   /// Optional config tweak (ops actors, SLO budgets, bursts). The original
   /// scenarios leave it null, so their configs — and goldens — are untouched.
   void (*customize)(chaos::ChaosRunConfig&) = nullptr;
+  /// Also byte-pin the rendered incident table in <name>.incidents.txt
+  /// (requires customize to set cfg.incidents).
+  bool pin_incidents = false;
 };
 
 // Scenarios cover the fault vocabulary (GL/GM/LC crashes, isolation, lossy /
@@ -195,6 +198,20 @@ const Scenario kScenarios[] = {
      "110 unsteal #2\n"
      "20 flaky gm 0 lc 3 lat=0.2\n"
      "90 unflaky gm 0 lc 3\n"},
+    // Incident engine end-to-end: one GM crash plus one fail-slow LC in a
+    // single run, analyzed by the passive incident engine. The trace golden
+    // pins the raw event order exactly as if the engine were off (it reads,
+    // never writes); the companion .incidents.txt golden byte-pins the
+    // rendered episode/hypothesis table including ground-truth detection
+    // latencies — attribution output is part of the determinism contract.
+    {"incident_report", 2020, {2, 8, 1}, 6,
+     "duration 240\n"
+     "8 crash gm 1 #1\n"
+     "70 recover #1\n"
+     "5 slow lc 1 factor=4 #2\n"
+     "120 unslow #2\n",
+     [](chaos::ChaosRunConfig& cfg) { cfg.incidents = true; },
+     /*pin_incidents=*/true},
     // Capacity-only fallback: the interference-aware placement policy on a
     // profile-less workload must degrade to pure capacity scoring (every
     // predicted penalty is zero, the residual-capacity tiebreak decides).
@@ -219,6 +236,10 @@ chaos::ChaosRunConfig make_config(const Scenario& sc) {
 
 std::string golden_path(const Scenario& sc) {
   return std::string(SNOOZE_GOLDEN_DIR) + "/" + sc.name + ".txt";
+}
+
+std::string incident_golden_path(const Scenario& sc) {
+  return std::string(SNOOZE_GOLDEN_DIR) + "/" + sc.name + ".incidents.txt";
 }
 
 /// One trace record as a stable single line. Times are serialized as the raw
@@ -282,6 +303,11 @@ TEST_P(GoldenTrace, MatchesRecordedTrace) {
 
   if (std::getenv("SNOOZE_UPDATE_GOLDEN") != nullptr) {
     write_golden(golden_path(sc), sc, result);
+    if (sc.pin_incidents) {
+      std::ofstream out(incident_golden_path(sc));
+      ASSERT_TRUE(out) << "cannot write " << incident_golden_path(sc);
+      out << result.incident_table;
+    }
     GTEST_SKIP() << "golden refreshed: " << golden_path(sc);
   }
 
@@ -312,6 +338,16 @@ TEST_P(GoldenTrace, MatchesRecordedTrace) {
       << "scenario '" << sc.name
       << "': every trace record matches but the run fingerprint differs — "
          "the network traffic counters folded into the hash must have changed";
+
+  if (sc.pin_incidents) {
+    std::ifstream in(incident_golden_path(sc));
+    ASSERT_TRUE(in) << "missing incident golden " << incident_golden_path(sc)
+                    << " — run with SNOOZE_UPDATE_GOLDEN=1 to record it";
+    std::stringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(result.incident_table, want.str())
+        << "scenario '" << sc.name << "': rendered incident table changed";
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Scenarios, GoldenTrace, ::testing::ValuesIn(kScenarios),

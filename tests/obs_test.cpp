@@ -16,6 +16,7 @@
 #include "core/snooze.hpp"
 #include "obs/health_monitor.hpp"
 #include "obs/slo.hpp"
+#include "obs/slowness.hpp"
 #include "obs/timeseries.hpp"
 
 namespace {
@@ -469,6 +470,119 @@ TEST(HealthMonitor, DashboardShowsFlapRateColumn) {
   EXPECT_NE(monitor.dashboard().find("slo.flaps_per_hour"), std::string::npos);
   // A quiet cluster has not flapped.
   EXPECT_EQ(monitor.slo().total_transitions(), 0u);
+}
+
+// --- SlownessScorer degenerate fleets ----------------------------------------
+// Peer-relative scoring is only meaningful relative to peers: the degenerate
+// shapes (tiny fleet, perfectly uniform baseline, uniformly slow fleet) must
+// never produce a flag the fleet shape cannot justify.
+
+TEST(SlownessScorer, SinglePeerFleetNeverFlags) {
+  obs::SlownessScorer scorer;
+  for (double t = 0.0; t <= 40.0; t += 1.0) {
+    scorer.add_sample(1, obs::SlownessMetric::kProbe, 1000.0);  // absurd RTT
+    scorer.evaluate(t);
+  }
+  // No peers to be relative to: the absurd latency is unscoreable, not slow.
+  EXPECT_FALSE(scorer.flagged(1));
+  EXPECT_DOUBLE_EQ(scorer.score(1), 0.0);
+  EXPECT_EQ(scorer.flagged_count(), 0u);
+}
+
+TEST(SlownessScorer, MadZeroUniformBaselineFlagsOnlyTheOutlier) {
+  obs::SlownessScorer scorer;
+  // Five identical peers: fleet MAD is exactly 0 and must be floored, not
+  // divided by. One outlier at 4x.
+  for (std::uint64_t p = 1; p <= 5; ++p) {
+    scorer.add_sample(p, obs::SlownessMetric::kProbe, 1.0);
+  }
+  scorer.add_sample(6, obs::SlownessMetric::kProbe, 4.0);
+
+  scorer.evaluate(0.0);
+  EXPECT_FALSE(scorer.flagged(6));  // sustain window not elapsed yet
+  EXPECT_GT(scorer.score(6), 4.0);  // but the score is already over z_flag
+  scorer.evaluate(10.0);
+  EXPECT_TRUE(scorer.flagged(6));
+  EXPECT_EQ(scorer.flagged_count(), 1u);
+  for (std::uint64_t p = 1; p <= 5; ++p) {
+    EXPECT_FALSE(scorer.flagged(p));
+    EXPECT_DOUBLE_EQ(scorer.score(p), 0.0);
+  }
+}
+
+TEST(SlownessScorer, UniformlySlowFleetFlagsNobody) {
+  obs::SlownessScorer scorer;
+  // The whole fleet is 4x slower than any reasonable absolute expectation —
+  // a load shift, not a gray failure. Peer-relative z stays 0 for everyone.
+  for (double t = 0.0; t <= 40.0; t += 1.0) {
+    for (std::uint64_t p = 1; p <= 6; ++p) {
+      scorer.add_sample(p, obs::SlownessMetric::kProbe, 4.0);
+    }
+    scorer.evaluate(t);
+  }
+  EXPECT_EQ(scorer.flagged_count(), 0u);
+  for (std::uint64_t p = 1; p <= 6; ++p) {
+    EXPECT_DOUBLE_EQ(scorer.score(p), 0.0);
+  }
+}
+
+// --- Overlapping failover episodes -------------------------------------------
+// MTTR episodes are gm.fail(acting GL) -> gl.reconciled. When a second GL
+// dies before the first outage reconciles, that is one continuous outage:
+// the scanner must not fabricate a second episode or merge in samples from
+// non-GL deaths. Records are injected synthetically at exact virtual times.
+
+namespace {
+void record_at(core::SnoozeSystem& system, double t, std::string actor,
+               std::string kind, std::string detail = "") {
+  system.engine().schedule_at(t, [&system, actor = std::move(actor),
+                                  kind = std::move(kind),
+                                  detail = std::move(detail)] {
+    system.trace().record(actor, kind, detail);
+  });
+}
+}  // namespace
+
+TEST(HealthMonitor, ChainedGlDeathsAreOneEpisodeNotTwo) {
+  auto system = make_system(21);
+  record_at(system, 1.0, "gm-A", "gm.elected_gl", "epoch=1");
+  record_at(system, 10.0, "gm-A", "gm.fail");       // outage opens at 10
+  record_at(system, 12.0, "gm-B", "gm.fail");       // non-GL death: ignored
+  record_at(system, 14.0, "gm-C", "gm.elected_gl", "epoch=2");
+  record_at(system, 15.0, "gm-C", "gm.fail");       // new GL dies mid-outage
+  record_at(system, 18.0, "gm-D", "gm.elected_gl", "epoch=3");
+  record_at(system, 20.0, "gm-D", "gl.reconciled", "gms=3");
+  system.engine().run_until(30.0);
+
+  obs::HealthMonitor monitor(system);
+  monitor.sample_now();
+  // One continuous outage, one sample: first GL death -> reconciliation.
+  EXPECT_EQ(monitor.failover_episodes(), 1u);
+  EXPECT_DOUBLE_EQ(monitor.failover_mttr(), 10.0);
+}
+
+TEST(HealthMonitor, SequentialFailoversYieldDistinctSamples) {
+  auto system = make_system(22);
+  record_at(system, 1.0, "gm-A", "gm.elected_gl", "epoch=1");
+  record_at(system, 10.0, "gm-A", "gm.fail");
+  record_at(system, 16.0, "gm-B", "gm.elected_gl", "epoch=2");
+  record_at(system, 18.0, "gm-B", "gl.reconciled", "gms=3");  // sample: 8 s
+  record_at(system, 40.0, "gm-B", "gm.fail");
+  record_at(system, 45.0, "gm-C", "gm.elected_gl", "epoch=3");
+  record_at(system, 50.0, "gm-C", "gl.reconciled", "gms=3");  // sample: 10 s
+  system.engine().run_until(55.0);
+
+  obs::HealthMonitor monitor(system);
+  monitor.sample_now();
+  EXPECT_EQ(monitor.failover_episodes(), 2u);
+  EXPECT_DOUBLE_EQ(monitor.failover_mttr(), 9.0);
+
+  // A later non-GL death opens nothing: the sample set is unchanged.
+  record_at(system, 60.0, "gm-A", "gm.fail");
+  system.engine().run_until(70.0);
+  monitor.sample_now();
+  EXPECT_EQ(monitor.failover_episodes(), 2u);
+  EXPECT_DOUBLE_EQ(monitor.failover_mttr(), 9.0);
 }
 
 }  // namespace
